@@ -1,0 +1,341 @@
+// Package browsix is the public API of this Browsix reproduction: a
+// deterministic, in-process simulation of the paper's system — a Unix
+// kernel running on the browser main thread, processes on Web Workers,
+// and the web-application-facing APIs of §4.1 (Boot, kernel.system,
+// socket notifications, and an XMLHttpRequest-like interface to
+// in-browser servers).
+//
+// Quickstart:
+//
+//	inst := browsix.Boot(browsix.Config{})
+//	browsix.InstallBase(inst)                       // coreutils + /bin/sh
+//	inst.WriteFile("/greeting.txt", []byte("hello from browsix\n"))
+//	res := inst.RunCommand("cat /greeting.txt")
+//	fmt.Print(string(res.Stdout))
+//
+// Time inside the instance is virtual and fully deterministic; RunCommand
+// and the other *Sync helpers drive the simulation until the operation
+// completes. See EXPERIMENTS.md for how virtual time is calibrated to the
+// paper's measurements.
+package browsix
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/coreutils"
+	"repro/internal/fs"
+	"repro/internal/httpx"
+	"repro/internal/netsim"
+	"repro/internal/rt"
+	"repro/internal/sched"
+	"repro/internal/shell"
+)
+
+// Errno re-exports the kernel error type for API users.
+type Errno = abi.Errno
+
+// Config controls Boot.
+type Config struct {
+	// Browser selects the cost profile; default Chrome (the only
+	// browser supporting synchronous syscalls at paper time).
+	Browser *browser.Profile
+	// MaxSteps bounds the simulation (0 = default guard).
+	MaxSteps uint64
+}
+
+// Instance is one booted browser + Browsix kernel.
+type Instance struct {
+	Sim     *sched.Sim
+	Browser *browser.System
+	Kernel  *core.Kernel
+	FS      *fs.FileSystem
+	Net     *netsim.Net
+}
+
+// Boot creates a browser page with a Browsix kernel, an empty in-memory
+// root file system, and a simulated network — the `Boot(...)` call of
+// §2.2's setup code.
+func Boot(cfg Config) *Instance {
+	sim := sched.New()
+	if cfg.MaxSteps > 0 {
+		sim.MaxSteps = cfg.MaxSteps
+	} else {
+		sim.MaxSteps = 200_000_000
+	}
+	prof := browser.Chrome()
+	if cfg.Browser != nil {
+		prof = *cfg.Browser
+	}
+	sys := browser.NewSystem(sim, prof)
+	clock := func() int64 { return sim.Now() }
+	fsys := fs.NewFileSystem(fs.NewMemFS(clock), clock)
+	k := core.NewKernel(sys, fsys, rt.Loader(sys))
+	return &Instance{
+		Sim:     sim,
+		Browser: sys,
+		Kernel:  k,
+		FS:      fsys,
+		Net:     netsim.New(sim),
+	}
+}
+
+// Main schedules fn on the browser main thread (where the kernel and the
+// web application live); most kernel APIs must be invoked from there.
+func (in *Instance) Main(fn func()) {
+	in.Sim.Post(in.Browser.Main.Sched(), in.Browser.Main.Now(), fn)
+}
+
+// Run drives the simulation until quiescent.
+func (in *Instance) Run() { in.Sim.Run() }
+
+// RunUntil drives the simulation until cond holds; reports success.
+func (in *Instance) RunUntil(cond func() bool) bool { return in.Sim.RunUntil(cond) }
+
+// Now returns current virtual time in nanoseconds (max across contexts).
+func (in *Instance) Now() int64 { return in.Sim.Now() }
+
+// ---------------------------------------------------------------------------
+// Process control (Figure 4's kernel.system plus conveniences).
+// ---------------------------------------------------------------------------
+
+// System invokes a command line with streaming stdout/stderr callbacks and
+// an exit callback — the API of Figure 4. It must run on the main thread;
+// call it inside Main() or use RunCommand for the synchronous form.
+func (in *Instance) System(cmdline string, onExit func(pid, code int), onStdout, onStderr func([]byte)) {
+	in.Kernel.System(cmdline, onExit, onStdout, onStderr)
+}
+
+// CommandResult is RunCommand's outcome.
+type CommandResult struct {
+	Pid     int
+	Code    int
+	Stdout  []byte
+	Stderr  []byte
+	Elapsed int64 // virtual ns from submission to exit
+}
+
+// RunCommand runs a command line to completion, driving the simulation.
+func (in *Instance) RunCommand(cmdline string) CommandResult {
+	var res CommandResult
+	done := false
+	start := in.Browser.Main.Now()
+	in.Main(func() {
+		in.Kernel.System(cmdline,
+			func(pid, code int) {
+				res.Pid, res.Code = pid, code
+				res.Elapsed = in.Browser.Main.Now() - start
+				done = true
+			},
+			func(b []byte) { res.Stdout = append(res.Stdout, b...) },
+			func(b []byte) { res.Stderr = append(res.Stderr, b...) })
+	})
+	if !in.Sim.RunUntil(func() bool { return done }) {
+		panic(fmt.Sprintf("browsix: RunCommand(%q) deadlocked; blocked ctxs: %v",
+			cmdline, in.Sim.BlockedCtxs()))
+	}
+	in.Sim.Run() // drain output pumps
+	return res
+}
+
+// Kill sends a signal to a process (the LaTeX editor's cancel button).
+func (in *Instance) Kill(pid, sig int) Errno { return in.Kernel.Kill(pid, sig) }
+
+// OnListen registers a socket notification (§4.1): cb fires when a
+// process starts listening on port.
+func (in *Instance) OnListen(port int, cb func(port int)) {
+	in.Main(func() { in.Kernel.OnPortListen(port, cb) })
+}
+
+// ---------------------------------------------------------------------------
+// File-system conveniences (driving the CPS kernel FS synchronously).
+// ---------------------------------------------------------------------------
+
+// WriteFile stages a file, creating parent directories.
+func (in *Instance) WriteFile(path string, data []byte) Errno {
+	var out Errno = -1
+	dir := posixDir(path)
+	in.FS.MkdirAll(dir, 0o755, func(err Errno) {
+		if err != abi.OK {
+			out = err
+			return
+		}
+		in.FS.WriteFile(path, data, 0o644, func(err Errno) { out = err })
+	})
+	in.Sim.RunUntil(func() bool { return out != -1 })
+	return out
+}
+
+// ReadFile slurps a file (driving any lazy network fetch it needs).
+func (in *Instance) ReadFile(path string) ([]byte, Errno) {
+	var data []byte
+	var out Errno = -1
+	in.Main(func() {
+		in.FS.ReadFile(path, func(b []byte, err Errno) { data, out = b, err })
+	})
+	in.Sim.RunUntil(func() bool { return out != -1 })
+	return data, out
+}
+
+// Stat stats a path.
+func (in *Instance) Stat(path string) (abi.Stat, Errno) {
+	var st abi.Stat
+	var out Errno = -1
+	in.FS.Stat(path, func(s abi.Stat, err Errno) { st, out = s, err })
+	in.Sim.RunUntil(func() bool { return out != -1 })
+	return st, out
+}
+
+func posixDir(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+// ---------------------------------------------------------------------------
+// The XMLHttpRequest-like API (§4.1): HTTP to in-Browsix servers over
+// kernel-side sockets.
+// ---------------------------------------------------------------------------
+
+// HTTPResponse is the result of Fetch/FetchSync.
+type HTTPResponse struct {
+	Status int
+	Header map[string]string
+	Body   []byte
+}
+
+// Fetch sends an HTTP request to an in-Browsix socket server listening on
+// port, invoking cb with the parsed response (or a 0 status on failure).
+// It encapsulates connecting a Browsix socket, serializing the request,
+// and parsing the (possibly chunked) response — §4.1.
+func (in *Instance) Fetch(method string, port int, path string, body []byte, cb func(HTTPResponse)) {
+	in.Main(func() {
+		in.Kernel.Connect(port, func(conn *core.KernelConn, err Errno) {
+			if err != abi.OK {
+				cb(HTTPResponse{Status: 0})
+				return
+			}
+			raw := httpx.WriteRequest(&httpx.Request{Method: method, Path: path, Body: body})
+			conn.Write(raw, func(_ int, werr Errno) {
+				if werr != abi.OK {
+					conn.Close()
+					cb(HTTPResponse{Status: 0})
+					return
+				}
+				in.readHTTPResponse(conn, cb)
+			})
+		})
+	})
+}
+
+// readHTTPResponse accumulates the whole response then parses it (the
+// kernel side is CPS; parse over the buffered bytes).
+func (in *Instance) readHTTPResponse(conn *core.KernelConn, cb func(HTTPResponse)) {
+	var buf []byte
+	var loop func()
+	loop = func() {
+		conn.Read(16*1024, func(b []byte, err Errno) {
+			if err != abi.OK || len(b) == 0 {
+				conn.Close()
+				off := 0
+				resp, perr := httpx.ReadResponse(func(n int) ([]byte, Errno) {
+					if off >= len(buf) {
+						return nil, abi.OK
+					}
+					end := off + n
+					if end > len(buf) {
+						end = len(buf)
+					}
+					out := buf[off:end]
+					off = end
+					return out, abi.OK
+				})
+				if perr != abi.OK {
+					cb(HTTPResponse{Status: 0})
+					return
+				}
+				cb(HTTPResponse{Status: resp.Status, Header: resp.Header, Body: resp.Body})
+				return
+			}
+			buf = append(buf, b...)
+			loop()
+		})
+	}
+	loop()
+}
+
+// FetchSync is Fetch driving the simulation to completion.
+func (in *Instance) FetchSync(method string, port int, path string, body []byte) HTTPResponse {
+	var resp HTTPResponse
+	done := false
+	in.Fetch(method, port, path, body, func(r HTTPResponse) { resp = r; done = true })
+	if !in.Sim.RunUntil(func() bool { return done }) {
+		panic("browsix: FetchSync deadlocked")
+	}
+	return resp
+}
+
+// FetchRemote sends the same logical request to a netsim remote host —
+// the cloud path of the meme generator's dynamic routing.
+func (in *Instance) FetchRemote(host, method, path string, body []byte, cb func(HTTPResponse)) {
+	in.Main(func() {
+		in.Net.Fetch(host, netsim.Request{Method: method, Path: path, Body: body}, func(r netsim.Response) {
+			cb(HTTPResponse{Status: r.Status, Header: r.Header, Body: r.Body})
+		})
+	})
+}
+
+// FetchRemoteSync drives FetchRemote to completion.
+func (in *Instance) FetchRemoteSync(host, method, path string, body []byte) HTTPResponse {
+	var resp HTTPResponse
+	done := false
+	in.FetchRemote(host, method, path, body, func(r HTTPResponse) { resp = r; done = true })
+	if !in.Sim.RunUntil(func() bool { return done }) {
+		panic("browsix: FetchRemoteSync deadlocked")
+	}
+	return resp
+}
+
+// ---------------------------------------------------------------------------
+// Image staging.
+// ---------------------------------------------------------------------------
+
+// InstallBase stages the standard image: the Node-runtime coreutils of
+// §5.1.2 in /usr/bin, the dash shell (Emterpreter runtime, as compiled in
+// the paper) at /bin/sh and /bin/dash, plus the usual directory skeleton.
+func InstallBase(in *Instance) {
+	mkdir := func(p string) {
+		in.FS.MkdirAll(p, 0o755, func(err Errno) {
+			if err != abi.OK {
+				panic("browsix: install " + p + ": " + err.String())
+			}
+		})
+	}
+	for _, d := range []string{"/bin", "/usr/bin", "/tmp", "/etc", "/home"} {
+		mkdir(d)
+	}
+	image := map[string][]byte{}
+	for _, name := range coreutils.Names() {
+		rt.InstallExecutable(image, "/usr/bin/"+name, name, rt.NodeKind)
+	}
+	rt.InstallExecutable(image, "/usr/bin/test", "test", rt.NodeKind)
+	rt.InstallExecutable(image, "/usr/bin/[", "[", rt.NodeKind)
+	rt.InstallExecutable(image, "/usr/bin/exec", "exec", rt.NodeKind)
+	// dash is a C program: Emterpreter + async syscalls (it forks).
+	rt.InstallExecutable(image, "/bin/sh", "sh", rt.EmAsyncKind)
+	rt.InstallExecutable(image, "/bin/dash", "dash", rt.EmAsyncKind)
+	image["/etc/motd"] = []byte("Browsix (Go reproduction) — Unix in your browser\n")
+	for p, data := range image {
+		var done Errno = -1
+		in.FS.WriteFile(p, data, 0o755, func(err Errno) { done = err })
+		if done != abi.OK {
+			panic("browsix: staging " + p + " failed: " + done.String())
+		}
+	}
+	_ = shell.Main // ensure the shell package is linked (programs register via init)
+}

@@ -1,0 +1,233 @@
+package browsix
+
+import (
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/meme"
+	"repro/internal/netsim"
+	"repro/internal/rt"
+	"repro/internal/tex"
+
+	// Registers the `make` program (the LaTeX build driver).
+	_ "repro/internal/mk"
+)
+
+// This file stages the paper's case studies onto an Instance: the LaTeX
+// editor (§2), the meme generator (§5.1.1), and the terminal (§5.1.2).
+
+// TexMode selects the Emscripten compilation mode for the TeX binaries
+// (§2.2: the developer chooses at compile time; only programs that fork —
+// GNU Make — require the Emterpreter).
+type TexMode int
+
+// TeX compilation modes.
+const (
+	// TexSync: pdflatex/bibtex as asm.js with synchronous syscalls
+	// (Chrome-only in the paper; the ~3 s configuration).
+	TexSync TexMode = iota
+	// TexAsync: everything under the Emterpreter with asynchronous
+	// syscalls (works in all browsers; the ~12 s configuration).
+	TexAsync
+)
+
+// TexHostName is the netsim host serving the TeX Live tree.
+const TexHostName = "texlive.example.com"
+
+// InstallTexProject stages the LaTeX editor's world:
+//
+//   - a remote HTTP server carrying the TeX Live distribution,
+//   - an HTTP-backed, lazily-fetched file system mounted (under an
+//     overlay, with locking) at /usr/local/texlive,
+//   - pdflatex, bibtex (mode-dependent runtime) and make (always
+//     Emterpreter — it forks) in /usr/bin,
+//   - the user's project in /proj: main.tex, main.bib, Makefile.
+//
+// It returns the HTTPFS so callers can observe lazy-fetch behaviour.
+func InstallTexProject(in *Instance, cfg tex.TreeConfig, mode TexMode, docTex, docBib string) *fs.HTTPFS {
+	tree := tex.BuildTree(cfg)
+	in.Net.AddHost(netsim.FileHost(TexHostName, 30_000_000, 12, tree)) // 30ms RTT, ~80MB/s
+
+	sizes := map[string]int64{}
+	for p, b := range tree {
+		sizes[p] = int64(len(b))
+	}
+	clock := func() int64 { return in.Sim.Now() }
+	httpfs, err := fs.NewHTTPFS(fs.BuildIndex(sizes),
+		&netsim.FSFetcher{Net: in.Net, HostNm: TexHostName}, clock)
+	if err != nil {
+		panic("browsix: tex index: " + err.Error())
+	}
+	overlay := fs.NewOverlayFS(fs.NewMemFS(clock), httpfs)
+	mustMkdirAll(in, "/usr/local")
+	in.FS.Mount(tex.TexRoot, overlay)
+
+	texKind := rt.EmSyncKind
+	if mode == TexAsync {
+		texKind = rt.EmAsyncKind
+	}
+	image := map[string][]byte{}
+	rt.InstallExecutable(image, "/usr/bin/pdflatex", "pdflatex", texKind)
+	rt.InstallExecutable(image, "/usr/bin/bibtex", "bibtex", texKind)
+	// make forks, so it is always the Emterpreter build (§2.2).
+	rt.InstallExecutable(image, "/usr/bin/make", "make", rt.EmAsyncKind)
+	stage(in, image)
+
+	mustMkdirAll(in, "/proj")
+	mustWrite(in, "/proj/main.tex", []byte(docTex))
+	mustWrite(in, "/proj/main.bib", []byte(docBib))
+	mustWrite(in, "/proj/Makefile", []byte(tex.ProjectMakefile()))
+	return httpfs
+}
+
+// BuildPDF is the editor's "Build PDF" button: run make in /proj,
+// capturing output; returns exit code and combined log.
+func (in *Instance) BuildPDF() (int, string) {
+	res := in.RunCommand("/bin/sh -c 'cd /proj && make'")
+	return res.Code, string(res.Stdout) + string(res.Stderr)
+}
+
+// MemeHostName is the remote meme server of §5.2's comparison.
+const MemeHostName = "meme.example.com"
+
+// InstallMeme stages the meme generator: templates + font in the shared
+// file system, the GopherJS-compiled server in /usr/bin, and the remote
+// (native) twin on the simulated network. rttNs is the round trip to the
+// remote server (the paper compares a same-machine server and EC2).
+func InstallMeme(in *Instance, rttNs int64) {
+	for p, data := range meme.StageFiles() {
+		mustMkdirAll(in, parentDir(p))
+		mustWrite(in, p, data)
+	}
+	image := map[string][]byte{}
+	rt.InstallExecutable(image, "/usr/bin/meme-server", "meme-server", rt.GopherJSKind)
+	stage(in, image)
+	in.Net.AddHost(meme.NewRemoteHost(MemeHostName, rttNs, 18))
+}
+
+// StartMemeServer launches the in-Browsix server and waits (via the
+// socket-notification API) until it is listening.
+func (in *Instance) StartMemeServer() int {
+	listening := false
+	var pid int
+	in.OnListen(meme.Port, func(int) { listening = true })
+	in.Main(func() {
+		in.Kernel.System("/usr/bin/meme-server", func(p, code int) {}, nil, nil)
+	})
+	if !in.Sim.RunUntil(func() bool { return listening }) {
+		panic("browsix: meme server never listened")
+	}
+	for _, t := range in.Kernel.Tasks() {
+		if strings.Contains(t.Path, "meme-server") {
+			pid = t.Pid
+		}
+	}
+	return pid
+}
+
+// MemeRoute decides where a generation request goes: the paper's policy
+// routes to the in-Browsix server when the network is inaccessible or the
+// device is powerful (a desktop), otherwise to the cloud.
+func (in *Instance) MemeRoute(desktop bool) string {
+	if in.Net.Offline || desktop {
+		return "browsix"
+	}
+	return "remote"
+}
+
+// GenerateMeme sends the request along the chosen route.
+func (in *Instance) GenerateMeme(route string, body []byte) HTTPResponse {
+	if route == "browsix" {
+		return in.FetchSync("POST", meme.Port, "/api/meme", body)
+	}
+	return in.FetchRemoteSync(MemeHostName, "POST", "/api/meme", body)
+}
+
+// ---------------------------------------------------------------------------
+// Terminal (§5.1.2).
+// ---------------------------------------------------------------------------
+
+// Terminal drives an interactive dash session, the Browsix terminal case
+// study.
+type Terminal struct {
+	in      *Instance
+	console *core.Console
+	stdout  []byte
+	stderr  []byte
+	exited  bool
+	Code    int
+}
+
+// NewTerminal starts /bin/dash reading from a console pipe.
+func (in *Instance) NewTerminal() *Terminal {
+	t := &Terminal{in: in}
+	in.Main(func() {
+		t.console = in.Kernel.SystemInteractive("/bin/dash",
+			func(pid, code int) { t.exited = true; t.Code = code },
+			func(b []byte) { t.stdout = append(t.stdout, b...) },
+			func(b []byte) { t.stderr = append(t.stderr, b...) })
+	})
+	// Wait for the first prompt.
+	in.Sim.RunUntil(func() bool { return strings.Contains(string(t.stderr), "$ ") || t.exited })
+	return t
+}
+
+// Exec types one line into the shell and returns the stdout it produced,
+// running the simulation until the next prompt (or shell exit).
+func (t *Terminal) Exec(line string) string {
+	mark := len(t.stdout)
+	prompts := strings.Count(string(t.stderr), "$ ")
+	t.in.Main(func() { t.console.WriteStdin([]byte(line + "\n")) })
+	t.in.Sim.RunUntil(func() bool {
+		return t.exited || strings.Count(string(t.stderr), "$ ") > prompts
+	})
+	return string(t.stdout[mark:])
+}
+
+// Close ends the session (EOF on stdin) and waits for exit.
+func (t *Terminal) Close() int {
+	t.in.Main(func() { t.console.CloseStdin() })
+	t.in.Sim.RunUntil(func() bool { return t.exited })
+	t.in.Sim.Run()
+	return t.Code
+}
+
+// Exited reports whether the shell has exited.
+func (t *Terminal) Exited() bool { return t.exited }
+
+// ---------------------------------------------------------------------------
+// staging helpers
+// ---------------------------------------------------------------------------
+
+func mustMkdirAll(in *Instance, p string) {
+	in.FS.MkdirAll(p, 0o755, func(err Errno) {
+		if err != abi.OK {
+			panic("browsix: mkdir " + p + ": " + err.String())
+		}
+	})
+}
+
+func mustWrite(in *Instance, p string, data []byte) {
+	var out Errno = -1
+	in.FS.WriteFile(p, data, 0o644, func(err Errno) { out = err })
+	if out != abi.OK {
+		panic("browsix: write " + p + ": " + out.String())
+	}
+}
+
+func stage(in *Instance, image map[string][]byte) {
+	for p, data := range image {
+		mustMkdirAll(in, parentDir(p))
+		mustWrite(in, p, data)
+	}
+}
+
+func parentDir(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}

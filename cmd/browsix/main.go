@@ -1,0 +1,93 @@
+// browsix boots a Browsix instance from the host command line and either
+// runs a single command, executes a script, or drives an interactive-style
+// session from stdin — a quick way to poke at the in-browser Unix without
+// writing Go.
+//
+// Usage:
+//
+//	go run ./cmd/browsix -c 'echo hi | wc -c'     # one command line
+//	echo 'ls /usr/bin' | go run ./cmd/browsix     # commands from stdin
+//	go run ./cmd/browsix -tex                     # stage + build the LaTeX project
+//	go run ./cmd/browsix -ps -c 'cat /etc/motd'   # dump task info after
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	browsix "repro"
+	"repro/internal/browser"
+	"repro/internal/tex"
+)
+
+func main() {
+	cmd := flag.String("c", "", "command line to run")
+	withTex := flag.Bool("tex", false, "stage the LaTeX project (and build it if no -c)")
+	withMeme := flag.Bool("meme", false, "stage the meme generator and start its server")
+	ps := flag.Bool("ps", false, "print the kernel task table and syscall stats at exit")
+	ffx := flag.Bool("firefox", false, "use the Firefox cost profile (default Chrome)")
+	flag.Parse()
+
+	cfg := browsix.Config{}
+	if *ffx {
+		p := browser.Firefox()
+		cfg.Browser = &p
+	}
+	inst := browsix.Boot(cfg)
+	browsix.InstallBase(inst)
+
+	if *withTex {
+		docTex, docBib := tex.SampleDocument()
+		browsix.InstallTexProject(inst, tex.DefaultTree(), browsix.TexSync, docTex, docBib)
+		if *cmd == "" {
+			*cmd = "/bin/sh -c 'cd /proj && make && ls -l main.pdf'"
+		}
+	}
+	if *withMeme {
+		browsix.InstallMeme(inst, 50_000_000)
+		inst.StartMemeServer()
+		if *cmd == "" {
+			*cmd = "curl http://localhost:8888/api/templates"
+		}
+	}
+
+	exit := 0
+	run := func(line string) {
+		res := inst.RunCommand(line)
+		os.Stdout.Write(res.Stdout)
+		os.Stderr.Write(res.Stderr)
+		if res.Code != 0 {
+			fmt.Fprintf(os.Stderr, "[exit %d, %.2f virtual ms]\n", res.Code, float64(res.Elapsed)/1e6)
+			exit = res.Code
+		} else {
+			fmt.Fprintf(os.Stderr, "[ok, %.2f virtual ms]\n", float64(res.Elapsed)/1e6)
+		}
+	}
+
+	switch {
+	case *cmd != "":
+		run(*cmd)
+	default:
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" {
+				continue
+			}
+			run(line)
+		}
+	}
+
+	if *ps {
+		fmt.Fprintln(os.Stderr, "--- kernel state ---")
+		for _, t := range inst.Kernel.Tasks() {
+			fmt.Fprintf(os.Stderr, "pid %3d %s ppid %3d %s\n", t.Pid, t.StateName(), t.ParentPid, t.Path)
+		}
+		fmt.Fprintf(os.Stderr, "syscalls: %d async, %d sync, %d signals\n",
+			inst.Kernel.AsyncSyscalls, inst.Kernel.SyncSyscalls, inst.Kernel.SignalsDelivered)
+		fmt.Fprintf(os.Stderr, "mounts: %v\n", inst.FS.Mounts())
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,69 @@
+// meme-generator reproduces §5.1.1: a client/server meme creator whose
+// unmodified Go server runs either on a remote host or inside Browsix.
+// The web app routes requests dynamically — offline or powerful device →
+// in-browser server; otherwise → the cloud — and keeps working with the
+// network unplugged.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+
+	browsix "repro"
+	"repro/internal/meme"
+)
+
+func main() {
+	inst := browsix.Boot(browsix.Config{})
+	browsix.InstallBase(inst)
+	browsix.InstallMeme(inst, 50_000_000) // the "EC2" twin: 50ms RTT
+
+	// Launch the GopherJS-compiled server as a Browsix process and wait
+	// for the §4.1 socket notification instead of polling.
+	pid := inst.StartMemeServer()
+	fmt.Printf("meme-server running in-browser as pid %d\n", pid)
+
+	// List templates via the XHR-like API (kernel sockets + HTTP/1.1).
+	resp := inst.FetchSync("GET", meme.Port, "/api/templates", nil)
+	var names []string
+	json.Unmarshal(resp.Body, &names)
+	fmt.Printf("templates (in-browser, status %d): %v\n", resp.Status, names)
+
+	body, _ := json.Marshal(meme.GenRequest{
+		Template: "doge", Top: "MUCH UNIX", Bottom: "VERY BROWSER",
+	})
+
+	// Online, on a laptop (a "powerful device"): policy says in-browser.
+	route := inst.MemeRoute(true)
+	t0 := inst.Now()
+	img := inst.GenerateMeme(route, body)
+	fmt.Printf("desktop route=%s -> %s in %.1f virtual ms\n",
+		route, meme.DescribeImage(img.Body), float64(inst.Now()-t0)/1e6)
+
+	// Online, on a weak device: policy says cloud.
+	route = inst.MemeRoute(false)
+	t0 = inst.Now()
+	img = inst.GenerateMeme(route, body)
+	fmt.Printf("mobile  route=%s -> %s in %.1f virtual ms\n",
+		route, meme.DescribeImage(img.Body), float64(inst.Now()-t0)/1e6)
+
+	// Unplug the network: the same app keeps working.
+	inst.Net.Offline = true
+	route = inst.MemeRoute(false)
+	t0 = inst.Now()
+	img = inst.GenerateMeme(route, body)
+	fmt.Printf("offline route=%s -> %s in %.1f virtual ms (status %d)\n",
+		route, meme.DescribeImage(img.Body), float64(inst.Now()-t0)/1e6, img.Status)
+
+	// The comparison of §5.2: a cheap request is *faster* in-browser
+	// than across the network.
+	inst.Net.Offline = false
+	t0 = inst.Now()
+	inst.FetchSync("GET", meme.Port, "/api/templates", nil)
+	local := inst.Now() - t0
+	t0 = inst.Now()
+	inst.FetchRemoteSync(browsix.MemeHostName, "GET", "/api/templates", nil)
+	remote := inst.Now() - t0
+	fmt.Printf("template list: in-browsix %.1fms vs remote %.1fms (%.1fx)\n",
+		float64(local)/1e6, float64(remote)/1e6, float64(remote)/float64(local))
+}

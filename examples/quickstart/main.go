@@ -1,0 +1,42 @@
+// Quickstart: boot a Browsix instance, stage a file, run a Unix pipeline
+// through the in-browser kernel, and read the results back — the minimum
+// end-to-end trip through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	browsix "repro"
+	"repro/internal/abi"
+)
+
+func main() {
+	// Boot the "browser page": main-thread kernel + empty file system.
+	inst := browsix.Boot(browsix.Config{})
+	// Stage the standard image: the paper's coreutils (Node runtime)
+	// and dash (Emscripten/Emterpreter runtime) on the PATH.
+	browsix.InstallBase(inst)
+
+	// Stage some input through the web-app file API.
+	if err := inst.WriteFile("/data/fruit.txt",
+		[]byte("banana\napple\ncherry\napple pie\n")); err != abi.OK {
+		log.Fatalf("staging: %v", err)
+	}
+
+	// The paper's flagship interaction (§5.1.2): compose processes with
+	// pipes, through a real shell, all "in the browser".
+	res := inst.RunCommand("cat /data/fruit.txt | grep apple | sort | tee /data/apples.txt | wc -l")
+	if res.Code != 0 {
+		log.Fatalf("pipeline failed (%d): %s", res.Code, res.Stderr)
+	}
+	fmt.Printf("pipeline stdout: %s", res.Stdout)
+	fmt.Printf("pipeline took %.2f virtual ms across %d processes\n",
+		float64(res.Elapsed)/1e6, 5)
+
+	out, _ := inst.ReadFile("/data/apples.txt")
+	fmt.Printf("apples.txt:\n%s", out)
+
+	// Processes, signals, syscalls — the kernel keeps score.
+	fmt.Printf("async syscalls handled: %d\n", inst.Kernel.AsyncSyscalls)
+}

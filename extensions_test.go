@@ -1,0 +1,131 @@
+package browsix_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/browser"
+	"repro/internal/sched"
+)
+
+// TestWorkerPriorityControl exercises the §6 "Worker Priority Control"
+// proposal this reproduction implements: with two workers ready at the
+// same instant, the higher-priority (lower nice) one runs first.
+func TestWorkerPriorityControl(t *testing.T) {
+	sim := sched.New()
+	sim.MaxSteps = 10_000
+	sys := browser.NewSystem(sim, browser.Chrome())
+	url := sys.CreateObjectURL([]byte("w"))
+
+	var order []string
+	mk := func(name string, nice int) *browser.Worker {
+		var w *browser.Worker
+		w = sys.NewWorker(sys.Main, url, func(w *browser.Worker) {
+			w.Ctx.OnMessage = func(browser.Value) { order = append(order, name) }
+		})
+		w.SetPriority(nice)
+		return w
+	}
+	var low, high *browser.Worker
+	sim.Post(sys.Main.Sched(), 0, func() {
+		low = mk("low", 10)
+		high = mk("high", -5)
+	})
+	sim.Run()
+	// Schedule events becoming ready at the same instant on both worker
+	// contexts, enqueuing the low-priority one first so FIFO order would
+	// pick it; priority must override.
+	at := sim.Now() + 1_000_000
+	sim.Post(low.Ctx.Sched(), at, func() { order = append(order, "low") })
+	sim.Post(high.Ctx.Sched(), at, func() { order = append(order, "high") })
+	sim.Run()
+	if len(order) != 2 || order[0] != "high" {
+		t.Fatalf("order = %v, want high first", order)
+	}
+}
+
+// TestSleepUtilityAdvancesVirtualTime checks the sleep utility and that
+// virtual time, not wall time, is what passes.
+func TestSleepUtilityAdvancesVirtualTime(t *testing.T) {
+	in := bootBase(t)
+	res := in.RunCommand("sleep 0.5")
+	if res.Code != 0 {
+		t.Fatalf("sleep failed: %s", res.Stderr)
+	}
+	if res.Elapsed < 500_000_000 {
+		t.Fatalf("sleep 0.5 took %dms virtual", res.Elapsed/1e6)
+	}
+	res = in.RunCommand("sleep nonsense")
+	if res.Code == 0 {
+		t.Fatal("bad interval accepted")
+	}
+}
+
+// TestOrphanReaping: a parent that exits before its child leaves the
+// child reparented to the kernel and auto-reaped at exit — no zombie
+// leaks.
+func TestOrphanReaping(t *testing.T) {
+	in := bootBase(t)
+	// The subshell backgrounds a sleep and exits immediately; the sleep
+	// outlives its parent.
+	res := in.RunCommand("(sleep 0.2 &) ; echo parent-gone")
+	if res.Code != 0 || !strings.Contains(string(res.Stdout), "parent-gone") {
+		t.Fatalf("res=%d %q", res.Code, res.Stdout)
+	}
+	in.Run() // let the orphan finish
+	for _, task := range in.Kernel.Tasks() {
+		if task.StateName() == "Z" {
+			t.Fatalf("zombie leaked: pid %d %s", task.Pid, task.Path)
+		}
+	}
+	if n := len(in.Kernel.Tasks()); n != 0 {
+		t.Fatalf("%d tasks leaked", n)
+	}
+}
+
+// TestNoTaskLeaksAcrossWorkloads runs a busy mixed workload and then
+// verifies the kernel's task table is empty — descriptor refcounts and
+// zombie reaping hold up.
+func TestNoTaskLeaksAcrossWorkloads(t *testing.T) {
+	in := bootBase(t)
+	in.WriteFile("/x", []byte("1\n2\n3\n"))
+	cmds := []string{
+		"cat /x | sort -r | head -n 1",
+		"for i in a b c; do echo $i; done | wc -l",
+		"echo deep | cat | cat | cat | cat",
+		"false || true && echo ok",
+		"(cd /tmp && pwd)",
+	}
+	for _, c := range cmds {
+		if res := in.RunCommand(c); res.Code != 0 {
+			t.Fatalf("%q: %d %s", c, res.Code, res.Stderr)
+		}
+	}
+	in.Run()
+	if n := len(in.Kernel.Tasks()); n != 0 {
+		for _, task := range in.Kernel.Tasks() {
+			t.Logf("leaked: pid %d %s %s", task.Pid, task.StateName(), task.Path)
+		}
+		t.Fatalf("%d tasks leaked", n)
+	}
+}
+
+// TestDescriptorSharingSemantics: dup2'd/inherited descriptors share
+// offsets (classic Unix), observable through appended shell output.
+func TestDescriptorSharingSemantics(t *testing.T) {
+	in := bootBase(t)
+	// Both writers inherit the same descriptor; output interleaves
+	// instead of overwriting.
+	res := in.RunCommand("/bin/sh -c 'echo first; echo second' > /dev-null-sub 2>&1; cat /dev-null-sub")
+	_ = res
+	out := runOK(t, in, "/bin/sh -c '{ echo a; echo b; } 2>/dev/null; true' 2>/dev/null; echo tail")
+	_ = out
+	// The load-bearing assertion: two echos through one redirected fd
+	// append rather than clobber.
+	runOK(t, in, "(echo one; echo two) > /shared-out")
+	data, err := in.ReadFile("/shared-out")
+	if err != abi.OK || string(data) != "one\ntwo\n" {
+		t.Fatalf("shared offset: %q (%v)", data, err)
+	}
+}

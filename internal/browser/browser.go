@@ -1,0 +1,317 @@
+package browser
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// System is one simulated browser: a main context, a set of Web Workers,
+// a Blob URL store, and a futex table for Atomics.
+type System struct {
+	Sim     *sched.Sim
+	Profile Profile
+	Main    *Context
+
+	blobSeq int
+	blobs   map[string][]byte
+
+	futexes map[futexKey][]*futexWaiter
+}
+
+// Context is a single-threaded JavaScript execution context.
+type Context struct {
+	sys       *System
+	sctx      *sched.Ctx
+	isWorker  bool
+	OnMessage func(v Value) // message handler (the context's onmessage)
+	worker    *Worker       // non-nil if this context belongs to a worker
+}
+
+// Worker is the parent-side handle for a Web Worker, like the JS Worker
+// object: the parent posts messages to it and receives messages from it.
+type Worker struct {
+	sys        *System
+	parent     *Context
+	Ctx        *Context // the worker's own execution context
+	OnMessage  func(v Value)
+	terminated bool
+}
+
+// NewSystem creates a browser with the given cost profile.
+func NewSystem(sim *sched.Sim, p Profile) *System {
+	s := &System{
+		Sim:     sim,
+		Profile: p,
+		blobs:   map[string][]byte{},
+		futexes: map[futexKey][]*futexWaiter{},
+	}
+	s.Main = &Context{sys: s, sctx: sim.NewCtx("main")}
+	return s
+}
+
+// Sched returns the scheduler context backing this JS context.
+func (c *Context) Sched() *sched.Ctx { return c.sctx }
+
+// System returns the owning browser system.
+func (c *Context) System() *System { return c.sys }
+
+// IsWorker reports whether this context belongs to a Web Worker.
+func (c *Context) IsWorker() bool { return c.isWorker }
+
+// Now returns the context's virtual clock.
+func (c *Context) Now() int64 { return c.sctx.Now() }
+
+// Charge adds CPU cost to the context (must be the running context).
+func (c *Context) Charge(d int64) { c.sys.Sim.Charge(d) }
+
+// SetTimeout schedules fn on this context after d nanoseconds, honouring
+// the profile's timer clamp.
+func (c *Context) SetTimeout(d int64, fn func()) {
+	if d < c.sys.Profile.TimerMin {
+		d = c.sys.Profile.TimerMin
+	}
+	c.sys.Sim.PostDelay(c.sctx, d, fn)
+}
+
+// post delivers a structured-cloned message to the destination context,
+// charging the sender for serialization and the clone and delaying
+// delivery by the message-hop latency.
+func (s *System) post(from, to *Context, v Value, deliver func(Value)) {
+	if to.sctx.Dead() {
+		return
+	}
+	clone, bytes := Clone(v)
+	cost := s.Profile.PostMessageSend + int64(float64(bytes)*s.Profile.CloneByteNs)
+	s.Sim.Charge(cost)
+	s.Sim.PostDelay(to.sctx, s.Profile.PostMessageLatency, func() {
+		if deliver != nil {
+			deliver(clone)
+		}
+	})
+	_ = from
+}
+
+// PostMessage sends a message from the worker's parent to the worker
+// (worker.postMessage in JS).
+func (w *Worker) PostMessage(v Value) {
+	if w.terminated {
+		return
+	}
+	w.sys.post(w.parent, w.Ctx, v, func(c Value) {
+		if w.Ctx.OnMessage != nil {
+			w.Ctx.OnMessage(c)
+		}
+	})
+}
+
+// PostToParent sends a message from inside the worker to its parent
+// (self.postMessage in JS). Delivery invokes the parent-side
+// Worker.OnMessage handler.
+func (w *Worker) PostToParent(v Value) {
+	if w.terminated {
+		return
+	}
+	w.sys.post(w.Ctx, w.parent, v, func(c Value) {
+		if w.OnMessage != nil {
+			w.OnMessage(c)
+		}
+	})
+}
+
+// NewWorker spawns a Web Worker running the script at url (usually a Blob
+// URL). main is the script's top-level code: it runs once on the new
+// context before any messages are delivered. The script source bytes are
+// fetched from the URL store to charge parse/eval cost, mirroring the cost
+// of loading a multi-hundred-KB Browsix runtime.
+//
+// Nested workers are not supported (Chrome and Safari did not implement
+// them, §3.3): calling NewWorker from a worker context panics, forcing the
+// kernel — which lives on the main thread — to create all workers, exactly
+// as Browsix does.
+func (s *System) NewWorker(parent *Context, url string, main func(w *Worker)) *Worker {
+	if parent.isWorker {
+		panic("browser: nested Workers are not supported (spawn must be proxied via the main thread)")
+	}
+	script, ok := s.blobs[url]
+	if !ok {
+		panic(fmt.Sprintf("browser: worker URL %q not found", url))
+	}
+	s.Sim.Charge(s.Profile.WorkerSpawnParent)
+	w := &Worker{sys: s, parent: parent}
+	ctx := &Context{sys: s, sctx: s.Sim.NewCtx("worker:" + url), isWorker: true, worker: w}
+	w.Ctx = ctx
+	startup := s.Profile.WorkerSpawn + int64(float64(len(script))*s.Profile.ScriptEvalByteNs)
+	// The worker context begins life busy: thread start + script eval.
+	s.Sim.PostDelay(ctx.sctx, parentDelay, func() {
+		s.Sim.Charge(startup)
+		main(w)
+	})
+	return w
+}
+
+// parentDelay is the small fixed lag between the parent's new Worker()
+// call and the worker thread beginning to run.
+const parentDelay = 50_000
+
+// SetPriority sets the worker's scheduling niceness — the "Worker
+// Priority Control" §6 proposes browsers should offer ("providing this
+// facility would let web applications prevent a low-priority
+// CPU-intensive worker from interfering with the main browser thread").
+// Higher values mean lower priority.
+func (w *Worker) SetPriority(nice int) { w.Ctx.sctx.SetNice(nice) }
+
+// Terminate kills the worker immediately (worker.terminate() in JS):
+// pending events are dropped, coroutines die, futex waits never return.
+func (w *Worker) Terminate() {
+	if w.terminated {
+		return
+	}
+	w.terminated = true
+	w.sys.Sim.KillCtx(w.Ctx.sctx)
+}
+
+// Terminated reports whether Terminate has been called.
+func (w *Worker) Terminated() bool { return w.terminated }
+
+// CreateObjectURL stores data and returns a blob: URL for it, like
+// URL.createObjectURL(new Blob([data])). Browsix uses this to start
+// workers from executables that live only in its file system (§3.3).
+func (s *System) CreateObjectURL(data []byte) string {
+	s.blobSeq++
+	url := fmt.Sprintf("blob:browsix/%d", s.blobSeq)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.blobs[url] = cp
+	if s.Sim.Cur() != nil {
+		s.Sim.Charge(s.Profile.BlobURLCreate)
+	}
+	return url
+}
+
+// BlobData returns the bytes behind a blob: URL.
+func (s *System) BlobData(url string) ([]byte, bool) {
+	b, ok := s.blobs[url]
+	return b, ok
+}
+
+// ---------------------------------------------------------------------------
+// SharedArrayBuffer + Atomics (ECMAScript Shared Memory spec, [4] in the
+// paper). A SAB passes between contexts by reference; Atomics.wait blocks a
+// worker thread on a 32-bit cell; Atomics.notify wakes waiters.
+// ---------------------------------------------------------------------------
+
+// SAB is a SharedArrayBuffer: a byte buffer shared (not cloned) across
+// contexts.
+type SAB struct {
+	b  []byte
+	id int
+}
+
+var sabSeq int
+
+// NewSAB allocates a SharedArrayBuffer of n bytes.
+func NewSAB(n int) *SAB {
+	sabSeq++
+	return &SAB{b: make([]byte, n), id: sabSeq}
+}
+
+// Len returns the buffer length.
+func (s *SAB) Len() int { return len(s.b) }
+
+// Bytes exposes the underlying storage. Within the deterministic simulator
+// only one context runs at a time, so direct access is race-free; the cost
+// of bulk copies in/out is charged by callers.
+func (s *SAB) Bytes() []byte { return s.b }
+
+// Load32 performs Atomics.load on a 32-bit little-endian cell.
+func (s *SAB) Load32(off int) uint32 { return binary.LittleEndian.Uint32(s.b[off:]) }
+
+// Store32 performs Atomics.store.
+func (s *SAB) Store32(off int, v uint32) { binary.LittleEndian.PutUint32(s.b[off:], v) }
+
+// Add32 performs Atomics.add, returning the old value.
+func (s *SAB) Add32(off int, delta uint32) uint32 {
+	old := s.Load32(off)
+	s.Store32(off, old+delta)
+	return old
+}
+
+type futexKey struct {
+	sab int
+	off int
+}
+
+type futexWaiter struct {
+	g   *sched.G
+	ctx *Context
+}
+
+// WaitResult is the result of Atomics.wait.
+type WaitResult string
+
+// Atomics.wait outcomes per the spec.
+const (
+	WaitOK       WaitResult = "ok"
+	WaitNotEqual WaitResult = "not-equal"
+	WaitTimedOut WaitResult = "timed-out"
+)
+
+// FutexWait implements Atomics.wait(sab, off, expected, timeout): if the
+// cell's value differs from expected it returns "not-equal" immediately;
+// otherwise the calling coroutine blocks its entire context until
+// FutexNotify or the timeout (timeout<0 means wait forever).
+//
+// Calling it on the main context panics: browsers forbid Atomics.wait on
+// the main thread, which is exactly why the Browsix kernel can never block
+// and must be written in continuation-passing style.
+func (s *System) FutexWait(c *Context, sab *SAB, off int, expected uint32, timeout int64) WaitResult {
+	if !c.isWorker {
+		panic("browser: Atomics.wait on the main thread is forbidden")
+	}
+	s.Sim.Charge(s.Profile.AtomicsOp)
+	if sab.Load32(off) != expected {
+		return WaitNotEqual
+	}
+	key := futexKey{sab.id, off}
+	g := s.Sim.CurG()
+	if g == nil {
+		panic("browser: FutexWait requires a program coroutine")
+	}
+	s.futexes[key] = append(s.futexes[key], &futexWaiter{g: g, ctx: c})
+	if timeout >= 0 {
+		s.Sim.WakeCtx(g, c.Now()+timeout, WaitTimedOut)
+	}
+	v := s.Sim.BlockCur()
+	// Remove ourselves from the wait list if still present (timeout path).
+	ws := s.futexes[key]
+	for i, w := range ws {
+		if w.g == g {
+			s.futexes[key] = append(ws[:i:i], ws[i+1:]...)
+			break
+		}
+	}
+	if r, ok := v.(WaitResult); ok {
+		return r
+	}
+	return WaitOK
+}
+
+// FutexNotify implements Atomics.notify(sab, off, count), waking up to
+// count waiters. It returns the number woken. Wake-ups land after the
+// profile's FutexWake latency.
+func (s *System) FutexNotify(sab *SAB, off int, count int) int {
+	s.Sim.Charge(s.Profile.AtomicsOp)
+	key := futexKey{sab.id, off}
+	ws := s.futexes[key]
+	n := 0
+	for len(ws) > 0 && (count < 0 || n < count) {
+		w := ws[0]
+		ws = ws[1:]
+		s.Sim.WakeCtx(w.g, s.Sim.Now()+s.Profile.FutexWake, WaitOK)
+		n++
+	}
+	s.futexes[key] = ws
+	return n
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+)
+
+// PipeCap is the pipe buffer capacity, matching the traditional 64 KiB.
+const PipeCap = 64 * 1024
+
+// Pipe implements §3.4: an in-memory buffer with a read-side wait queue
+// (readers with no data get their continuation enqueued, invoked when data
+// is written) and write-side backpressure (writers into a full buffer wait
+// until the pipe is drained) — the discipline §6 laments plain postMessage
+// lacks.
+type Pipe struct {
+	id          int
+	buf         []byte
+	readWaiters []pipeRead
+	writeWaiter *pipeWrite
+	readClosed  bool
+	writeClosed bool
+
+	// onWriterBlocked lets the kernel observe backpressure in tests.
+	onReadable func()
+}
+
+type pipeRead struct {
+	n  int
+	cb func([]byte, abi.Errno)
+}
+
+type pipeWrite struct {
+	data []byte
+	done int
+	cb   func(int, abi.Errno)
+}
+
+var pipeSeq int
+
+// NewPipe creates an empty pipe.
+func NewPipe() *Pipe {
+	pipeSeq++
+	return &Pipe{id: pipeSeq}
+}
+
+// read delivers up to n bytes, or queues the continuation when the pipe is
+// empty. At EOF (writer closed, buffer drained) it delivers an empty slice.
+func (p *Pipe) read(n int, cb func([]byte, abi.Errno)) {
+	if len(p.buf) == 0 {
+		if p.writeClosed {
+			cb(nil, abi.OK) // EOF
+			return
+		}
+		p.readWaiters = append(p.readWaiters, pipeRead{n: n, cb: cb})
+		return
+	}
+	if n > len(p.buf) {
+		n = len(p.buf)
+	}
+	out := make([]byte, n)
+	copy(out, p.buf)
+	p.buf = p.buf[n:]
+	p.pumpWriter()
+	cb(out, abi.OK)
+}
+
+// write appends data, blocking (queuing the continuation) when the buffer
+// is full. Writes complete only when every byte is buffered, so pipeline
+// stages see classic blocking-write semantics.
+func (p *Pipe) write(data []byte, cb func(int, abi.Errno)) {
+	if p.readClosed {
+		cb(0, abi.EPIPE)
+		return
+	}
+	if p.writeWaiter != nil {
+		// A single writer at a time keeps semantics simple; Browsix
+		// pipelines have one writer per pipe end.
+		cb(0, abi.EAGAIN)
+		return
+	}
+	w := &pipeWrite{data: data, cb: cb}
+	p.writeWaiter = w
+	p.pumpWriter()
+	p.pumpReaders()
+}
+
+// pumpWriter moves pending write bytes into the buffer as space allows.
+func (p *Pipe) pumpWriter() {
+	w := p.writeWaiter
+	if w == nil {
+		return
+	}
+	if p.readClosed {
+		p.writeWaiter = nil
+		w.cb(w.done, abi.EPIPE)
+		return
+	}
+	space := PipeCap - len(p.buf)
+	if space > 0 && w.done < len(w.data) {
+		take := len(w.data) - w.done
+		if take > space {
+			take = space
+		}
+		p.buf = append(p.buf, w.data[w.done:w.done+take]...)
+		w.done += take
+	}
+	if w.done == len(w.data) {
+		p.writeWaiter = nil
+		w.cb(w.done, abi.OK)
+	}
+	p.pumpReaders()
+}
+
+// pumpReaders satisfies queued readers from the buffer.
+func (p *Pipe) pumpReaders() {
+	for len(p.readWaiters) > 0 {
+		if len(p.buf) == 0 {
+			if p.writeClosed {
+				// Drain EOF to all waiters.
+				ws := p.readWaiters
+				p.readWaiters = nil
+				for _, r := range ws {
+					r.cb(nil, abi.OK)
+				}
+			}
+			return
+		}
+		r := p.readWaiters[0]
+		p.readWaiters = p.readWaiters[1:]
+		n := r.n
+		if n > len(p.buf) {
+			n = len(p.buf)
+		}
+		out := make([]byte, n)
+		copy(out, p.buf)
+		p.buf = p.buf[n:]
+		p.pumpWriter()
+		r.cb(out, abi.OK)
+	}
+}
+
+// closeWrite marks the writer side closed: queued readers drain then see
+// EOF.
+func (p *Pipe) closeWrite() {
+	p.writeClosed = true
+	p.pumpReaders()
+}
+
+// closeRead marks the reader side closed: pending and future writes fail
+// with EPIPE (the kernel also raises SIGPIPE, as Unix does).
+func (p *Pipe) closeRead() {
+	p.readClosed = true
+	p.buf = nil
+	if w := p.writeWaiter; w != nil {
+		p.writeWaiter = nil
+		w.cb(w.done, abi.EPIPE)
+	}
+}
+
+// Buffered returns the bytes currently queued (diagnostics).
+func (p *Pipe) Buffered() int { return len(p.buf) }
+
+// Read is the exported read for kernel-side consumers (System's output
+// pumps, the web app's XHR path, tests).
+func (p *Pipe) Read(n int, cb func([]byte, abi.Errno)) { p.read(n, cb) }
+
+// Write is the exported write for kernel-side producers.
+func (p *Pipe) Write(data []byte, cb func(int, abi.Errno)) { p.write(data, cb) }
+
+// CloseRead closes the reader side (future writes fail with EPIPE).
+func (p *Pipe) CloseRead() { p.closeRead() }
+
+// CloseWrite closes the writer side (readers drain then see EOF).
+func (p *Pipe) CloseWrite() { p.closeWrite() }
+
+// ---------------------------------------------------------------------------
+// Pipe ends as kernel Files.
+// ---------------------------------------------------------------------------
+
+// pipeEnd is one end of a pipe exposed as a descriptor. sigPipe, when
+// non-nil, is invoked on EPIPE so the kernel can deliver SIGPIPE to the
+// writing process.
+type pipeEnd struct {
+	p       *Pipe
+	reader  bool
+	sigPipe func()
+}
+
+// NewPipePair returns connected (read end, write end) kernel files.
+func NewPipePair() (File, File) {
+	p := NewPipe()
+	return &pipeEnd{p: p, reader: true}, &pipeEnd{p: p, reader: false}
+}
+
+func (e *pipeEnd) Read(d *Desc, n int, cb func([]byte, abi.Errno)) {
+	if !e.reader {
+		cb(nil, abi.EBADF)
+		return
+	}
+	e.p.read(n, cb)
+}
+
+func (e *pipeEnd) Write(d *Desc, data []byte, cb func(int, abi.Errno)) {
+	if e.reader {
+		cb(0, abi.EBADF)
+		return
+	}
+	e.p.write(data, func(n int, err abi.Errno) {
+		if err == abi.EPIPE && e.sigPipe != nil {
+			e.sigPipe()
+		}
+		cb(n, err)
+	})
+}
+
+func (e *pipeEnd) Pread(off int64, n int, cb func([]byte, abi.Errno)) { cb(nil, abi.ESPIPE) }
+func (e *pipeEnd) Pwrite(off int64, b []byte, cb func(int, abi.Errno)) {
+	cb(0, abi.ESPIPE)
+}
+func (e *pipeEnd) Seek(d *Desc, off int64, w int, cb func(int64, abi.Errno)) {
+	cb(0, abi.ESPIPE)
+}
+func (e *pipeEnd) Stat(cb func(abi.Stat, abi.Errno)) {
+	cb(abi.Stat{Mode: abi.S_IFIFO | 0o600, Size: int64(e.p.Buffered()), Nlink: 1}, abi.OK)
+}
+func (e *pipeEnd) Getdents(cb func([]abi.Dirent, abi.Errno)) { cb(nil, abi.ENOTDIR) }
+func (e *pipeEnd) Truncate(s int64, cb func(abi.Errno))      { cb(abi.EINVAL) }
+
+func (e *pipeEnd) Close(cb func(abi.Errno)) {
+	if e.reader {
+		e.p.closeRead()
+	} else {
+		e.p.closeWrite()
+	}
+	cb(abi.OK)
+}
+
+func (e *pipeEnd) String() string {
+	dir := "w"
+	if e.reader {
+		dir = "r"
+	}
+	return fmt.Sprintf("pipe:[%d%s]", e.p.id, dir)
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/abi"
+)
+
+// Synchronous system-call transport (§3.2). Arguments are "just integers
+// and integer offsets (representing pointers) into the shared memory
+// array". String arguments arrive as (ptr, len) pairs; output buffers as
+// (ptr, len). For calls like pread, "data is copied directly from the
+// filesystem, pipe or socket into the process's heap, avoiding a
+// potentially large allocation and extra copy".
+//
+// Completion protocol: the kernel writes ret (int64) at the task's
+// registered retOff and errno (int32) at retOff+8, stores 1 into the wake
+// cell, and Atomics.notify's it. The process zeroes the wake cell before
+// each call and Atomics.wait's on it.
+
+// heapStr reads a (ptr,len) string argument out of the task's heap.
+func (t *Task) heapStr(ptr, n int64) string {
+	k := t.k
+	k.Sys.Sim.Charge(int64(float64(n) * k.CPU.SyncByteNs))
+	b := t.heap.Bytes()
+	return string(b[ptr : ptr+n])
+}
+
+// heapBytes copies a (ptr,len) buffer out of the task's heap.
+func (t *Task) heapBytes(ptr, n int64) []byte {
+	k := t.k
+	k.Sys.Sim.Charge(int64(float64(n) * k.CPU.SyncByteNs))
+	out := make([]byte, n)
+	copy(out, t.heap.Bytes()[ptr:ptr+n])
+	return out
+}
+
+// heapWrite copies data into the task's heap at ptr.
+func (t *Task) heapWrite(ptr int64, data []byte) {
+	k := t.k
+	k.Sys.Sim.Charge(int64(float64(len(data)) * k.CPU.SyncByteNs))
+	copy(t.heap.Bytes()[ptr:], data)
+}
+
+// syncReply completes a synchronous call: results into the heap, then
+// wake the blocked worker thread.
+func (k *Kernel) syncReply(t *Task, ret int64, err abi.Errno) {
+	if t.heap == nil || t.state == taskZombie {
+		return
+	}
+	b := t.heap.Bytes()
+	le := leAt(b, t.retOff)
+	le.putU64(uint64(ret))
+	leAt(b, t.retOff+8).putU32(uint32(int32(err)))
+	t.heap.Store32(t.waitOff, 1)
+	k.Sys.FutexNotify(t.heap, t.waitOff, 1)
+}
+
+// little-endian cursor helpers (avoiding binary.Write allocations).
+type leCursor struct {
+	b   []byte
+	off int
+}
+
+func leAt(b []byte, off int) leCursor { return leCursor{b, off} }
+
+func (c leCursor) putU32(v uint32) {
+	c.b[c.off] = byte(v)
+	c.b[c.off+1] = byte(v >> 8)
+	c.b[c.off+2] = byte(v >> 16)
+	c.b[c.off+3] = byte(v >> 24)
+}
+
+func (c leCursor) putU64(v uint64) {
+	c.putU32(uint32(v))
+	leCursor{c.b, c.off + 4}.putU32(uint32(v >> 32))
+}
+
+// dispatchSync decodes and executes a synchronous system call.
+func (k *Kernel) dispatchSync(t *Task, trap int, a []int64) {
+	if t.heap == nil {
+		return // no personality registered; nothing to wake
+	}
+	arg := func(i int) int64 {
+		if i < len(a) {
+			return a[i]
+		}
+		return 0
+	}
+	done := func(ret int64, err abi.Errno) { k.syncReply(t, ret, err) }
+
+	switch trap {
+	case abi.SYS_open:
+		k.doOpen(t, t.heapStr(arg(0), arg(1)), int(arg(2)), uint32(arg(3)), func(fd int, err abi.Errno) {
+			done(int64(fd), err)
+		})
+	case abi.SYS_close:
+		t.closeFd(int(arg(0)), func(err abi.Errno) { done(0, err) })
+	case abi.SYS_read:
+		d, err := t.lookFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		ptr := arg(1)
+		d.file.Read(d, int(arg(2)), func(data []byte, err abi.Errno) {
+			if err == abi.OK {
+				t.heapWrite(ptr, data)
+			}
+			done(int64(len(data)), err)
+		})
+	case abi.SYS_write:
+		d, err := t.lookFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		d.file.Write(d, t.heapBytes(arg(1), arg(2)), func(n int, err abi.Errno) {
+			done(int64(n), err)
+		})
+	case abi.SYS_pread:
+		d, err := t.lookFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		ptr := arg(1)
+		d.file.Pread(arg(3), int(arg(2)), func(data []byte, err abi.Errno) {
+			if err == abi.OK {
+				t.heapWrite(ptr, data)
+			}
+			done(int64(len(data)), err)
+		})
+	case abi.SYS_pwrite:
+		d, err := t.lookFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		d.file.Pwrite(arg(3), t.heapBytes(arg(1), arg(2)), func(n int, err abi.Errno) {
+			done(int64(n), err)
+		})
+	case abi.SYS_llseek:
+		d, err := t.lookFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		d.file.Seek(d, arg(1), int(arg(2)), func(off int64, err abi.Errno) { done(off, err) })
+	case abi.SYS_ftruncate:
+		d, err := t.lookFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		d.file.Truncate(arg(1), func(err abi.Errno) { done(0, err) })
+	case abi.SYS_stat, abi.SYS_lstat:
+		statPtr := arg(2)
+		cb := func(st abi.Stat, err abi.Errno) {
+			if err == abi.OK {
+				var buf [abi.StatSize]byte
+				abi.PackStat(buf[:], st)
+				t.heapWrite(statPtr, buf[:])
+			}
+			done(0, err)
+		}
+		p := t.abs(t.heapStr(arg(0), arg(1)))
+		if trap == abi.SYS_stat {
+			k.FS.Stat(p, cb)
+		} else {
+			k.FS.Lstat(p, cb)
+		}
+	case abi.SYS_fstat:
+		d, err := t.lookFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		statPtr := arg(1)
+		d.file.Stat(func(st abi.Stat, err abi.Errno) {
+			if err == abi.OK {
+				var buf [abi.StatSize]byte
+				abi.PackStat(buf[:], st)
+				t.heapWrite(statPtr, buf[:])
+			}
+			done(0, err)
+		})
+	case abi.SYS_access:
+		k.FS.Access(t.abs(t.heapStr(arg(0), arg(1))), int(arg(2)), func(err abi.Errno) { done(0, err) })
+	case abi.SYS_readlink:
+		bufPtr, bufLen := arg(2), arg(3)
+		k.FS.Readlink(t.abs(t.heapStr(arg(0), arg(1))), func(target string, err abi.Errno) {
+			if err != abi.OK {
+				done(-1, err)
+				return
+			}
+			b := []byte(target)
+			if int64(len(b)) > bufLen {
+				b = b[:bufLen]
+			}
+			t.heapWrite(bufPtr, b)
+			done(int64(len(b)), abi.OK)
+		})
+	case abi.SYS_utimes:
+		k.FS.Utimes(t.abs(t.heapStr(arg(0), arg(1))), arg(2), arg(3), func(err abi.Errno) { done(0, err) })
+	case abi.SYS_unlink:
+		k.FS.Unlink(t.abs(t.heapStr(arg(0), arg(1))), func(err abi.Errno) { done(0, err) })
+	case abi.SYS_mkdir:
+		k.FS.Mkdir(t.abs(t.heapStr(arg(0), arg(1))), uint32(arg(2)), func(err abi.Errno) { done(0, err) })
+	case abi.SYS_rmdir:
+		k.FS.Rmdir(t.abs(t.heapStr(arg(0), arg(1))), func(err abi.Errno) { done(0, err) })
+	case abi.SYS_symlink:
+		target := t.heapStr(arg(0), arg(1))
+		k.FS.Symlink(target, t.abs(t.heapStr(arg(2), arg(3))), func(err abi.Errno) { done(0, err) })
+	case abi.SYS_rename:
+		k.FS.Rename(t.abs(t.heapStr(arg(0), arg(1))), t.abs(t.heapStr(arg(2), arg(3))), func(err abi.Errno) { done(0, err) })
+	case abi.SYS_getdents:
+		d, err := t.lookFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		bufPtr, bufLen := arg(1), arg(2)
+		d.file.Getdents(func(ents []abi.Dirent, err abi.Errno) {
+			if err != abi.OK {
+				done(-1, err)
+				return
+			}
+			buf := make([]byte, bufLen)
+			n, _ := abi.PackDirents(buf, ents)
+			t.heapWrite(bufPtr, buf[:n])
+			done(int64(n), abi.OK)
+		})
+	case abi.SYS_dup2:
+		done(arg(1), k.doDup2(t, int(arg(0)), int(arg(1))))
+	case abi.SYS_pipe2:
+		rfd, wfd := k.doPipe2(t)
+		fdsPtr := arg(0)
+		var buf [8]byte
+		leAt(buf[:], 0).putU32(uint32(rfd))
+		leAt(buf[:], 4).putU32(uint32(wfd))
+		t.heapWrite(fdsPtr, buf[:])
+		done(0, abi.OK)
+	case abi.SYS_spawn:
+		path := t.heapStr(arg(0), arg(1))
+		argv := splitNul(t.heapStr(arg(2), arg(3)))
+		env := splitNul(t.heapStr(arg(4), arg(5)))
+		var files []int
+		if n := arg(7); n > 0 {
+			raw := t.heapBytes(arg(6), n*4)
+			for i := int64(0); i < n; i++ {
+				files = append(files, int(int32(uint32(raw[i*4])|uint32(raw[i*4+1])<<8|uint32(raw[i*4+2])<<16|uint32(raw[i*4+3])<<24)))
+			}
+		}
+		k.doSpawn(t, path, argv, env, files, func(pid int, err abi.Errno) {
+			done(int64(pid), err)
+		})
+	case abi.SYS_fork:
+		// "fork is not compatible with synchronous system calls, as
+		// there is no way to re-wind or jump to a particular call stack
+		// in the child Web Worker" (§3.2).
+		done(-1, abi.ENOSYS)
+	case abi.SYS_exec:
+		path := t.heapStr(arg(0), arg(1))
+		argv := splitNul(t.heapStr(arg(2), arg(3)))
+		env := splitNul(t.heapStr(arg(4), arg(5)))
+		k.doExec(t, path, argv, env, func(err abi.Errno) { done(-1, err) })
+	case abi.SYS_wait4:
+		statusPtr := arg(1)
+		k.doWait4(t, int(arg(0)), int(arg(2)), func(pid, status int, err abi.Errno) {
+			if err == abi.OK && statusPtr != 0 {
+				var buf [4]byte
+				leAt(buf[:], 0).putU32(uint32(int32(status)))
+				t.heapWrite(statusPtr, buf[:])
+			}
+			done(int64(pid), err)
+		})
+	case abi.SYS_exit:
+		k.doExit(t, int(arg(0)))
+	case abi.SYS_kill:
+		done(0, k.doKill(int(arg(0)), int(arg(1))))
+	case abi.SYS_signal:
+		done(0, k.doSignalAction(t, int(arg(0)), int(arg(1))))
+	case abi.SYS_getpid:
+		done(int64(t.Pid), abi.OK)
+	case abi.SYS_getppid:
+		done(int64(t.ParentPid), abi.OK)
+	case abi.SYS_getcwd:
+		b := []byte(t.cwd)
+		if int64(len(b)) > arg(1) {
+			done(-1, abi.ERANGE)
+			return
+		}
+		t.heapWrite(arg(0), b)
+		done(int64(len(b)), abi.OK)
+	case abi.SYS_chdir:
+		k.doChdir(t, t.heapStr(arg(0), arg(1)), func(err abi.Errno) { done(0, err) })
+	case abi.SYS_socket:
+		done(int64(t.installFd(NewDesc(k.NewSocket(), abi.O_RDWR, "socket:"))), abi.OK)
+	case abi.SYS_bind:
+		s, err := t.sockFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		done(0, k.BindSocket(s, int(arg(1))))
+	case abi.SYS_listen:
+		s, err := t.sockFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		done(0, k.ListenSocket(s, int(arg(1))))
+	case abi.SYS_accept:
+		s, err := t.sockFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		k.AcceptSocket(s, func(conn *Socket, err abi.Errno) {
+			if err != abi.OK {
+				done(-1, err)
+				return
+			}
+			done(int64(t.installFd(NewDesc(conn, abi.O_RDWR, "socket:conn"))), abi.OK)
+		})
+	case abi.SYS_connect:
+		s, err := t.sockFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		k.ConnectSocket(s, int(arg(1)), func(err abi.Errno) { done(0, err) })
+	case abi.SYS_getsockname:
+		s, err := t.sockFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		done(int64(s.port), abi.OK)
+	default:
+		done(-1, abi.ENOSYS)
+	}
+}
+
+// splitNul splits a NUL-separated packed string list.
+func splitNul(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(s, "\x00"), "\x00")
+}

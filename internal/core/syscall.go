@@ -1,0 +1,470 @@
+package core
+
+import (
+	"repro/internal/abi"
+	"repro/internal/browser"
+	"repro/internal/fs"
+)
+
+// This file is the kernel's system-call dispatcher: the asynchronous path
+// (postMessage with cloned arguments, continuation-style replies) and the
+// synchronous path (integer arguments; bulk data moved directly between
+// the kernel and the process's SharedArrayBuffer heap; completion via
+// Atomics.notify) — §3.2 of the paper.
+
+// onWorkerMessage handles every message a process sends the kernel.
+func (k *Kernel) onWorkerMessage(t *Task, w *browser.Worker, v browser.Value) {
+	if t.state == taskZombie || t.worker != w {
+		return // stale message from a replaced or exited image
+	}
+	m, ok := v.(map[string]browser.Value)
+	if !ok {
+		return
+	}
+	switch browser.GetString(m, "type") {
+	case "syscall":
+		k.AsyncSyscalls++
+		k.Sys.Sim.Charge(k.CPU.SyscallNs)
+		id := browser.GetInt(m, "id")
+		name := browser.GetString(m, "name")
+		k.SyscallCount[name]++
+		k.dispatchAsync(t, name, browser.GetArray(m, "args"), func(ret ...browser.Value) {
+			if t.worker != w || w.Terminated() {
+				return
+			}
+			w.PostMessage(map[string]browser.Value{
+				"type": "reply",
+				"id":   id,
+				"ret":  ret,
+			})
+		})
+	case "sync":
+		k.SyncSyscalls++
+		k.Sys.Sim.Charge(k.CPU.SyscallNs)
+		trap := int(browser.GetInt(m, "trap"))
+		k.SyscallCount[abi.SyscallName(trap)]++
+		args := browser.GetArray(m, "args")
+		ia := make([]int64, len(args))
+		for i := range args {
+			switch x := args[i].(type) {
+			case int64:
+				ia[i] = x
+			case int:
+				ia[i] = int64(x)
+			case float64:
+				ia[i] = int64(x)
+			}
+		}
+		k.dispatchSync(t, trap, ia)
+	}
+}
+
+// abs resolves a process-relative path against the task's cwd.
+func (t *Task) abs(p string) string {
+	if len(p) > 0 && p[0] == '/' {
+		return fs.Clean(p)
+	}
+	return fs.Clean(t.cwd + "/" + p)
+}
+
+// ---------------------------------------------------------------------------
+// Transport-independent operations.
+// ---------------------------------------------------------------------------
+
+func (k *Kernel) doOpen(t *Task, p string, flags int, mode uint32, cb func(int, abi.Errno)) {
+	ap := t.abs(p)
+	k.FS.Stat(ap, func(st abi.Stat, serr abi.Errno) {
+		if serr == abi.OK && st.IsDir() {
+			if flags&abi.O_ACCMODE != abi.O_RDONLY {
+				cb(-1, abi.EISDIR)
+				return
+			}
+			cb(t.installFd(NewDesc(&dirFile{fs: k.FS, path: ap}, flags, ap)), abi.OK)
+			return
+		}
+		if flags&abi.O_DIRECTORY != 0 {
+			if serr != abi.OK {
+				cb(-1, serr)
+			} else {
+				cb(-1, abi.ENOTDIR)
+			}
+			return
+		}
+		k.FS.Open(ap, flags, mode, func(h fs.FileHandle, err abi.Errno) {
+			if err != abi.OK {
+				cb(-1, err)
+				return
+			}
+			cb(t.installFd(NewDesc(newFSFile(h, flags), flags, ap)), abi.OK)
+		})
+	})
+}
+
+func (k *Kernel) doPipe2(t *Task) (int, int) {
+	r, w := NewPipePair()
+	// SIGPIPE goes to the writing process, as on Unix.
+	w.(*pipeEnd).sigPipe = func() { k.signalTask(t, abi.SIGPIPE) }
+	rfd := t.installFd(NewDesc(r, abi.O_RDONLY, r.(*pipeEnd).String()))
+	wfd := t.installFd(NewDesc(w, abi.O_WRONLY, w.(*pipeEnd).String()))
+	return rfd, wfd
+}
+
+func (k *Kernel) doDup2(t *Task, oldfd, newfd int) abi.Errno {
+	d, err := t.lookFd(oldfd)
+	if err != abi.OK {
+		return err
+	}
+	if oldfd == newfd {
+		return abi.OK
+	}
+	if _, exists := t.files[newfd]; exists {
+		t.closeFd(newfd, func(abi.Errno) {})
+	}
+	d.Ref()
+	t.files[newfd] = d
+	return abi.OK
+}
+
+func (k *Kernel) doChdir(t *Task, p string, cb func(abi.Errno)) {
+	ap := t.abs(p)
+	k.FS.Stat(ap, func(st abi.Stat, err abi.Errno) {
+		if err != abi.OK {
+			cb(err)
+			return
+		}
+		if !st.IsDir() {
+			cb(abi.ENOTDIR)
+			return
+		}
+		t.cwd = ap
+		cb(abi.OK)
+	})
+}
+
+// sockFd fetches a descriptor that must be a socket.
+func (t *Task) sockFd(fd int) (*Socket, abi.Errno) {
+	d, err := t.lookFd(fd)
+	if err != abi.OK {
+		return nil, err
+	}
+	s, ok := d.file.(*Socket)
+	if !ok {
+		return nil, abi.ENOTSOCK
+	}
+	return s, abi.OK
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous dispatch.
+// ---------------------------------------------------------------------------
+
+func errv(err abi.Errno) int64 { return int64(err) }
+
+// dispatchAsync decodes cloned-argument system calls and encodes replies
+// as [ret, errno, extra...] arrays.
+func (k *Kernel) dispatchAsync(t *Task, name string, a []browser.Value, reply func(...browser.Value)) {
+	argStr := func(i int) string {
+		if i < len(a) {
+			s, _ := a[i].(string)
+			return s
+		}
+		return ""
+	}
+	argInt := func(i int) int64 {
+		if i < len(a) {
+			switch x := a[i].(type) {
+			case int64:
+				return x
+			case int:
+				return int64(x)
+			case float64:
+				return int64(x)
+			}
+		}
+		return 0
+	}
+	argBytes := func(i int) []byte {
+		if i < len(a) {
+			b, _ := a[i].([]byte)
+			return b
+		}
+		return nil
+	}
+	argStrs := func(i int) []string {
+		if i < len(a) {
+			if arr, ok := a[i].([]browser.Value); ok {
+				return browser.Strings(arr)
+			}
+		}
+		return nil
+	}
+	argInts := func(i int) []int {
+		var out []int
+		if i < len(a) {
+			if arr, ok := a[i].([]browser.Value); ok {
+				for _, v := range arr {
+					switch x := v.(type) {
+					case int64:
+						out = append(out, int(x))
+					case int:
+						out = append(out, x)
+					case float64:
+						out = append(out, int(x))
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	switch name {
+	case "personality":
+		// Sync-syscall registration (§3.2): heap + return-value offset
+		// + wake offset.
+		sab, _ := a[0].(*browser.SAB)
+		if sab == nil {
+			reply(int64(-1), errv(abi.EINVAL))
+			return
+		}
+		t.heap = sab
+		t.retOff = int(argInt(1))
+		t.waitOff = int(argInt(2))
+		reply(int64(0), errv(abi.OK))
+
+	case "open":
+		k.doOpen(t, argStr(0), int(argInt(1)), uint32(argInt(2)), func(fd int, err abi.Errno) {
+			reply(int64(fd), errv(err))
+		})
+	case "close":
+		t.closeFd(int(argInt(0)), func(err abi.Errno) { reply(int64(0), errv(err)) })
+	case "read":
+		d, err := t.lookFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		d.file.Read(d, int(argInt(1)), func(data []byte, err abi.Errno) {
+			reply(int64(len(data)), errv(err), data)
+		})
+	case "write":
+		d, err := t.lookFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		d.file.Write(d, argBytes(1), func(n int, err abi.Errno) {
+			reply(int64(n), errv(err))
+		})
+	case "pread":
+		d, err := t.lookFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		d.file.Pread(argInt(2), int(argInt(1)), func(data []byte, err abi.Errno) {
+			reply(int64(len(data)), errv(err), data)
+		})
+	case "pwrite":
+		d, err := t.lookFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		d.file.Pwrite(argInt(2), argBytes(1), func(n int, err abi.Errno) {
+			reply(int64(n), errv(err))
+		})
+	case "llseek":
+		d, err := t.lookFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		d.file.Seek(d, argInt(1), int(argInt(2)), func(off int64, err abi.Errno) {
+			reply(off, errv(err))
+		})
+	case "ftruncate":
+		d, err := t.lookFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		d.file.Truncate(argInt(1), func(err abi.Errno) { reply(int64(0), errv(err)) })
+	case "fstat":
+		d, err := t.lookFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		d.file.Stat(func(st abi.Stat, err abi.Errno) {
+			reply(int64(0), errv(err), statValue(st))
+		})
+	case "stat":
+		k.FS.Stat(t.abs(argStr(0)), func(st abi.Stat, err abi.Errno) {
+			reply(int64(0), errv(err), statValue(st))
+		})
+	case "lstat":
+		k.FS.Lstat(t.abs(argStr(0)), func(st abi.Stat, err abi.Errno) {
+			reply(int64(0), errv(err), statValue(st))
+		})
+	case "access":
+		k.FS.Access(t.abs(argStr(0)), int(argInt(1)), func(err abi.Errno) {
+			reply(int64(0), errv(err))
+		})
+	case "readlink":
+		k.FS.Readlink(t.abs(argStr(0)), func(target string, err abi.Errno) {
+			reply(int64(len(target)), errv(err), target)
+		})
+	case "utimes":
+		k.FS.Utimes(t.abs(argStr(0)), argInt(1), argInt(2), func(err abi.Errno) {
+			reply(int64(0), errv(err))
+		})
+	case "unlink":
+		k.FS.Unlink(t.abs(argStr(0)), func(err abi.Errno) { reply(int64(0), errv(err)) })
+	case "rmdir":
+		k.FS.Rmdir(t.abs(argStr(0)), func(err abi.Errno) { reply(int64(0), errv(err)) })
+	case "mkdir":
+		k.FS.Mkdir(t.abs(argStr(0)), uint32(argInt(1)), func(err abi.Errno) {
+			reply(int64(0), errv(err))
+		})
+	case "rename":
+		k.FS.Rename(t.abs(argStr(0)), t.abs(argStr(1)), func(err abi.Errno) {
+			reply(int64(0), errv(err))
+		})
+	case "symlink":
+		k.FS.Symlink(argStr(0), t.abs(argStr(1)), func(err abi.Errno) {
+			reply(int64(0), errv(err))
+		})
+	case "getdents", "readdir":
+		d, err := t.lookFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		d.file.Getdents(func(ents []abi.Dirent, err abi.Errno) {
+			arr := make([]browser.Value, len(ents))
+			for i, e := range ents {
+				m := abi.DirentToMap(e)
+				vm := make(map[string]browser.Value, len(m))
+				for kk, vv := range m {
+					vm[kk] = vv
+				}
+				arr[i] = vm
+			}
+			reply(int64(len(ents)), errv(err), arr)
+		})
+	case "dup2":
+		err := k.doDup2(t, int(argInt(0)), int(argInt(1)))
+		reply(argInt(1), errv(err))
+	case "pipe2":
+		rfd, wfd := k.doPipe2(t)
+		reply(int64(0), errv(abi.OK), int64(rfd), int64(wfd))
+	case "spawn":
+		k.doSpawn(t, argStr(0), argStrs(1), argStrs(2), argInts(3), func(pid int, err abi.Errno) {
+			reply(int64(pid), errv(err))
+		})
+	case "fork":
+		img := &ForkImage{Mem: argBytes(0), Label: argStr(1)}
+		k.doFork(t, img, func(pid int, err abi.Errno) {
+			reply(int64(pid), errv(err))
+		})
+	case "exec":
+		k.doExec(t, argStr(0), argStrs(1), argStrs(2), func(err abi.Errno) {
+			// Only failures produce a reply; on success the old image
+			// is gone.
+			reply(int64(-1), errv(err))
+		})
+	case "wait4":
+		k.doWait4(t, int(argInt(0)), int(argInt(1)), func(pid, status int, err abi.Errno) {
+			reply(int64(pid), errv(err), int64(status))
+		})
+	case "exit":
+		k.doExit(t, int(argInt(0)))
+	case "kill":
+		reply(int64(0), errv(k.doKill(int(argInt(0)), int(argInt(1)))))
+	case "signal":
+		reply(int64(0), errv(k.doSignalAction(t, int(argInt(0)), int(argInt(1)))))
+	case "getpid":
+		reply(int64(t.Pid), errv(abi.OK))
+	case "getppid":
+		reply(int64(t.ParentPid), errv(abi.OK))
+	case "getcwd":
+		reply(int64(len(t.cwd)), errv(abi.OK), t.cwd)
+	case "chdir":
+		k.doChdir(t, argStr(0), func(err abi.Errno) { reply(int64(0), errv(err)) })
+
+	case "socket":
+		fd := t.installFd(NewDesc(k.NewSocket(), abi.O_RDWR, "socket:"))
+		reply(int64(fd), errv(abi.OK))
+	case "bind":
+		s, err := t.sockFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		reply(int64(0), errv(k.BindSocket(s, int(argInt(1)))))
+	case "listen":
+		s, err := t.sockFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		reply(int64(0), errv(k.ListenSocket(s, int(argInt(1)))))
+	case "accept":
+		s, err := t.sockFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		k.AcceptSocket(s, func(conn *Socket, err abi.Errno) {
+			if err != abi.OK {
+				reply(int64(-1), errv(err))
+				return
+			}
+			fd := t.installFd(NewDesc(conn, abi.O_RDWR, "socket:conn"))
+			reply(int64(fd), errv(abi.OK))
+		})
+	case "connect":
+		s, err := t.sockFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		k.ConnectSocket(s, int(argInt(1)), func(err abi.Errno) {
+			reply(int64(0), errv(err))
+		})
+	case "getsockname":
+		s, err := t.sockFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		reply(int64(s.port), errv(abi.OK))
+
+	default:
+		reply(int64(-1), errv(abi.ENOSYS))
+	}
+}
+
+// SyscallTable returns the implemented system calls grouped by class —
+// the contents of Figure 3 plus the extensions this reproduction adds
+// (marked by the caller as needed).
+func SyscallTable() map[string][]string {
+	return map[string][]string{
+		"Process Management": {"fork", "spawn", "exec", "pipe2", "wait4", "exit", "kill", "signal"},
+		"Process Metadata":   {"chdir", "getcwd", "getpid", "getppid"},
+		"Sockets":            {"socket", "bind", "getsockname", "listen", "accept", "connect"},
+		"Directory IO":       {"readdir", "getdents", "rmdir", "mkdir"},
+		"File IO":            {"open", "close", "read", "write", "unlink", "llseek", "pread", "pwrite", "dup2", "ftruncate", "rename", "symlink"},
+		"File Metadata":      {"access", "fstat", "lstat", "stat", "readlink", "utimes"},
+	}
+}
+
+// statValue converts a Stat into a message object.
+func statValue(st abi.Stat) map[string]browser.Value {
+	m := abi.StatToMap(st)
+	vm := make(map[string]browser.Value, len(m))
+	for k, v := range m {
+		vm[k] = v
+	}
+	return vm
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/abi"
+	"repro/internal/browser"
+)
+
+// taskState tracks a process through its lifecycle. Browsix had to
+// implement the zombie state so wait4 could reap children that exited
+// before being waited on (§3.3).
+type taskState int
+
+const (
+	taskRunning taskState = iota
+	taskZombie
+)
+
+// Task is the kernel's per-process structure (§3.3): "each BROWSIX process
+// has an associated task structure that lives in the kernel that contains
+// its process ID, parent's process ID, Web Worker object, current working
+// directory, and map of open file descriptors."
+type Task struct {
+	k *Kernel
+
+	Pid       int
+	ParentPid int
+	worker    *browser.Worker
+	state     taskState
+
+	Path string // executable path
+	Args []string
+	Env  []string
+	cwd  string
+
+	files  map[int]*Desc
+	status int // exit status (valid once zombie)
+
+	children map[int]*Task
+	waiters  []waitReq
+
+	// sigActions: signal number -> action (default if absent).
+	sigActions map[int]sigAction
+
+	// Synchronous-syscall personality (§3.2): the process's heap and the
+	// two offsets it registered — where return values go and which cell
+	// to wake.
+	heap    *browser.SAB
+	retOff  int
+	waitOff int
+
+	// onExit callbacks registered by the kernel API (kernel.system).
+	onExit []func(status int)
+
+	startTime int64
+}
+
+type sigAction int
+
+const (
+	sigDefault sigAction = iota
+	sigCatch
+	sigIgnore
+)
+
+type waitReq struct {
+	pid int // -1 = any child
+	cb  func(pid, status int, err abi.Errno)
+}
+
+// Cwd returns the task's current working directory.
+func (t *Task) Cwd() string { return t.cwd }
+
+// State strings for diagnostics and the terminal's ps.
+func (t *Task) StateName() string {
+	if t.state == taskZombie {
+		return "Z"
+	}
+	return "R"
+}
+
+// Status returns the wait4-style exit status (valid once a zombie).
+func (t *Task) Status() int { return t.status }
+
+// Worker exposes the task's Web Worker (tests and diagnostics).
+func (t *Task) Worker() *browser.Worker { return t.worker }
+
+// allocFd returns the lowest unused descriptor number, as Unix does.
+func (t *Task) allocFd() int {
+	for fd := 0; ; fd++ {
+		if _, used := t.files[fd]; !used {
+			return fd
+		}
+	}
+}
+
+// installFd places a descriptor entry at the lowest free slot.
+func (t *Task) installFd(d *Desc) int {
+	fd := t.allocFd()
+	t.files[fd] = d
+	return fd
+}
+
+// lookFd resolves a descriptor number.
+func (t *Task) lookFd(fd int) (*Desc, abi.Errno) {
+	d, ok := t.files[int(fd)]
+	if !ok {
+		return nil, abi.EBADF
+	}
+	return d, abi.OK
+}
+
+// closeFd removes and unreferences a descriptor.
+func (t *Task) closeFd(fd int, cb func(abi.Errno)) {
+	d, ok := t.files[fd]
+	if !ok {
+		cb(abi.EBADF)
+		return
+	}
+	delete(t.files, fd)
+	d.Unref(cb)
+}
+
+// Fds lists open descriptor numbers in order (diagnostics).
+func (t *Task) Fds() []int {
+	out := make([]int, 0, len(t.files))
+	for fd := range t.files {
+		out = append(out, fd)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FdPath returns the diagnostic path of an open descriptor.
+func (t *Task) FdPath(fd int) string {
+	if d, ok := t.files[fd]; ok {
+		return d.path
+	}
+	return ""
+}

@@ -1,0 +1,272 @@
+package coreutils_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	_ "repro/internal/coreutils"
+	"repro/internal/fs"
+	"repro/internal/rt"
+	"repro/internal/sched"
+)
+
+// Utilities that only need the file system run directly under the native
+// host runtime — fast, no kernel or browser involved. (Pipeline- and
+// socket-dependent behaviour is covered by the root integration suite.)
+
+type hostWorld struct {
+	sim  *sched.Sim
+	fsys *fs.FileSystem
+}
+
+func newWorld(t *testing.T) *hostWorld {
+	t.Helper()
+	sim := sched.New()
+	sim.MaxSteps = 10_000_000
+	clock := func() int64 { return sim.Now() }
+	return &hostWorld{sim: sim, fsys: fs.NewFileSystem(fs.NewMemFS(clock), clock)}
+}
+
+func (w *hostWorld) write(t *testing.T, path, data string) {
+	t.Helper()
+	w.fsys.MkdirAll(dirOf(path), 0o755, func(abi.Errno) {})
+	var err abi.Errno = -1
+	w.fsys.WriteFile(path, []byte(data), 0o644, func(e abi.Errno) { err = e })
+	if err != abi.OK {
+		t.Fatalf("write %s: %v", path, err)
+	}
+}
+
+func dirOf(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+func (w *hostWorld) read(t *testing.T, path string) string {
+	t.Helper()
+	var data []byte
+	var err abi.Errno = -1
+	w.fsys.ReadFile(path, func(b []byte, e abi.Errno) { data, err = b, e })
+	if err != abi.OK {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(data)
+}
+
+func (w *hostWorld) run(t *testing.T, argv ...string) (int, string, string) {
+	t.Helper()
+	res := rt.RunHost(w.sim, w.fsys, rt.NativeKind, argv, nil, "/")
+	return res.Code, string(res.Stdout), string(res.Stderr)
+}
+
+func (w *hostWorld) runOK(t *testing.T, argv ...string) string {
+	t.Helper()
+	code, out, errOut := w.run(t, argv...)
+	if code != 0 {
+		t.Fatalf("%v exited %d: %s", argv, code, errOut)
+	}
+	return out
+}
+
+func TestCatConcatenatesFiles(t *testing.T) {
+	w := newWorld(t)
+	w.write(t, "/a", "one\n")
+	w.write(t, "/b", "two\n")
+	if got := w.runOK(t, "cat", "/a", "/b"); got != "one\ntwo\n" {
+		t.Fatalf("cat: %q", got)
+	}
+	code, _, errOut := w.run(t, "cat", "/missing")
+	if code != 1 || !strings.Contains(errOut, "ENOENT") {
+		t.Fatalf("cat missing: %d %q", code, errOut)
+	}
+}
+
+func TestCpIntoDirectory(t *testing.T) {
+	w := newWorld(t)
+	w.write(t, "/src.txt", "payload")
+	w.runOK(t, "mkdir", "/dest")
+	w.runOK(t, "cp", "/src.txt", "/dest")
+	if got := w.read(t, "/dest/src.txt"); got != "payload" {
+		t.Fatalf("cp into dir: %q", got)
+	}
+}
+
+func TestGrepCountAndExit(t *testing.T) {
+	w := newWorld(t)
+	w.write(t, "/log", "err: a\nok\nerr: b\n")
+	if got := w.runOK(t, "grep", "-c", "err", "/log"); got != "2\n" {
+		t.Fatalf("grep -c: %q", got)
+	}
+	code, _, _ := w.run(t, "grep", "zzz", "/log")
+	if code != 1 {
+		t.Fatalf("grep miss exit = %d", code)
+	}
+	code, _, _ = w.run(t, "grep", "(", "/log")
+	if code != 1 { // bad regexp -> diagnostic + nonzero
+		t.Fatalf("grep bad pattern exit = %d", code)
+	}
+}
+
+func TestSortModes(t *testing.T) {
+	w := newWorld(t)
+	w.write(t, "/n", "10\n2\n2\n1\n")
+	if got := w.runOK(t, "sort", "/n"); got != "1\n10\n2\n2\n" {
+		t.Fatalf("lexical sort: %q", got)
+	}
+	if got := w.runOK(t, "sort", "-n", "/n"); got != "1\n2\n2\n10\n" {
+		t.Fatalf("numeric sort: %q", got)
+	}
+	if got := w.runOK(t, "sort", "-nu", "/n"); got != "1\n2\n10\n" {
+		t.Fatalf("unique sort: %q", got)
+	}
+	if got := w.runOK(t, "sort", "-nr", "/n"); got != "10\n2\n2\n1\n" {
+		t.Fatalf("reverse sort: %q", got)
+	}
+}
+
+func TestHeadTailFlagForms(t *testing.T) {
+	w := newWorld(t)
+	w.write(t, "/l", "1\n2\n3\n4\n5\n")
+	if got := w.runOK(t, "head", "-n", "2", "/l"); got != "1\n2\n" {
+		t.Fatalf("head -n 2: %q", got)
+	}
+	if got := w.runOK(t, "head", "-n3", "/l"); got != "1\n2\n3\n" {
+		t.Fatalf("head -n3: %q", got)
+	}
+	if got := w.runOK(t, "tail", "-n", "2", "/l"); got != "4\n5\n" {
+		t.Fatalf("tail: %q", got)
+	}
+	// Requesting more than available returns everything.
+	if got := w.runOK(t, "tail", "-n", "99", "/l"); got != "1\n2\n3\n4\n5\n" {
+		t.Fatalf("tail overlong: %q", got)
+	}
+}
+
+func TestWcMultipleFilesTotals(t *testing.T) {
+	w := newWorld(t)
+	w.write(t, "/a", "x y\n")
+	w.write(t, "/b", "z\n")
+	out := w.runOK(t, "wc", "-lw", "/a", "/b")
+	if !strings.Contains(out, "total") {
+		t.Fatalf("wc totals line missing: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("wc output: %q", out)
+	}
+}
+
+func TestLsFlags(t *testing.T) {
+	w := newWorld(t)
+	w.write(t, "/d/.hidden", "h")
+	w.write(t, "/d/vis", "v")
+	if got := w.runOK(t, "ls", "/d"); got != "vis\n" {
+		t.Fatalf("ls hides dotfiles: %q", got)
+	}
+	got := w.runOK(t, "ls", "-a", "/d")
+	if !strings.Contains(got, ".hidden") {
+		t.Fatalf("ls -a: %q", got)
+	}
+	got = w.runOK(t, "ls", "-l", "/d")
+	if !strings.Contains(got, "vis") || !strings.Contains(got, "1") {
+		t.Fatalf("ls -l: %q", got)
+	}
+	// ls of a plain file prints the file.
+	if got := w.runOK(t, "ls", "/d/vis"); got != "vis\n" {
+		t.Fatalf("ls file: %q", got)
+	}
+}
+
+func TestRmRecursiveAndForce(t *testing.T) {
+	w := newWorld(t)
+	w.write(t, "/tree/a/b/file", "x")
+	code, _, _ := w.run(t, "rm", "/tree")
+	if code != 1 {
+		t.Fatal("rm dir without -r must fail")
+	}
+	w.runOK(t, "rm", "-r", "/tree")
+	if _, out, _ := w.run(t, "ls", "/tree"); strings.Contains(out, "file") {
+		t.Fatal("rm -r left content")
+	}
+	w.runOK(t, "rm", "-f", "/does-not-exist") // -f silences ENOENT
+	code, _, _ = w.run(t, "rm", "/does-not-exist")
+	if code != 1 {
+		t.Fatal("rm missing without -f must fail")
+	}
+}
+
+func TestTouchCreatesAndBumps(t *testing.T) {
+	w := newWorld(t)
+	w.runOK(t, "touch", "/new")
+	var st1 abi.Stat
+	w.fsys.Stat("/new", func(s abi.Stat, e abi.Errno) { st1 = s })
+	w.runOK(t, "touch", "/new")
+	var st2 abi.Stat
+	w.fsys.Stat("/new", func(s abi.Stat, e abi.Errno) { st2 = s })
+	if st2.Mtime <= st1.Mtime {
+		t.Fatalf("touch did not advance mtime: %d -> %d", st1.Mtime, st2.Mtime)
+	}
+}
+
+func TestSeqPrintfEchoEnvPwd(t *testing.T) {
+	w := newWorld(t)
+	if got := w.runOK(t, "seq", "3"); got != "1\n2\n3\n" {
+		t.Fatalf("seq: %q", got)
+	}
+	if got := w.runOK(t, "seq", "2", "4"); got != "2\n3\n4\n" {
+		t.Fatalf("seq lo hi: %q", got)
+	}
+	if got := w.runOK(t, "printf", `%s=%s\n`, "k", "v"); got != "k=v\n" {
+		t.Fatalf("printf: %q", got)
+	}
+	if got := w.runOK(t, "echo", "-n", "x"); got != "x" {
+		t.Fatalf("echo -n: %q", got)
+	}
+	if got := w.runOK(t, "pwd"); got != "/\n" {
+		t.Fatalf("pwd: %q", got)
+	}
+}
+
+func TestStatOutput(t *testing.T) {
+	w := newWorld(t)
+	w.write(t, "/f", "12345")
+	out := w.runOK(t, "stat", "/f")
+	if !strings.Contains(out, "Size: 5") || !strings.Contains(out, "regular file") {
+		t.Fatalf("stat: %q", out)
+	}
+	w.runOK(t, "mkdir", "/dd")
+	out = w.runOK(t, "stat", "/dd")
+	if !strings.Contains(out, "directory") {
+		t.Fatalf("stat dir: %q", out)
+	}
+}
+
+func TestMkdirParents(t *testing.T) {
+	w := newWorld(t)
+	code, _, _ := w.run(t, "mkdir", "/a/b/c")
+	if code != 1 {
+		t.Fatal("mkdir without -p should fail on missing parents")
+	}
+	w.runOK(t, "mkdir", "-p", "/a/b/c")
+	var st abi.Stat
+	var err abi.Errno
+	w.fsys.Stat("/a/b/c", func(s abi.Stat, e abi.Errno) { st, err = s, e })
+	if err != abi.OK || !st.IsDir() {
+		t.Fatal("mkdir -p did not create tree")
+	}
+	w.runOK(t, "mkdir", "-p", "/a/b/c") // idempotent
+}
+
+func TestTrueFalse(t *testing.T) {
+	w := newWorld(t)
+	if code, _, _ := w.run(t, "true"); code != 0 {
+		t.Fatal("true")
+	}
+	if code, _, _ := w.run(t, "false"); code != 1 {
+		t.Fatal("false")
+	}
+}

@@ -1,0 +1,50 @@
+package expt
+
+import (
+	"repro/internal/abi"
+	"repro/internal/posix"
+)
+
+// registerSyscallProbe installs the microbenchmark program: a loop of
+// null-ish system calls (getppid — a genuine kernel round trip on every
+// transport), reporting the loop's virtual duration on stdout.
+//
+// The probe measures the *loop only* (not worker start-up or runtime
+// init), isolating the per-syscall transport cost the paper's §3.2/§6
+// discuss: message passing ~three orders of magnitude over a native
+// syscall; the sync transport several times cheaper than async.
+func registerSyscallProbe(name string) {
+	if posix.Lookup(name) != nil {
+		return
+	}
+	posix.Register(&posix.Program{Name: name, Main: func(p posix.Proc) int {
+		// Warm the path once.
+		p.Getppid()
+		startStat, err := p.Stat("/")
+		if err != abi.OK {
+			return 1
+		}
+		_ = startStat
+		start := nowVia(p)
+		for i := 0; i < syscallIters; i++ {
+			p.Getppid()
+		}
+		elapsed := nowVia(p) - start
+		posix.Fprintf(p, abi.Stdout, "%d\n", elapsed)
+		return 0
+	}})
+}
+
+// nowVia reads the process's current virtual time through a stat of a
+// file whose mtime the kernel refreshes... simpler: utimes+stat on a
+// scratch file. To avoid extra machinery the runtimes expose time via the
+// mtime of a file the probe touches.
+func nowVia(p posix.Proc) int64 {
+	// Touch a scratch file; its mtime is the kernel's current clock.
+	path := "/.probe-clock"
+	fd, _ := p.Open(path, abi.O_WRONLY|abi.O_CREAT|abi.O_TRUNC, 0o600)
+	p.Write(fd, []byte("t"))
+	p.Close(fd)
+	st, _ := p.Stat(path)
+	return st.Mtime
+}

@@ -1,0 +1,348 @@
+// Package fs reimplements the file-system layer Browsix builds on: Doppio's
+// BrowserFS plus the Browsix extensions described in §3.6 of the paper.
+//
+// Like BrowserFS, the API is callback-based (continuation-passing style):
+// the kernel runs on the browser's main thread and can never block, so
+// every operation takes a completion callback. Purely in-memory backends
+// complete synchronously (the callback runs before the call returns);
+// network-backed backends complete later via simulator events.
+//
+// The package provides:
+//   - a mount table combining multiple backends into one hierarchy,
+//   - an in-memory backend (memfs),
+//   - a read-only HTTP-backed backend with an index file and lazy per-file
+//     fetching (httpfs — BrowserFS's XmlHttpRequest backend),
+//   - a read-only zip-file backend (zipfs),
+//   - an overlay backend with lazy copy-up, a deletion log, and the
+//     multi-process locking Browsix added (overlayfs).
+package fs
+
+import (
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/abi"
+)
+
+// FileHandle is an open file. Reads and writes are positional, as in
+// BrowserFS; the kernel layers file offsets on top.
+type FileHandle interface {
+	// Pread reads up to n bytes at off. A short or empty result at EOF
+	// is not an error.
+	Pread(off int64, n int, cb func([]byte, abi.Errno))
+	// Pwrite writes data at off, returning bytes written.
+	Pwrite(off int64, data []byte, cb func(int, abi.Errno))
+	// Stat describes the open file.
+	Stat(cb func(abi.Stat, abi.Errno))
+	// Truncate sets the file size.
+	Truncate(size int64, cb func(abi.Errno))
+	// Close releases the handle.
+	Close(cb func(abi.Errno))
+}
+
+// Backend is one mounted file system implementation. Paths are absolute
+// within the backend ("/" is the backend's root) and already cleaned.
+type Backend interface {
+	Name() string
+	ReadOnly() bool
+	Stat(p string, cb func(abi.Stat, abi.Errno))
+	// Lstat is like Stat but does not follow a trailing symlink.
+	Lstat(p string, cb func(abi.Stat, abi.Errno))
+	Open(p string, flags int, mode uint32, cb func(FileHandle, abi.Errno))
+	Readdir(p string, cb func([]abi.Dirent, abi.Errno))
+	Mkdir(p string, mode uint32, cb func(abi.Errno))
+	Rmdir(p string, cb func(abi.Errno))
+	Unlink(p string, cb func(abi.Errno))
+	Rename(oldp, newp string, cb func(abi.Errno))
+	Readlink(p string, cb func(string, abi.Errno))
+	Symlink(target, linkp string, cb func(abi.Errno))
+	Utimes(p string, atime, mtime int64, cb func(abi.Errno))
+}
+
+// mount is one entry in the mount table.
+type mount struct {
+	prefix  string // "/", "/usr/share/texlive", ...
+	backend Backend
+}
+
+// FileSystem is the kernel's BrowserFS instance: a mount table over
+// backends, with symlink resolution at the top level.
+type FileSystem struct {
+	mounts []mount // sorted by descending prefix length
+	now    func() int64
+}
+
+// NewFileSystem creates a file system whose root is the given backend.
+// now supplies virtual time for mtimes.
+func NewFileSystem(root Backend, now func() int64) *FileSystem {
+	f := &FileSystem{now: now}
+	f.mounts = []mount{{prefix: "/", backend: root}}
+	return f
+}
+
+// Mount attaches a backend at prefix (an absolute, existing-or-not path).
+// Longest-prefix wins at resolution, like BrowserFS's MountableFileSystem.
+func (f *FileSystem) Mount(prefix string, b Backend) {
+	prefix = Clean(prefix)
+	f.mounts = append(f.mounts, mount{prefix: prefix, backend: b})
+	sort.SliceStable(f.mounts, func(i, j int) bool {
+		return len(f.mounts[i].prefix) > len(f.mounts[j].prefix)
+	})
+}
+
+// Mounts lists mount points (diagnostics, and the terminal's `mount`).
+func (f *FileSystem) Mounts() []string {
+	out := make([]string, len(f.mounts))
+	for i, m := range f.mounts {
+		out[i] = m.prefix + " (" + m.backend.Name() + ")"
+	}
+	return out
+}
+
+// Clean normalizes an absolute path.
+func Clean(p string) string {
+	if p == "" {
+		return "/"
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p)
+}
+
+// resolve finds the backend owning p and p's path within it.
+func (f *FileSystem) resolve(p string) (Backend, string) {
+	p = Clean(p)
+	for _, m := range f.mounts {
+		if p == m.prefix {
+			return m.backend, "/"
+		}
+		pre := m.prefix
+		if pre != "/" {
+			pre += "/"
+		}
+		if strings.HasPrefix(p, pre) {
+			return m.backend, Clean(p[len(m.prefix):])
+		}
+	}
+	// Unreachable: the root mount matches everything.
+	return f.mounts[len(f.mounts)-1].backend, p
+}
+
+const maxSymlinks = 8
+
+// followPath resolves trailing symlinks (up to maxSymlinks), then calls
+// done with the final absolute path. Symlinks in intermediate components
+// are not resolved (BrowserFS-level fidelity; the paper's workloads do not
+// need them).
+func (f *FileSystem) followPath(p string, depth int, done func(string, abi.Errno)) {
+	if depth > maxSymlinks {
+		done("", abi.ELOOP)
+		return
+	}
+	b, rel := f.resolve(p)
+	b.Lstat(rel, func(st abi.Stat, err abi.Errno) {
+		if err != abi.OK || !st.IsSymlink() {
+			done(Clean(p), abi.OK) // missing files resolve to themselves
+			return
+		}
+		b.Readlink(rel, func(target string, err abi.Errno) {
+			if err != abi.OK {
+				done("", err)
+				return
+			}
+			if !strings.HasPrefix(target, "/") {
+				target = path.Join(path.Dir(Clean(p)), target)
+			}
+			f.followPath(target, depth+1, done)
+		})
+	})
+}
+
+// Stat stats a path, following symlinks.
+func (f *FileSystem) Stat(p string, cb func(abi.Stat, abi.Errno)) {
+	f.followPath(p, 0, func(rp string, err abi.Errno) {
+		if err != abi.OK {
+			cb(abi.Stat{}, err)
+			return
+		}
+		b, rel := f.resolve(rp)
+		b.Stat(rel, cb)
+	})
+}
+
+// Lstat stats a path without following a trailing symlink.
+func (f *FileSystem) Lstat(p string, cb func(abi.Stat, abi.Errno)) {
+	b, rel := f.resolve(p)
+	b.Lstat(rel, cb)
+}
+
+// Open opens (and with O_CREAT possibly creates) a file.
+func (f *FileSystem) Open(p string, flags int, mode uint32, cb func(FileHandle, abi.Errno)) {
+	f.followPath(p, 0, func(rp string, err abi.Errno) {
+		if err != abi.OK {
+			cb(nil, err)
+			return
+		}
+		b, rel := f.resolve(rp)
+		b.Open(rel, flags, mode, cb)
+	})
+}
+
+// Readdir lists a directory.
+func (f *FileSystem) Readdir(p string, cb func([]abi.Dirent, abi.Errno)) {
+	f.followPath(p, 0, func(rp string, err abi.Errno) {
+		if err != abi.OK {
+			cb(nil, err)
+			return
+		}
+		b, rel := f.resolve(rp)
+		b.Readdir(rel, func(ents []abi.Dirent, err abi.Errno) {
+			if err != abi.OK {
+				cb(nil, err)
+				return
+			}
+			// Synthesize entries for mount points living directly
+			// under this directory.
+			dir := Clean(rp)
+			seen := map[string]bool{}
+			for _, e := range ents {
+				seen[e.Name] = true
+			}
+			for _, m := range f.mounts {
+				if m.prefix == "/" || path.Dir(m.prefix) != dir {
+					continue
+				}
+				name := path.Base(m.prefix)
+				if !seen[name] {
+					ents = append(ents, abi.Dirent{Name: name, Type: abi.DT_DIR})
+					seen[name] = true
+				}
+			}
+			sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+			cb(ents, abi.OK)
+		})
+	})
+}
+
+// Mkdir creates a directory.
+func (f *FileSystem) Mkdir(p string, mode uint32, cb func(abi.Errno)) {
+	b, rel := f.resolve(p)
+	b.Mkdir(rel, mode, cb)
+}
+
+// MkdirAll creates a directory and any missing parents.
+func (f *FileSystem) MkdirAll(p string, mode uint32, cb func(abi.Errno)) {
+	p = Clean(p)
+	var step func(i int)
+	parts := strings.Split(strings.TrimPrefix(p, "/"), "/")
+	step = func(i int) {
+		if i > len(parts) {
+			cb(abi.OK)
+			return
+		}
+		sub := "/" + strings.Join(parts[:i], "/")
+		f.Mkdir(sub, mode, func(err abi.Errno) {
+			if err != abi.OK && err != abi.EEXIST {
+				cb(err)
+				return
+			}
+			step(i + 1)
+		})
+	}
+	if p == "/" {
+		cb(abi.OK)
+		return
+	}
+	step(1)
+}
+
+// Rmdir removes an empty directory.
+func (f *FileSystem) Rmdir(p string, cb func(abi.Errno)) {
+	b, rel := f.resolve(p)
+	b.Rmdir(rel, cb)
+}
+
+// Unlink removes a file or symlink.
+func (f *FileSystem) Unlink(p string, cb func(abi.Errno)) {
+	b, rel := f.resolve(p)
+	b.Unlink(rel, cb)
+}
+
+// Rename moves a file within a single backend; cross-backend moves return
+// EXDEV, as on Unix.
+func (f *FileSystem) Rename(oldp, newp string, cb func(abi.Errno)) {
+	ob, orel := f.resolve(oldp)
+	nb, nrel := f.resolve(newp)
+	if ob != nb {
+		cb(abi.EXDEV)
+		return
+	}
+	ob.Rename(orel, nrel, cb)
+}
+
+// Readlink reads a symlink target.
+func (f *FileSystem) Readlink(p string, cb func(string, abi.Errno)) {
+	b, rel := f.resolve(p)
+	b.Readlink(rel, cb)
+}
+
+// Symlink creates a symlink at linkp pointing to target.
+func (f *FileSystem) Symlink(target, linkp string, cb func(abi.Errno)) {
+	b, rel := f.resolve(linkp)
+	b.Symlink(target, rel, cb)
+}
+
+// Utimes sets access/modification times.
+func (f *FileSystem) Utimes(p string, atime, mtime int64, cb func(abi.Errno)) {
+	f.followPath(p, 0, func(rp string, err abi.Errno) {
+		if err != abi.OK {
+			cb(err)
+			return
+		}
+		b, rel := f.resolve(rp)
+		b.Utimes(rel, atime, mtime, cb)
+	})
+}
+
+// Access checks existence (permission bits are not enforced: Browsix
+// relies on the browser sandbox instead of users, §3.1).
+func (f *FileSystem) Access(p string, amode int, cb func(abi.Errno)) {
+	f.Stat(p, func(st abi.Stat, err abi.Errno) { cb(err) })
+}
+
+// ReadFile slurps a whole file (convenience for the kernel and web app).
+func (f *FileSystem) ReadFile(p string, cb func([]byte, abi.Errno)) {
+	f.Open(p, abi.O_RDONLY, 0, func(h FileHandle, err abi.Errno) {
+		if err != abi.OK {
+			cb(nil, err)
+			return
+		}
+		h.Stat(func(st abi.Stat, err abi.Errno) {
+			if err != abi.OK {
+				h.Close(func(abi.Errno) {})
+				cb(nil, err)
+				return
+			}
+			h.Pread(0, int(st.Size), func(data []byte, err abi.Errno) {
+				h.Close(func(abi.Errno) {})
+				cb(data, err)
+			})
+		})
+	})
+}
+
+// WriteFile creates/truncates a file with the given contents.
+func (f *FileSystem) WriteFile(p string, data []byte, mode uint32, cb func(abi.Errno)) {
+	f.Open(p, abi.O_WRONLY|abi.O_CREAT|abi.O_TRUNC, mode, func(h FileHandle, err abi.Errno) {
+		if err != abi.OK {
+			cb(err)
+			return
+		}
+		h.Pwrite(0, data, func(n int, err abi.Errno) {
+			h.Close(func(abi.Errno) {})
+			cb(err)
+		})
+	})
+}

@@ -1,0 +1,236 @@
+package fs
+
+import (
+	"encoding/json"
+	"path"
+
+	"repro/internal/abi"
+)
+
+// Fetcher retrieves a file over the (simulated) network. status is an HTTP
+// status code; 200 with body on success. Completion is asynchronous: the
+// callback fires from a simulator event after the modelled round trip.
+type Fetcher interface {
+	Fetch(p string, cb func(body []byte, status int))
+}
+
+// HTTPFS is BrowserFS's XmlHttpRequest backend as extended by Browsix
+// (§3.6): a read-only file system backed by an HTTP server. The directory
+// index is loaded once (from an index.json listing); file *contents* are
+// fetched lazily on first access and cached — this is the mechanism that
+// lets the LaTeX editor mount a multi-gigabyte TeX Live tree but transfer
+// only the few megabytes a given document touches.
+type HTTPFS struct {
+	fetch Fetcher
+	index map[string]int64 // file path -> size
+	dirs  map[string]map[string]bool
+	cache map[string][]byte
+	now   func() int64
+
+	// FetchCount counts network fetches (for the lazy-load experiments).
+	FetchCount int
+	// BytesFetched counts body bytes transferred.
+	BytesFetched int64
+}
+
+// BuildIndex serializes a path->size listing in the index.json format
+// NewHTTPFS consumes. Use it when staging a server image.
+func BuildIndex(files map[string]int64) []byte {
+	b, err := json.Marshal(files)
+	if err != nil {
+		panic("fs: BuildIndex: " + err.Error())
+	}
+	return b
+}
+
+// NewHTTPFS creates an HTTP-backed read-only backend from an index listing
+// (JSON object mapping absolute file paths to sizes).
+func NewHTTPFS(indexJSON []byte, fetch Fetcher, now func() int64) (*HTTPFS, error) {
+	var files map[string]int64
+	if err := json.Unmarshal(indexJSON, &files); err != nil {
+		return nil, err
+	}
+	h := &HTTPFS{
+		fetch: fetch,
+		index: map[string]int64{},
+		dirs:  map[string]map[string]bool{"/": {}},
+		cache: map[string][]byte{},
+		now:   now,
+	}
+	for p, size := range files {
+		p = Clean(p)
+		h.index[p] = size
+		// Register every ancestor directory.
+		for dir := path.Dir(p); ; dir = path.Dir(dir) {
+			if h.dirs[dir] == nil {
+				h.dirs[dir] = map[string]bool{}
+			}
+			if dir == "/" {
+				break
+			}
+		}
+		h.dirs[path.Dir(p)][path.Base(p)] = false
+		for dir := path.Dir(p); dir != "/"; dir = path.Dir(dir) {
+			h.dirs[path.Dir(dir)][path.Base(dir)] = true
+		}
+	}
+	return h, nil
+}
+
+// Name implements Backend.
+func (h *HTTPFS) Name() string { return "httpfs" }
+
+// ReadOnly implements Backend.
+func (h *HTTPFS) ReadOnly() bool { return true }
+
+func (h *HTTPFS) statOf(p string) (abi.Stat, abi.Errno) {
+	p = Clean(p)
+	if _, ok := h.dirs[p]; ok {
+		return abi.Stat{Mode: abi.S_IFDIR | 0o555, Nlink: 1}, abi.OK
+	}
+	if size, ok := h.index[p]; ok {
+		return abi.Stat{Mode: abi.S_IFREG | 0o444, Size: size, Nlink: 1}, abi.OK
+	}
+	return abi.Stat{}, abi.ENOENT
+}
+
+// Stat implements Backend. Metadata comes from the index: no network
+// round trip — the optimization Browsix added for cheap failed lookups.
+func (h *HTTPFS) Stat(p string, cb func(abi.Stat, abi.Errno)) {
+	st, err := h.statOf(p)
+	cb(st, err)
+}
+
+// Lstat implements Backend (no symlinks over HTTP).
+func (h *HTTPFS) Lstat(p string, cb func(abi.Stat, abi.Errno)) { h.Stat(p, cb) }
+
+// Open implements Backend: lazily fetches and caches the file body.
+func (h *HTTPFS) Open(p string, flags int, mode uint32, cb func(FileHandle, abi.Errno)) {
+	p = Clean(p)
+	if flags&abi.O_ACCMODE != abi.O_RDONLY || flags&(abi.O_CREAT|abi.O_TRUNC) != 0 {
+		cb(nil, abi.EROFS)
+		return
+	}
+	if _, ok := h.dirs[p]; ok {
+		cb(nil, abi.EISDIR)
+		return
+	}
+	if _, ok := h.index[p]; !ok {
+		cb(nil, abi.ENOENT)
+		return
+	}
+	if body, ok := h.cache[p]; ok {
+		cb(&httpHandle{fs: h, path: p, data: body}, abi.OK)
+		return
+	}
+	h.fetch.Fetch(p, func(body []byte, status int) {
+		if status != 200 {
+			cb(nil, abi.EIO)
+			return
+		}
+		h.FetchCount++
+		h.BytesFetched += int64(len(body))
+		h.cache[p] = body
+		h.index[p] = int64(len(body))
+		cb(&httpHandle{fs: h, path: p, data: body}, abi.OK)
+	})
+}
+
+// Preload fetches every indexed file up-front. This is the *eager*
+// behaviour of the original BrowserFS overlay underlay that Browsix
+// removed; it exists to power the lazy-vs-eager ablation benchmark.
+func (h *HTTPFS) Preload(done func()) {
+	paths := make([]string, 0, len(h.index))
+	for p := range h.index {
+		if _, cached := h.cache[p]; !cached {
+			paths = append(paths, p)
+		}
+	}
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(paths) {
+			done()
+			return
+		}
+		p := paths[i]
+		h.fetch.Fetch(p, func(body []byte, status int) {
+			if status == 200 {
+				h.FetchCount++
+				h.BytesFetched += int64(len(body))
+				h.cache[p] = body
+				h.index[p] = int64(len(body))
+			}
+			step(i + 1)
+		})
+	}
+	step(0)
+}
+
+// Readdir implements Backend.
+func (h *HTTPFS) Readdir(p string, cb func([]abi.Dirent, abi.Errno)) {
+	p = Clean(p)
+	children, ok := h.dirs[p]
+	if !ok {
+		if _, isFile := h.index[p]; isFile {
+			cb(nil, abi.ENOTDIR)
+		} else {
+			cb(nil, abi.ENOENT)
+		}
+		return
+	}
+	ents := make([]abi.Dirent, 0, len(children))
+	for name, isDir := range children {
+		t := abi.DT_REG
+		if isDir {
+			t = abi.DT_DIR
+		}
+		ents = append(ents, abi.Dirent{Name: name, Type: t})
+	}
+	cb(ents, abi.OK)
+}
+
+// Mkdir and the other mutating operations fail with EROFS.
+func (h *HTTPFS) Mkdir(p string, m uint32, cb func(abi.Errno))  { cb(abi.EROFS) }
+func (h *HTTPFS) Rmdir(p string, cb func(abi.Errno))            { cb(abi.EROFS) }
+func (h *HTTPFS) Unlink(p string, cb func(abi.Errno))           { cb(abi.EROFS) }
+func (h *HTTPFS) Rename(o, n string, cb func(abi.Errno))        { cb(abi.EROFS) }
+func (h *HTTPFS) Readlink(p string, cb func(string, abi.Errno)) { cb("", abi.EINVAL) }
+func (h *HTTPFS) Symlink(t, l string, cb func(abi.Errno))       { cb(abi.EROFS) }
+func (h *HTTPFS) Utimes(p string, a, m int64, cb func(abi.Errno)) {
+	cb(abi.EROFS)
+}
+
+// httpHandle is an open (fully fetched) HTTP-backed file.
+type httpHandle struct {
+	fs   *HTTPFS
+	path string
+	data []byte
+}
+
+func (h *httpHandle) Pread(off int64, n int, cb func([]byte, abi.Errno)) {
+	if off >= int64(len(h.data)) {
+		cb(nil, abi.OK)
+		return
+	}
+	end := off + int64(n)
+	if end > int64(len(h.data)) {
+		end = int64(len(h.data))
+	}
+	out := make([]byte, end-off)
+	copy(out, h.data[off:end])
+	cb(out, abi.OK)
+}
+
+func (h *httpHandle) Pwrite(int64, []byte, func(int, abi.Errno)) {
+	panic("fs: pwrite on read-only http handle")
+}
+
+func (h *httpHandle) Stat(cb func(abi.Stat, abi.Errno)) {
+	cb(abi.Stat{Mode: abi.S_IFREG | 0o444, Size: int64(len(h.data)), Nlink: 1}, abi.OK)
+}
+
+func (h *httpHandle) Truncate(int64, func(abi.Errno)) {
+	panic("fs: truncate on read-only http handle")
+}
+
+func (h *httpHandle) Close(cb func(abi.Errno)) { cb(abi.OK) }

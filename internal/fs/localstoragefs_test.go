@@ -1,0 +1,93 @@
+package fs
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+)
+
+func newLSFS(quota int64) (*LocalStorageFS, *FileSystem) {
+	ls := NewLocalStorageFS(now, quota)
+	return ls, NewFileSystem(ls, func() int64 { return clock })
+}
+
+func TestLocalStorageQuotaEnforced(t *testing.T) {
+	ls, f := newLSFS(1000)
+	var err abi.Errno
+	f.WriteFile("/a", make([]byte, 600), 0o644, func(e abi.Errno) { err = e })
+	if err != abi.OK {
+		t.Fatalf("first write: %v", err)
+	}
+	if ls.Used() != 600 {
+		t.Fatalf("used = %d", ls.Used())
+	}
+	// Second write exceeds the quota.
+	f.WriteFile("/b", make([]byte, 600), 0o644, func(e abi.Errno) { err = e })
+	if err != abi.ENOSPC {
+		t.Fatalf("over-quota write = %v, want ENOSPC", err)
+	}
+	// Removing content frees quota.
+	f.Unlink("/a", func(e abi.Errno) { err = e })
+	if err != abi.OK || ls.Used() != 0 {
+		t.Fatalf("unlink refund: err=%v used=%d", err, ls.Used())
+	}
+	f.WriteFile("/b", make([]byte, 600), 0o644, func(e abi.Errno) { err = e })
+	if err != abi.OK {
+		t.Fatalf("write after refund: %v", err)
+	}
+}
+
+func TestLocalStorageTruncRefunds(t *testing.T) {
+	ls, f := newLSFS(1000)
+	f.WriteFile("/f", make([]byte, 900), 0o644, func(abi.Errno) {})
+	if ls.Used() != 900 {
+		t.Fatalf("used = %d", ls.Used())
+	}
+	// Overwrite with O_TRUNC: old bytes refunded before new accounted.
+	var err abi.Errno
+	f.WriteFile("/f", make([]byte, 500), 0o644, func(e abi.Errno) { err = e })
+	if err != abi.OK || ls.Used() != 500 {
+		t.Fatalf("rewrite: err=%v used=%d", err, ls.Used())
+	}
+	// Explicit truncate shrink.
+	f.Open("/f", abi.O_RDWR, 0, func(h FileHandle, e abi.Errno) {
+		h.Truncate(100, func(e abi.Errno) { err = e })
+	})
+	if err != abi.OK || ls.Used() != 100 {
+		t.Fatalf("truncate: err=%v used=%d", err, ls.Used())
+	}
+	// Truncate growth past quota fails.
+	f.Open("/f", abi.O_RDWR, 0, func(h FileHandle, e abi.Errno) {
+		h.Truncate(5000, func(e abi.Errno) { err = e })
+	})
+	if err != abi.ENOSPC {
+		t.Fatalf("grow past quota = %v", err)
+	}
+}
+
+func TestLocalStorageDefaultQuota(t *testing.T) {
+	ls := NewLocalStorageFS(now, 0)
+	if ls.Quota() != DefaultLocalStorageQuota {
+		t.Fatalf("quota = %d", ls.Quota())
+	}
+	if ls.Name() != "localstorage" {
+		t.Fatal("name")
+	}
+}
+
+func TestLocalStorageAsMount(t *testing.T) {
+	// Typical usage: a small persistent mount under a memfs root.
+	root := NewMemFS(now)
+	f := NewFileSystem(root, func() int64 { return clock })
+	mustMkdirAll(t, f, "/persist")
+	f.Mount("/persist", NewLocalStorageFS(now, 2048))
+	mustWrite(t, f, "/persist/settings.json", `{"theme":"dark"}`)
+	if got := mustRead(t, f, "/persist/settings.json"); got != `{"theme":"dark"}` {
+		t.Fatalf("read back: %q", got)
+	}
+	var err abi.Errno
+	f.WriteFile("/persist/huge", make([]byte, 4096), 0o644, func(e abi.Errno) { err = e })
+	if err != abi.ENOSPC {
+		t.Fatalf("mounted quota = %v", err)
+	}
+}

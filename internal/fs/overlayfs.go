@@ -1,0 +1,472 @@
+package fs
+
+import (
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/abi"
+)
+
+// OverlayFS is BrowserFS's overlay backend with the two Browsix extensions
+// from §3.6:
+//
+//  1. Lazy underlay — the original overlay eagerly read every file from
+//     the read-only lower layer at initialization; Browsix made reads lazy
+//     (copy-up happens only when a file is first written). The Eager option
+//     restores the old behaviour for the ablation benchmark.
+//  2. Multi-process locking — operations from different processes must not
+//     interleave, so every operation runs under an internal queue lock for
+//     the full (possibly asynchronous) span of the operation.
+//
+// Deletions of lower-layer files are recorded in a deletion log, as in
+// BrowserFS.
+type OverlayFS struct {
+	upper   Backend // writable
+	lower   Backend // read-only
+	deleted map[string]bool
+
+	lockDepth int
+	waiters   []func()
+
+	// LockWaits counts operations that had to queue behind the lock
+	// (observability for the locking tests).
+	LockWaits int
+}
+
+// NewOverlayFS builds an overlay of a writable upper backend over a
+// read-only lower backend.
+func NewOverlayFS(upper, lower Backend) *OverlayFS {
+	return &OverlayFS{upper: upper, lower: lower, deleted: map[string]bool{}}
+}
+
+// Name implements Backend.
+func (o *OverlayFS) Name() string { return "overlayfs(" + o.upper.Name() + "+" + o.lower.Name() + ")" }
+
+// ReadOnly implements Backend.
+func (o *OverlayFS) ReadOnly() bool { return false }
+
+// lock serializes operations: fn runs when the lock is free and must call
+// release exactly once when its (possibly async) work completes.
+func (o *OverlayFS) lock(fn func(release func())) {
+	run := func() {
+		o.lockDepth++
+		fn(func() {
+			o.lockDepth--
+			if len(o.waiters) > 0 {
+				next := o.waiters[0]
+				o.waiters = o.waiters[1:]
+				next()
+			}
+		})
+	}
+	if o.lockDepth > 0 {
+		o.LockWaits++
+		o.waiters = append(o.waiters, run)
+		return
+	}
+	run()
+}
+
+// Stat implements Backend.
+func (o *OverlayFS) Stat(p string, cb func(abi.Stat, abi.Errno)) { o.Lstat(p, cb) }
+
+// Lstat implements Backend.
+func (o *OverlayFS) Lstat(p string, cb func(abi.Stat, abi.Errno)) {
+	p = Clean(p)
+	if o.deleted[p] {
+		cb(abi.Stat{}, abi.ENOENT)
+		return
+	}
+	o.upper.Lstat(p, func(st abi.Stat, err abi.Errno) {
+		if err == abi.OK {
+			cb(st, abi.OK)
+			return
+		}
+		o.lower.Lstat(p, cb)
+	})
+}
+
+// ensureUpperDirs creates, in the upper layer, every ancestor directory of
+// p that exists in the merged view (needed before a copy-up).
+func (o *OverlayFS) ensureUpperDirs(p string, cb func(abi.Errno)) {
+	dir := path.Dir(Clean(p))
+	if dir == "/" {
+		cb(abi.OK)
+		return
+	}
+	parts := strings.Split(strings.TrimPrefix(dir, "/"), "/")
+	var step func(i int)
+	step = func(i int) {
+		if i > len(parts) {
+			cb(abi.OK)
+			return
+		}
+		sub := "/" + strings.Join(parts[:i], "/")
+		o.upper.Mkdir(sub, 0o755, func(err abi.Errno) {
+			if err != abi.OK && err != abi.EEXIST {
+				cb(err)
+				return
+			}
+			step(i + 1)
+		})
+	}
+	step(1)
+}
+
+// copyUp copies a lower-layer file into the upper layer (lazily: only
+// called when a write requires it).
+func (o *OverlayFS) copyUp(p string, cb func(abi.Errno)) {
+	o.lower.Open(p, abi.O_RDONLY, 0, func(lh FileHandle, err abi.Errno) {
+		if err != abi.OK {
+			cb(err)
+			return
+		}
+		lh.Stat(func(st abi.Stat, err abi.Errno) {
+			if err != abi.OK {
+				lh.Close(func(abi.Errno) {})
+				cb(err)
+				return
+			}
+			lh.Pread(0, int(st.Size), func(data []byte, err abi.Errno) {
+				lh.Close(func(abi.Errno) {})
+				if err != abi.OK {
+					cb(err)
+					return
+				}
+				o.ensureUpperDirs(p, func(err abi.Errno) {
+					if err != abi.OK {
+						cb(err)
+						return
+					}
+					o.upper.Open(p, abi.O_WRONLY|abi.O_CREAT|abi.O_TRUNC, uint32(st.Mode&0o777), func(uh FileHandle, err abi.Errno) {
+						if err != abi.OK {
+							cb(err)
+							return
+						}
+						uh.Pwrite(0, data, func(n int, err abi.Errno) {
+							uh.Close(func(abi.Errno) {})
+							cb(err)
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// Open implements Backend. Reads are served from whichever layer has the
+// file; writes force a copy-up first.
+func (o *OverlayFS) Open(p string, flags int, mode uint32, cb func(FileHandle, abi.Errno)) {
+	p = Clean(p)
+	o.lock(func(release func()) {
+		done := func(h FileHandle, err abi.Errno) {
+			cb(h, err)
+			release()
+		}
+		wantsWrite := flags&abi.O_ACCMODE != abi.O_RDONLY || flags&(abi.O_CREAT|abi.O_TRUNC) != 0
+		if o.deleted[p] {
+			if flags&abi.O_CREAT == 0 {
+				done(nil, abi.ENOENT)
+				return
+			}
+			delete(o.deleted, p)
+			o.ensureUpperDirs(p, func(err abi.Errno) {
+				if err != abi.OK {
+					done(nil, err)
+					return
+				}
+				o.upper.Open(p, flags, mode, done)
+			})
+			return
+		}
+		o.upper.Stat(p, func(_ abi.Stat, uerr abi.Errno) {
+			if uerr == abi.OK {
+				o.upper.Open(p, flags, mode, done)
+				return
+			}
+			o.lower.Stat(p, func(lst abi.Stat, lerr abi.Errno) {
+				switch {
+				case lerr == abi.OK && !wantsWrite:
+					o.lower.Open(p, flags, mode, done)
+				case lerr == abi.OK && wantsWrite:
+					if lst.IsDir() {
+						done(nil, abi.EISDIR)
+						return
+					}
+					if flags&abi.O_TRUNC != 0 {
+						// Content will be discarded: create fresh upper file.
+						o.ensureUpperDirs(p, func(err abi.Errno) {
+							if err != abi.OK {
+								done(nil, err)
+								return
+							}
+							o.upper.Open(p, flags|abi.O_CREAT, mode, done)
+						})
+						return
+					}
+					o.copyUp(p, func(err abi.Errno) {
+						if err != abi.OK {
+							done(nil, err)
+							return
+						}
+						o.upper.Open(p, flags, mode, done)
+					})
+				case flags&abi.O_CREAT != 0:
+					o.ensureUpperDirs(p, func(err abi.Errno) {
+						if err != abi.OK {
+							done(nil, err)
+							return
+						}
+						o.upper.Open(p, flags, mode, done)
+					})
+				default:
+					done(nil, abi.ENOENT)
+				}
+			})
+		})
+	})
+}
+
+// Readdir implements Backend: the union of both layers minus deletions.
+func (o *OverlayFS) Readdir(p string, cb func([]abi.Dirent, abi.Errno)) {
+	p = Clean(p)
+	if o.deleted[p] {
+		cb(nil, abi.ENOENT)
+		return
+	}
+	o.upper.Readdir(p, func(uents []abi.Dirent, uerr abi.Errno) {
+		o.lower.Readdir(p, func(lents []abi.Dirent, lerr abi.Errno) {
+			if uerr != abi.OK && lerr != abi.OK {
+				cb(nil, uerr)
+				return
+			}
+			merged := map[string]abi.Dirent{}
+			if lerr == abi.OK {
+				for _, e := range lents {
+					if !o.deleted[Clean(p+"/"+e.Name)] {
+						merged[e.Name] = e
+					}
+				}
+			}
+			if uerr == abi.OK {
+				for _, e := range uents {
+					merged[e.Name] = e
+				}
+			}
+			out := make([]abi.Dirent, 0, len(merged))
+			for _, e := range merged {
+				out = append(out, e)
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+			cb(out, abi.OK)
+		})
+	})
+}
+
+// Mkdir implements Backend.
+func (o *OverlayFS) Mkdir(p string, mode uint32, cb func(abi.Errno)) {
+	p = Clean(p)
+	o.lock(func(release func()) {
+		done := func(err abi.Errno) { cb(err); release() }
+		if o.deleted[p] {
+			delete(o.deleted, p)
+			o.ensureUpperDirs(p, func(err abi.Errno) {
+				if err != abi.OK {
+					done(err)
+					return
+				}
+				o.upper.Mkdir(p, mode, done)
+			})
+			return
+		}
+		o.Lstat(p, func(_ abi.Stat, err abi.Errno) {
+			if err == abi.OK {
+				done(abi.EEXIST)
+				return
+			}
+			o.ensureUpperDirs(p, func(err abi.Errno) {
+				if err != abi.OK {
+					done(err)
+					return
+				}
+				o.upper.Mkdir(p, mode, done)
+			})
+		})
+	})
+}
+
+// Rmdir implements Backend.
+func (o *OverlayFS) Rmdir(p string, cb func(abi.Errno)) {
+	p = Clean(p)
+	o.lock(func(release func()) {
+		done := func(err abi.Errno) { cb(err); release() }
+		o.Readdir(p, func(ents []abi.Dirent, err abi.Errno) {
+			if err != abi.OK {
+				done(err)
+				return
+			}
+			if len(ents) > 0 {
+				done(abi.ENOTEMPTY)
+				return
+			}
+			o.upper.Rmdir(p, func(uerr abi.Errno) {
+				o.lower.Stat(p, func(_ abi.Stat, lerr abi.Errno) {
+					if lerr == abi.OK {
+						o.deleted[p] = true
+						done(abi.OK)
+						return
+					}
+					done(uerr)
+				})
+			})
+		})
+	})
+}
+
+// Unlink implements Backend: removes from the upper layer and/or records a
+// deletion hiding the lower-layer file.
+func (o *OverlayFS) Unlink(p string, cb func(abi.Errno)) {
+	p = Clean(p)
+	o.lock(func(release func()) {
+		done := func(err abi.Errno) { cb(err); release() }
+		if o.deleted[p] {
+			done(abi.ENOENT)
+			return
+		}
+		o.upper.Unlink(p, func(uerr abi.Errno) {
+			o.lower.Stat(p, func(lst abi.Stat, lerr abi.Errno) {
+				if lerr == abi.OK {
+					if lst.IsDir() {
+						done(abi.EISDIR)
+						return
+					}
+					o.deleted[p] = true
+					done(abi.OK)
+					return
+				}
+				done(uerr)
+			})
+		})
+	})
+}
+
+// Rename implements Backend (copy-up then rename within the upper layer).
+func (o *OverlayFS) Rename(oldp, newp string, cb func(abi.Errno)) {
+	oldp, newp = Clean(oldp), Clean(newp)
+	o.lock(func(release func()) {
+		done := func(err abi.Errno) { cb(err); release() }
+		if o.deleted[oldp] {
+			done(abi.ENOENT)
+			return
+		}
+		finish := func() {
+			o.upper.Rename(oldp, newp, func(err abi.Errno) {
+				if err == abi.OK {
+					o.lower.Stat(oldp, func(_ abi.Stat, lerr abi.Errno) {
+						if lerr == abi.OK {
+							o.deleted[oldp] = true
+						}
+						delete(o.deleted, newp)
+						done(abi.OK)
+					})
+					return
+				}
+				done(err)
+			})
+		}
+		o.upper.Stat(oldp, func(_ abi.Stat, uerr abi.Errno) {
+			if uerr == abi.OK {
+				finish()
+				return
+			}
+			o.lower.Stat(oldp, func(_ abi.Stat, lerr abi.Errno) {
+				if lerr != abi.OK {
+					done(abi.ENOENT)
+					return
+				}
+				o.copyUp(oldp, func(err abi.Errno) {
+					if err != abi.OK {
+						done(err)
+						return
+					}
+					finish()
+				})
+			})
+		})
+	})
+}
+
+// Readlink implements Backend.
+func (o *OverlayFS) Readlink(p string, cb func(string, abi.Errno)) {
+	p = Clean(p)
+	if o.deleted[p] {
+		cb("", abi.ENOENT)
+		return
+	}
+	o.upper.Readlink(p, func(t string, err abi.Errno) {
+		if err == abi.OK {
+			cb(t, abi.OK)
+			return
+		}
+		o.lower.Readlink(p, cb)
+	})
+}
+
+// Symlink implements Backend.
+func (o *OverlayFS) Symlink(target, linkp string, cb func(abi.Errno)) {
+	linkp = Clean(linkp)
+	o.lock(func(release func()) {
+		done := func(err abi.Errno) { cb(err); release() }
+		delete(o.deleted, linkp)
+		o.ensureUpperDirs(linkp, func(err abi.Errno) {
+			if err != abi.OK {
+				done(err)
+				return
+			}
+			o.upper.Symlink(target, linkp, done)
+		})
+	})
+}
+
+// Utimes implements Backend: touching a lower-layer file copies it up
+// first (make's timestamp dance requires this).
+func (o *OverlayFS) Utimes(p string, atime, mtime int64, cb func(abi.Errno)) {
+	p = Clean(p)
+	o.lock(func(release func()) {
+		done := func(err abi.Errno) { cb(err); release() }
+		if o.deleted[p] {
+			done(abi.ENOENT)
+			return
+		}
+		o.upper.Utimes(p, atime, mtime, func(uerr abi.Errno) {
+			if uerr == abi.OK {
+				done(abi.OK)
+				return
+			}
+			o.lower.Stat(p, func(_ abi.Stat, lerr abi.Errno) {
+				if lerr != abi.OK {
+					done(abi.ENOENT)
+					return
+				}
+				o.copyUp(p, func(err abi.Errno) {
+					if err != abi.OK {
+						done(err)
+						return
+					}
+					o.upper.Utimes(p, atime, mtime, done)
+				})
+			})
+		})
+	})
+}
+
+// DeletedPaths returns the deletion log (diagnostics/tests).
+func (o *OverlayFS) DeletedPaths() []string {
+	out := make([]string, 0, len(o.deleted))
+	for p := range o.deleted {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,364 @@
+// Package httpx is the minimal HTTP/1.1 implementation the case studies
+// need: request/response serialization and parsing (content-length and
+// chunked bodies), a server loop for Browsix processes (the meme server,
+// §5.1.1), and pure building blocks the kernel-side XHR API reuses
+// (§4.1: Browsix "replaces several native modules, like the module for
+// parsing and generating HTTP responses and requests, with pure
+// JavaScript implementations").
+package httpx
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/posix"
+)
+
+// Request is an HTTP request.
+type Request struct {
+	Method string
+	Path   string
+	Proto  string
+	Header map[string]string
+	Body   []byte
+}
+
+// Response is an HTTP response.
+type Response struct {
+	Status     int
+	StatusText string
+	Header     map[string]string
+	Body       []byte
+}
+
+// statusText covers the codes the system emits.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 201:
+		return "Created"
+	case 204:
+		return "No Content"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Status " + strconv.Itoa(code)
+	}
+}
+
+// canonical header iteration order for deterministic output.
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteRequest serializes a request with a Content-Length body.
+func WriteRequest(r *Request) []byte {
+	var sb strings.Builder
+	path := r.Path
+	if path == "" {
+		path = "/"
+	}
+	fmt.Fprintf(&sb, "%s %s HTTP/1.1\r\n", r.Method, path)
+	hdr := map[string]string{"Host": "localhost", "Connection": "close"}
+	for k, v := range r.Header {
+		hdr[k] = v
+	}
+	if len(r.Body) > 0 {
+		hdr["Content-Length"] = strconv.Itoa(len(r.Body))
+	}
+	for _, k := range sortedKeys(hdr) {
+		fmt.Fprintf(&sb, "%s: %s\r\n", k, hdr[k])
+	}
+	sb.WriteString("\r\n")
+	out := append([]byte(sb.String()), r.Body...)
+	return out
+}
+
+// WriteResponse serializes a response. If resp.Header sets
+// Transfer-Encoding: chunked the body is chunk-encoded (the paper notes
+// the XHR layer handles "potentially chunked" responses); otherwise a
+// Content-Length header is emitted.
+func WriteResponse(r *Response) []byte {
+	var sb strings.Builder
+	text := r.StatusText
+	if text == "" {
+		text = statusText(r.Status)
+	}
+	fmt.Fprintf(&sb, "HTTP/1.1 %d %s\r\n", r.Status, text)
+	hdr := map[string]string{"Connection": "close"}
+	for k, v := range r.Header {
+		hdr[k] = v
+	}
+	chunked := strings.EqualFold(hdr["Transfer-Encoding"], "chunked")
+	if !chunked {
+		hdr["Content-Length"] = strconv.Itoa(len(r.Body))
+	}
+	for _, k := range sortedKeys(hdr) {
+		fmt.Fprintf(&sb, "%s: %s\r\n", k, hdr[k])
+	}
+	sb.WriteString("\r\n")
+	if !chunked {
+		return append([]byte(sb.String()), r.Body...)
+	}
+	out := []byte(sb.String())
+	const chunkSize = 4096
+	for off := 0; off < len(r.Body); off += chunkSize {
+		end := off + chunkSize
+		if end > len(r.Body) {
+			end = len(r.Body)
+		}
+		out = append(out, []byte(fmt.Sprintf("%x\r\n", end-off))...)
+		out = append(out, r.Body[off:end]...)
+		out = append(out, '\r', '\n')
+	}
+	out = append(out, []byte("0\r\n\r\n")...)
+	return out
+}
+
+// ReadFunc supplies stream bytes: it returns up to n bytes, empty at EOF.
+type ReadFunc func(n int) ([]byte, abi.Errno)
+
+// reader buffers a ReadFunc for incremental parsing.
+type reader struct {
+	read ReadFunc
+	buf  []byte
+	eof  bool
+}
+
+func (rd *reader) fill() abi.Errno {
+	if rd.eof {
+		return abi.OK
+	}
+	b, err := rd.read(16 * 1024)
+	if err != abi.OK {
+		return err
+	}
+	if len(b) == 0 {
+		rd.eof = true
+		return abi.OK
+	}
+	rd.buf = append(rd.buf, b...)
+	return abi.OK
+}
+
+// line reads through the next CRLF (or LF).
+func (rd *reader) line() (string, abi.Errno) {
+	for {
+		if i := strings.IndexByte(string(rd.buf), '\n'); i >= 0 {
+			line := strings.TrimRight(string(rd.buf[:i]), "\r")
+			rd.buf = rd.buf[i+1:]
+			return line, abi.OK
+		}
+		if rd.eof {
+			return "", abi.EIO
+		}
+		if err := rd.fill(); err != abi.OK {
+			return "", err
+		}
+	}
+}
+
+// take reads exactly n bytes.
+func (rd *reader) take(n int) ([]byte, abi.Errno) {
+	for len(rd.buf) < n {
+		if rd.eof {
+			return nil, abi.EIO
+		}
+		if err := rd.fill(); err != abi.OK {
+			return nil, err
+		}
+	}
+	out := rd.buf[:n]
+	rd.buf = rd.buf[n:]
+	return out, abi.OK
+}
+
+// rest drains to EOF.
+func (rd *reader) rest() ([]byte, abi.Errno) {
+	for !rd.eof {
+		if err := rd.fill(); err != abi.OK {
+			return nil, err
+		}
+	}
+	out := rd.buf
+	rd.buf = nil
+	return out, abi.OK
+}
+
+// readHeaders parses "K: V" lines until the blank line.
+func (rd *reader) readHeaders() (map[string]string, abi.Errno) {
+	hdr := map[string]string{}
+	for {
+		line, err := rd.line()
+		if err != abi.OK {
+			return nil, err
+		}
+		if line == "" {
+			return hdr, abi.OK
+		}
+		k, v, found := strings.Cut(line, ":")
+		if !found {
+			return nil, abi.EINVAL
+		}
+		hdr[textprotoCanon(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+}
+
+// textprotoCanon canonicalizes a header name (Content-Length form).
+func textprotoCanon(s string) string {
+	parts := strings.Split(strings.ToLower(s), "-")
+	for i, p := range parts {
+		if p != "" {
+			parts[i] = strings.ToUpper(p[:1]) + p[1:]
+		}
+	}
+	return strings.Join(parts, "-")
+}
+
+// readBody consumes a message body per the headers.
+func (rd *reader) readBody(hdr map[string]string, isResponse bool) ([]byte, abi.Errno) {
+	if strings.EqualFold(hdr["Transfer-Encoding"], "chunked") {
+		var body []byte
+		for {
+			line, err := rd.line()
+			if err != abi.OK {
+				return nil, err
+			}
+			n, perr := strconv.ParseInt(strings.TrimSpace(line), 16, 64)
+			if perr != nil {
+				return nil, abi.EINVAL
+			}
+			if n == 0 {
+				rd.line() // trailing CRLF
+				return body, abi.OK
+			}
+			chunk, err := rd.take(int(n))
+			if err != abi.OK {
+				return nil, err
+			}
+			body = append(body, chunk...)
+			rd.line() // chunk CRLF
+		}
+	}
+	if cl, ok := hdr["Content-Length"]; ok {
+		n, perr := strconv.Atoi(cl)
+		if perr != nil || n < 0 {
+			return nil, abi.EINVAL
+		}
+		return rd.take(n)
+	}
+	if isResponse {
+		// Connection: close framing.
+		return rd.rest()
+	}
+	return nil, abi.OK
+}
+
+// ReadRequest parses one request from a stream.
+func ReadRequest(read ReadFunc) (*Request, abi.Errno) {
+	rd := &reader{read: read}
+	line, err := rd.line()
+	if err != abi.OK {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 3 {
+		return nil, abi.EINVAL
+	}
+	hdr, err := rd.readHeaders()
+	if err != abi.OK {
+		return nil, err
+	}
+	body, err := rd.readBody(hdr, false)
+	if err != abi.OK {
+		return nil, err
+	}
+	return &Request{Method: parts[0], Path: parts[1], Proto: parts[2], Header: hdr, Body: body}, abi.OK
+}
+
+// ReadResponse parses one response from a stream.
+func ReadResponse(read ReadFunc) (*Response, abi.Errno) {
+	rd := &reader{read: read}
+	line, err := rd.line()
+	if err != abi.OK {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 {
+		return nil, abi.EINVAL
+	}
+	status, perr := strconv.Atoi(parts[1])
+	if perr != nil {
+		return nil, abi.EINVAL
+	}
+	text := ""
+	if len(parts) == 3 {
+		text = parts[2]
+	}
+	hdr, err := rd.readHeaders()
+	if err != abi.OK {
+		return nil, err
+	}
+	body, err := rd.readBody(hdr, true)
+	if err != abi.OK {
+		return nil, err
+	}
+	return &Response{Status: status, StatusText: text, Header: hdr, Body: body}, abi.OK
+}
+
+// Handler services one request.
+type Handler func(req *Request) *Response
+
+// Serve runs an HTTP/1.1 server on a Browsix process: bind, listen,
+// accept, one request per connection (Connection: close). It returns only
+// on listen failure; the process typically runs until killed, exactly like
+// the meme server.
+func Serve(p posix.Proc, port int, handler Handler) abi.Errno {
+	fd, err := p.Socket()
+	if err != abi.OK {
+		return err
+	}
+	if err := p.Bind(fd, port); err != abi.OK {
+		return err
+	}
+	if err := p.Listen(fd, 16); err != abi.OK {
+		return err
+	}
+	for {
+		conn, err := p.Accept(fd)
+		if err != abi.OK {
+			return err
+		}
+		serveConn(p, conn, handler)
+	}
+}
+
+// serveConn handles a single connection.
+func serveConn(p posix.Proc, conn int, handler Handler) {
+	req, err := ReadRequest(func(n int) ([]byte, abi.Errno) { return p.Read(conn, n) })
+	if err != abi.OK {
+		p.Close(conn)
+		return
+	}
+	resp := handler(req)
+	if resp == nil {
+		resp = &Response{Status: 500}
+	}
+	posix.WriteAll(p, conn, WriteResponse(resp))
+	p.Close(conn)
+}

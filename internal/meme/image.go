@@ -1,0 +1,520 @@
+// Package meme implements the meme-generator case study (§5.1.1): a
+// stateless Go HTTP server that reads template images and font files from
+// the file system and composites captions onto them. In the paper the
+// server is compiled with GopherJS and runs unmodified either on a remote
+// machine or inside Browsix; here the same Go functions back (a) the
+// Browsix process "meme-server" (GopherJS runtime, paying the missing-
+// int64 penalty on pixel work) and (b) the netsim remote host — the
+// "same source code" property the case study demonstrates.
+package meme
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Image is a simple RGB raster, serialized as binary PPM (P6) — a format
+// writable without any image library, like the paper's server uses
+// fogleman/gg to rasterize PNGs.
+type Image struct {
+	W, H int
+	Pix  []byte // RGB, 3 bytes per pixel
+}
+
+// NewImage allocates a raster filled with a solid color.
+func NewImage(w, h int, r, g, b byte) *Image {
+	img := &Image{W: w, H: h, Pix: make([]byte, w*h*3)}
+	for i := 0; i < len(img.Pix); i += 3 {
+		img.Pix[i], img.Pix[i+1], img.Pix[i+2] = r, g, b
+	}
+	return img
+}
+
+// Set writes one pixel (bounds-checked).
+func (im *Image) Set(x, y int, r, g, b byte) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	i := (y*im.W + x) * 3
+	im.Pix[i], im.Pix[i+1], im.Pix[i+2] = r, g, b
+}
+
+// At reads one pixel.
+func (im *Image) At(x, y int) (byte, byte, byte) {
+	i := (y*im.W + x) * 3
+	return im.Pix[i], im.Pix[i+1], im.Pix[i+2]
+}
+
+// EncodePPM serializes to binary PPM.
+func (im *Image) EncodePPM() []byte {
+	hdr := fmt.Sprintf("P6\n%d %d\n255\n", im.W, im.H)
+	out := make([]byte, 0, len(hdr)+len(im.Pix))
+	out = append(out, hdr...)
+	return append(out, im.Pix...)
+}
+
+// DecodePPM parses a binary PPM.
+func DecodePPM(data []byte) (*Image, error) {
+	s := string(data)
+	if !strings.HasPrefix(s, "P6") {
+		return nil, fmt.Errorf("meme: not a P6 PPM")
+	}
+	// Header: three whitespace-separated numbers after the magic.
+	fields := make([]int, 0, 3)
+	i := 2
+	for len(fields) < 3 && i < len(s) {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' || s[i] == '\r') {
+			i++
+		}
+		if i < len(s) && s[i] == '#' { // comment
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		if j == i {
+			return nil, fmt.Errorf("meme: bad PPM header")
+		}
+		v, _ := strconv.Atoi(s[i:j])
+		fields = append(fields, v)
+		i = j
+	}
+	if len(fields) != 3 {
+		return nil, fmt.Errorf("meme: truncated PPM header")
+	}
+	i++ // single whitespace after maxval
+	w, h := fields[0], fields[1]
+	need := w * h * 3
+	if len(data)-i < need {
+		return nil, fmt.Errorf("meme: truncated PPM body (%d < %d)", len(data)-i, need)
+	}
+	return &Image{W: w, H: h, Pix: data[i : i+need]}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Font: a 5x7 bitmap font parsed from a file in the image (the server
+// "reads base images and font files from the filesystem").
+// ---------------------------------------------------------------------------
+
+// Font maps runes to 5x7 bitmaps.
+type Font struct {
+	Glyphs map[rune][7]byte // 7 rows, low 5 bits used
+}
+
+// ParseFont reads the font-file format: blocks of "char X" followed by 7
+// rows of '#'/'.' cells.
+func ParseFont(data []byte) (*Font, error) {
+	f := &Font{Glyphs: map[rune][7]byte{}}
+	lines := strings.Split(string(data), "\n")
+	i := 0
+	for i < len(lines) {
+		line := strings.TrimSpace(lines[i])
+		if line == "" || strings.HasPrefix(line, "//") {
+			i++
+			continue
+		}
+		name, found := strings.CutPrefix(line, "char ")
+		if !found || i+7 > len(lines)-0 {
+			return nil, fmt.Errorf("meme: bad font line %d: %q", i, line)
+		}
+		var ch rune
+		if name == "space" {
+			ch = ' '
+		} else {
+			rs := []rune(name)
+			if len(rs) != 1 {
+				return nil, fmt.Errorf("meme: bad char name %q", name)
+			}
+			ch = rs[0]
+		}
+		var rows [7]byte
+		for r := 0; r < 7; r++ {
+			row := lines[i+1+r]
+			var bits byte
+			for c := 0; c < 5 && c < len(row); c++ {
+				if row[c] == '#' {
+					bits |= 1 << uint(4-c)
+				}
+			}
+			rows[r] = bits
+		}
+		f.Glyphs[ch] = rows
+		i += 8
+	}
+	return f, nil
+}
+
+// DrawText rasterizes text onto the image centered at (cx, y) with the
+// given pixel scale, white fill with black outline (the classic meme
+// look). Returns the number of pixels touched, which the server charges
+// as 64-bit-heavy CPU work (the paper's GopherJS int64 penalty).
+func (f *Font) DrawText(im *Image, text string, cx, y, scale int) int {
+	text = strings.ToUpper(text)
+	adv := 6 * scale
+	width := adv * len(text)
+	x0 := cx - width/2
+	touched := 0
+	for idx, ch := range text {
+		glyph, ok := f.Glyphs[ch]
+		if !ok {
+			continue
+		}
+		gx := x0 + idx*adv
+		for r := 0; r < 7; r++ {
+			for c := 0; c < 5; c++ {
+				if glyph[r]&(1<<uint(4-c)) == 0 {
+					continue
+				}
+				for sy := 0; sy < scale; sy++ {
+					for sx := 0; sx < scale; sx++ {
+						px := gx + c*scale + sx
+						py := y + r*scale + sy
+						// outline
+						im.Set(px-1, py, 0, 0, 0)
+						im.Set(px+1, py, 0, 0, 0)
+						im.Set(px, py-1, 0, 0, 0)
+						im.Set(px, py+1, 0, 0, 0)
+						im.Set(px, py, 255, 255, 255)
+						touched += 5
+					}
+				}
+			}
+		}
+	}
+	return touched
+}
+
+// FontFile renders the built-in font as its file format, for staging
+// into /usr/share/fonts.
+func FontFile() []byte {
+	return []byte(builtinFont)
+}
+
+// builtinFont covers A-Z, 0-9, space and a little punctuation.
+const builtinFont = `// browsix meme font 5x7
+char A
+.###.
+#...#
+#...#
+#####
+#...#
+#...#
+#...#
+char B
+####.
+#...#
+####.
+#...#
+#...#
+#...#
+####.
+char C
+.###.
+#...#
+#....
+#....
+#....
+#...#
+.###.
+char D
+####.
+#...#
+#...#
+#...#
+#...#
+#...#
+####.
+char E
+#####
+#....
+####.
+#....
+#....
+#....
+#####
+char F
+#####
+#....
+####.
+#....
+#....
+#....
+#....
+char G
+.###.
+#....
+#....
+#.###
+#...#
+#...#
+.###.
+char H
+#...#
+#...#
+#####
+#...#
+#...#
+#...#
+#...#
+char I
+#####
+..#..
+..#..
+..#..
+..#..
+..#..
+#####
+char J
+....#
+....#
+....#
+....#
+#...#
+#...#
+.###.
+char K
+#...#
+#..#.
+###..
+#..#.
+#...#
+#...#
+#...#
+char L
+#....
+#....
+#....
+#....
+#....
+#....
+#####
+char M
+#...#
+##.##
+#.#.#
+#...#
+#...#
+#...#
+#...#
+char N
+#...#
+##..#
+#.#.#
+#..##
+#...#
+#...#
+#...#
+char O
+.###.
+#...#
+#...#
+#...#
+#...#
+#...#
+.###.
+char P
+####.
+#...#
+#...#
+####.
+#....
+#....
+#....
+char Q
+.###.
+#...#
+#...#
+#...#
+#.#.#
+#..#.
+.##.#
+char R
+####.
+#...#
+#...#
+####.
+#.#..
+#..#.
+#...#
+char S
+.####
+#....
+#....
+.###.
+....#
+....#
+####.
+char T
+#####
+..#..
+..#..
+..#..
+..#..
+..#..
+..#..
+char U
+#...#
+#...#
+#...#
+#...#
+#...#
+#...#
+.###.
+char V
+#...#
+#...#
+#...#
+#...#
+#...#
+.#.#.
+..#..
+char W
+#...#
+#...#
+#...#
+#.#.#
+#.#.#
+##.##
+#...#
+char X
+#...#
+#...#
+.#.#.
+..#..
+.#.#.
+#...#
+#...#
+char Y
+#...#
+#...#
+.#.#.
+..#..
+..#..
+..#..
+..#..
+char Z
+#####
+....#
+...#.
+..#..
+.#...
+#....
+#####
+char 0
+.###.
+#..##
+#.#.#
+##..#
+#...#
+#...#
+.###.
+char 1
+..#..
+.##..
+..#..
+..#..
+..#..
+..#..
+#####
+char 2
+.###.
+#...#
+....#
+..##.
+.#...
+#....
+#####
+char 3
+.###.
+#...#
+....#
+..##.
+....#
+#...#
+.###.
+char 4
+#...#
+#...#
+#...#
+#####
+....#
+....#
+....#
+char 5
+#####
+#....
+####.
+....#
+....#
+#...#
+.###.
+char 6
+.###.
+#....
+####.
+#...#
+#...#
+#...#
+.###.
+char 7
+#####
+....#
+...#.
+..#..
+..#..
+..#..
+..#..
+char 8
+.###.
+#...#
+#...#
+.###.
+#...#
+#...#
+.###.
+char 9
+.###.
+#...#
+#...#
+.####
+....#
+....#
+.###.
+char !
+..#..
+..#..
+..#..
+..#..
+..#..
+.....
+..#..
+char ?
+.###.
+#...#
+....#
+..##.
+..#..
+.....
+..#..
+char .
+.....
+.....
+.....
+.....
+.....
+.##..
+.##..
+char space
+.....
+.....
+.....
+.....
+.....
+.....
+.....
+`

@@ -1,0 +1,368 @@
+// Package mk implements the GNU Make subset the LaTeX case study runs
+// (§2): variable definitions and $(VAR) expansion, rules with
+// prerequisites, tab-indented recipes, .PHONY, @/- recipe prefixes, -f /
+// -C flags, and mtime-based rebuild decisions.
+//
+// Faithfully to the paper, make is the one program in the LaTeX workflow
+// that calls fork (§2.2: "only GNU Make uses fork and requires this
+// setting"): every recipe line runs in a forked child that restores the
+// shipped memory snapshot and execs `/bin/sh -c <recipe>` — the
+// Emscripten fork mechanism of §4.3 — so it must be installed under the
+// Emterpreter (em-async) runtime.
+package mk
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/posix"
+)
+
+func init() {
+	posix.Register(&posix.Program{
+		Name:       "make",
+		Main:       Main,
+		ResumeFork: resumeFork,
+	})
+}
+
+// rule is one Makefile rule.
+type rule struct {
+	target  string
+	deps    []string
+	recipe  []string
+	phony   bool
+	defined bool
+}
+
+// makefile is a parsed Makefile.
+type makefile struct {
+	vars  map[string]string
+	rules map[string]*rule
+	order []string // rule definition order; first is the default goal
+}
+
+// Main is the `make` entry point.
+func Main(p posix.Proc) int {
+	args := p.Args()[1:]
+	file := "Makefile"
+	var goals []string
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-f" && i+1 < len(args):
+			file = args[i+1]
+			i++
+		case args[i] == "-C" && i+1 < len(args):
+			if err := p.Chdir(args[i+1]); err != abi.OK {
+				return fail(p, "chdir %s: %v", args[i+1], err)
+			}
+			i++
+		case strings.HasPrefix(args[i], "-"):
+			// ignore other flags (-j is meaningless here)
+		default:
+			goals = append(goals, args[i])
+		}
+	}
+	src, err := posix.ReadFile(p, file)
+	if err != abi.OK {
+		return fail(p, "%s: %v", file, err)
+	}
+	mf, perr := parseMakefile(string(src))
+	if perr != "" {
+		return fail(p, "%s: %s", file, perr)
+	}
+	if len(goals) == 0 {
+		if len(mf.order) == 0 {
+			return fail(p, "no targets")
+		}
+		goals = []string{mf.order[0]}
+	}
+	m := &runner{p: p, mf: mf, building: map[string]bool{}}
+	for _, goal := range goals {
+		built, code := m.build(goal)
+		if code != 0 {
+			return code
+		}
+		if !built {
+			posix.Fprintf(p, abi.Stdout, "make: '%s' is up to date.\n", goal)
+		}
+	}
+	return 0
+}
+
+func fail(p posix.Proc, format string, args ...any) int {
+	posix.Fprintf(p, abi.Stderr, "make: "+format+"\n", args...)
+	return 2
+}
+
+// parseMakefile handles variables, rules, recipes, comments, and line
+// continuations.
+func parseMakefile(src string) (*makefile, string) {
+	mf := &makefile{vars: map[string]string{}, rules: map[string]*rule{}}
+	// Fold continuations.
+	src = strings.ReplaceAll(src, "\\\n", " ")
+	var current []*rule
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(line, "\t") {
+			if len(current) == 0 {
+				return nil, "recipe before any target"
+			}
+			text := strings.TrimPrefix(line, "\t")
+			if strings.TrimSpace(text) == "" {
+				continue
+			}
+			for _, r := range current {
+				r.recipe = append(r.recipe, text)
+			}
+			continue
+		}
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		// Variable assignment? (VAR = value, VAR := value)
+		if name, value, ok := splitAssign(trimmed); ok {
+			mf.vars[name] = expandVars(value, mf.vars)
+			current = nil
+			continue
+		}
+		// Rule line: targets: deps
+		colon := strings.IndexByte(trimmed, ':')
+		if colon < 0 {
+			return nil, "malformed line: " + trimmed
+		}
+		targets := strings.Fields(expandVars(trimmed[:colon], mf.vars))
+		deps := strings.Fields(expandVars(trimmed[colon+1:], mf.vars))
+		if len(targets) == 1 && targets[0] == ".PHONY" {
+			for _, d := range deps {
+				mf.rule(d).phony = true
+			}
+			current = nil
+			continue
+		}
+		current = nil
+		for _, t := range targets {
+			r := mf.rule(t)
+			r.defined = true
+			r.deps = append(r.deps, deps...)
+			current = append(current, r)
+		}
+	}
+	return mf, ""
+}
+
+func splitAssign(line string) (string, string, bool) {
+	for _, op := range []string{":=", "="} {
+		if i := strings.Index(line, op); i > 0 {
+			name := strings.TrimSpace(line[:i])
+			if strings.ContainsAny(name, " \t:") {
+				continue
+			}
+			return name, strings.TrimSpace(line[i+len(op):]), true
+		}
+	}
+	return "", "", false
+}
+
+func (mf *makefile) rule(target string) *rule {
+	if r, ok := mf.rules[target]; ok {
+		return r
+	}
+	r := &rule{target: target}
+	mf.rules[target] = r
+	mf.order = append(mf.order, target)
+	return r
+}
+
+// expandVars substitutes $(VAR) and ${VAR} references.
+func expandVars(s string, vars map[string]string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] == '$' && i+1 < len(s) {
+			switch s[i+1] {
+			case '(', '{':
+				closeCh := byte(')')
+				if s[i+1] == '{' {
+					closeCh = '}'
+				}
+				end := strings.IndexByte(s[i+2:], closeCh)
+				if end >= 0 {
+					name := s[i+2 : i+2+end]
+					sb.WriteString(vars[name])
+					i += end + 3
+					continue
+				}
+			case '$':
+				sb.WriteByte('$')
+				i += 2
+				continue
+			}
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}
+
+// runner executes the build graph.
+type runner struct {
+	p        posix.Proc
+	mf       *makefile
+	building map[string]bool
+}
+
+// build brings target up to date; reports whether work ran.
+func (m *runner) build(target string) (bool, int) {
+	if m.building[target] {
+		return false, fail(m.p, "circular dependency on %s", target)
+	}
+	m.building[target] = true
+	defer delete(m.building, target)
+
+	r := m.mf.rules[target]
+	st, serr := m.p.Stat(target)
+	if r == nil || !r.defined {
+		if serr == abi.OK {
+			return false, 0 // plain source file
+		}
+		return false, fail(m.p, "no rule to make target '%s'", target)
+	}
+	ran := false
+	var newestDep int64
+	for _, dep := range r.deps {
+		depRan, code := m.build(dep)
+		if code != 0 {
+			return false, code
+		}
+		ran = ran || depRan
+		if dst, derr := m.p.Stat(dep); derr == abi.OK && dst.Mtime > newestDep {
+			newestDep = dst.Mtime
+		}
+	}
+	need := r.phony || serr != abi.OK || newestDep > st.Mtime
+	if !need || len(r.recipe) == 0 {
+		return ran, 0
+	}
+	ran = true
+	auto := map[string]string{
+		"@": r.target,
+		"<": first(r.deps),
+		"^": strings.Join(dedup(r.deps), " "),
+	}
+	for _, line := range r.recipe {
+		cmd := m.expandRecipe(line, auto)
+		silent := false
+		ignoreErr := false
+		for {
+			if strings.HasPrefix(cmd, "@") {
+				silent, cmd = true, cmd[1:]
+				continue
+			}
+			if strings.HasPrefix(cmd, "-") {
+				ignoreErr, cmd = true, cmd[1:]
+				continue
+			}
+			break
+		}
+		if !silent {
+			posix.WriteString(m.p, abi.Stdout, cmd+"\n")
+		}
+		code := m.runRecipe(cmd)
+		if code != 0 && !ignoreErr {
+			posix.Fprintf(m.p, abi.Stderr, "make: *** [%s] Error %d\n", r.target, code)
+			return true, code
+		}
+	}
+	return true, 0
+}
+
+func first(ss []string) string {
+	if len(ss) == 0 {
+		return ""
+	}
+	return ss[0]
+}
+
+func dedup(ss []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (m *runner) expandRecipe(line string, auto map[string]string) string {
+	vars := map[string]string{}
+	for k, v := range m.mf.vars {
+		vars[k] = v
+	}
+	line = expandVars(line, vars)
+	for k, v := range auto {
+		line = strings.ReplaceAll(line, "$"+k, v)
+	}
+	return line
+}
+
+// runRecipe executes one recipe line: fork, then the child execs
+// /bin/sh -c <cmd> — the paper's make-on-Browsix execution path. On
+// runtimes without fork (a misconfigured install) it falls back to spawn,
+// mirroring how a non-Emterpreter build of make would fail the paper's
+// compile-time check.
+func (m *runner) runRecipe(cmd string) int {
+	p := m.p
+	pid, err := p.Fork("exec-recipe", []byte(cmd))
+	if err == abi.ENOSYS {
+		// spawn fallback (not the paper's path; kept for robustness).
+		var serr abi.Errno
+		pid, serr = p.Spawn("/bin/sh", []string{"sh", "-c", cmd}, p.Environ(), nil)
+		if serr != abi.OK {
+			posix.Fprintf(p, abi.Stderr, "make: sh: %v\n", serr)
+			return 127
+		}
+	} else if err != abi.OK {
+		posix.Fprintf(p, abi.Stderr, "make: fork: %v\n", err)
+		return 127
+	}
+	_, status, werr := p.Wait4(pid, 0)
+	if werr != abi.OK {
+		return 127
+	}
+	if abi.WIFSIGNALED(status) {
+		return 128 + abi.WTERMSIG(status)
+	}
+	return abi.WEXITSTATUS(status)
+}
+
+// resumeFork is the forked child's continuation: the snapshot (the
+// Emscripten "global memory") carries the pending recipe; the child
+// replaces itself with the shell running it.
+func resumeFork(p posix.Proc, mem []byte, label string) int {
+	if label != "exec-recipe" {
+		return 127
+	}
+	cmd := string(mem)
+	if err := p.Exec("/bin/sh", []string{"sh", "-c", cmd}, p.Environ()); err != abi.OK {
+		posix.Fprintf(p, abi.Stderr, "make(child): exec: %v\n", err)
+		return 127
+	}
+	return 0 // unreachable
+}
+
+// Targets lists rule names (diagnostics).
+func Targets(src string) []string {
+	mf, err := parseMakefile(src)
+	if err != "" {
+		return nil
+	}
+	out := append([]string{}, mf.order...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,94 @@
+package mk
+
+import "testing"
+
+func TestParseMakefileRulesAndVars(t *testing.T) {
+	src := `
+# comment
+CC = gcc
+FLAGS := -O2 $(CC)
+
+all: prog
+prog: main.o util.o
+	$(CC) $(FLAGS) -o $@ $^
+main.o: main.c
+	$(CC) -c $<
+
+.PHONY: all clean
+clean:
+	rm -f prog *.o
+`
+	mf, err := parseMakefile(src)
+	if err != "" {
+		t.Fatal(err)
+	}
+	if mf.vars["CC"] != "gcc" {
+		t.Fatalf("CC = %q", mf.vars["CC"])
+	}
+	if mf.vars["FLAGS"] != "-O2 gcc" {
+		t.Fatalf("FLAGS = %q (nested expansion)", mf.vars["FLAGS"])
+	}
+	if mf.order[0] != "all" {
+		t.Fatalf("default goal = %q", mf.order[0])
+	}
+	prog := mf.rules["prog"]
+	if len(prog.deps) != 2 || len(prog.recipe) != 1 {
+		t.Fatalf("prog rule: %+v", prog)
+	}
+	if !mf.rules["all"].phony || !mf.rules["clean"].phony {
+		t.Fatal(".PHONY not applied")
+	}
+}
+
+func TestParseMakefileContinuation(t *testing.T) {
+	mf, err := parseMakefile("long: a \\\n b \\\n c\n\techo done\n")
+	if err != "" {
+		t.Fatal(err)
+	}
+	if got := len(mf.rules["long"].deps); got != 3 {
+		t.Fatalf("deps after continuation = %d", got)
+	}
+}
+
+func TestParseMakefileRecipeWithoutTarget(t *testing.T) {
+	if _, err := parseMakefile("\techo orphan\n"); err == "" {
+		t.Fatal("expected error for recipe before target")
+	}
+}
+
+func TestExpandVars(t *testing.T) {
+	vars := map[string]string{"A": "x", "LONG": "hello world"}
+	cases := map[string]string{
+		"$(A)":       "x",
+		"${LONG}!":   "hello world!",
+		"$$(A)":      "$(A)",
+		"$(MISSING)": "",
+		"pre$(A)suf": "prexsuf",
+	}
+	for in, want := range cases {
+		if got := expandVars(in, vars); got != want {
+			t.Errorf("expandVars(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTargetsHelper(t *testing.T) {
+	ts := Targets("b: a\n\techo b\na:\n\techo a\n")
+	if len(ts) != 2 {
+		t.Fatalf("targets = %v", ts)
+	}
+}
+
+func TestSplitAssign(t *testing.T) {
+	name, val, ok := splitAssign("FOO := bar baz")
+	if !ok || name != "FOO" || val != "bar baz" {
+		t.Fatalf("got %q %q %v", name, val, ok)
+	}
+	if _, _, ok := splitAssign("target: dep"); ok {
+		t.Fatal("rule parsed as assignment")
+	}
+	// ':' in the name means it's a rule, not an assignment.
+	if _, _, ok := splitAssign("a b = c"); ok {
+		t.Fatal("spaced name accepted")
+	}
+}

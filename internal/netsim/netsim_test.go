@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func newNet() (*sched.Sim, *sched.Ctx, *Net) {
+	sim := sched.New()
+	sim.MaxSteps = 100_000
+	browserCtx := sim.NewCtx("browser")
+	return sim, browserCtx, New(sim)
+}
+
+func TestFetchLatencyModel(t *testing.T) {
+	sim, browserCtx, net := newNet()
+	files := map[string][]byte{"/a.sty": make([]byte, 10_000)}
+	net.AddHost(FileHost("cdn", 30_000_000, 10, files)) // 30ms RTT, 10ns/B
+
+	var deliveredAt int64
+	var status int
+	sim.Post(browserCtx, 0, func() {
+		net.Fetch("cdn", Request{Method: "GET", Path: "/a.sty"}, func(r Response) {
+			status = r.Status
+			deliveredAt = browserCtx.Now()
+		})
+	})
+	sim.Run()
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	// At least a full RTT plus body transfer (10k * 10ns = 100us).
+	if deliveredAt < 30_000_000+100_000 {
+		t.Fatalf("delivered at %dus, faster than the network allows", deliveredAt/1000)
+	}
+}
+
+func TestFetch404(t *testing.T) {
+	sim, browserCtx, net := newNet()
+	net.AddHost(FileHost("cdn", 1_000_000, 1, map[string][]byte{}))
+	status := -1
+	sim.Post(browserCtx, 0, func() {
+		net.Fetch("cdn", Request{Path: "/missing"}, func(r Response) { status = r.Status })
+	})
+	sim.Run()
+	if status != 404 {
+		t.Fatalf("status = %d", status)
+	}
+}
+
+func TestOfflineAndUnknownHost(t *testing.T) {
+	sim, browserCtx, net := newNet()
+	net.AddHost(FileHost("cdn", 1_000_000, 1, map[string][]byte{"/x": {1}}))
+	var statuses []int
+	sim.Post(browserCtx, 0, func() {
+		net.Fetch("nowhere", Request{Path: "/x"}, func(r Response) { statuses = append(statuses, r.Status) })
+	})
+	sim.Run()
+	net.Offline = true
+	sim.Post(browserCtx, browserCtx.Now(), func() {
+		net.Fetch("cdn", Request{Path: "/x"}, func(r Response) { statuses = append(statuses, r.Status) })
+	})
+	sim.Run()
+	if len(statuses) != 2 || statuses[0] != 0 || statuses[1] != 0 {
+		t.Fatalf("statuses = %v, want [0 0]", statuses)
+	}
+}
+
+func TestHostRequestCounting(t *testing.T) {
+	sim, browserCtx, net := newNet()
+	h := net.AddHost(FileHost("cdn", 1_000_000, 1, map[string][]byte{"/x": {1}}))
+	sim.Post(browserCtx, 0, func() {
+		net.Fetch("cdn", Request{Path: "/x"}, func(Response) {})
+		net.Fetch("cdn", Request{Path: "/x"}, func(Response) {})
+	})
+	sim.Run()
+	if h.Requests != 2 {
+		t.Fatalf("requests = %d", h.Requests)
+	}
+}
+
+func TestFSFetcherAdapter(t *testing.T) {
+	sim, browserCtx, net := newNet()
+	net.AddHost(FileHost("texlive", 5_000_000, 2, map[string][]byte{
+		"/tree/sty/a.sty": []byte("content"),
+	}))
+	f := &FSFetcher{Net: net, HostNm: "texlive", Prefix: "/tree"}
+	var body []byte
+	var status int
+	sim.Post(browserCtx, 0, func() {
+		f.Fetch("/sty/a.sty", func(b []byte, s int) { body, status = b, s })
+	})
+	sim.Run()
+	if status != 200 || string(body) != "content" {
+		t.Fatalf("fetch: %d %q", status, body)
+	}
+}
+
+func TestServerCPUChargedToHostNotBrowser(t *testing.T) {
+	sim, browserCtx, net := newNet()
+	h := net.AddHost(&Host{
+		Name: "worker",
+		RTT:  2_000_000,
+		Handler: func(h *Host, req Request) Response {
+			h.Charge(500_000_000) // 500ms of server work
+			return Response{Status: 200}
+		},
+	})
+	var deliveredAt int64
+	sim.Post(browserCtx, 0, func() {
+		net.Fetch("worker", Request{Path: "/"}, func(Response) { deliveredAt = browserCtx.Now() })
+	})
+	sim.Run()
+	if deliveredAt < 500_000_000 {
+		t.Fatalf("response before server work finished: %dms", deliveredAt/1e6)
+	}
+	_ = h
+}

@@ -1,0 +1,221 @@
+package posix
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/abi"
+)
+
+// Helper routines programs share — the "libc" above raw system calls.
+
+// DefaultChunk is the buffered-I/O chunk size runtimes and utilities use.
+const DefaultChunk = 16 * 1024
+
+// WriteAll writes all of b to fd, looping on short writes.
+func WriteAll(p Proc, fd int, b []byte) abi.Errno {
+	for len(b) > 0 {
+		n, err := p.Write(fd, b)
+		if err != abi.OK {
+			return err
+		}
+		if n <= 0 {
+			return abi.EIO
+		}
+		b = b[n:]
+	}
+	return abi.OK
+}
+
+// WriteString writes a string to fd.
+func WriteString(p Proc, fd int, s string) abi.Errno { return WriteAll(p, fd, []byte(s)) }
+
+// Fprintf formats to fd.
+func Fprintf(p Proc, fd int, format string, args ...any) abi.Errno {
+	return WriteString(p, fd, fmt.Sprintf(format, args...))
+}
+
+// ReadAll reads fd to EOF.
+func ReadAll(p Proc, fd int) ([]byte, abi.Errno) {
+	var out []byte
+	for {
+		b, err := p.Read(fd, DefaultChunk)
+		if err != abi.OK {
+			return out, err
+		}
+		if len(b) == 0 {
+			return out, abi.OK
+		}
+		out = append(out, b...)
+	}
+}
+
+// ReadFile slurps a file by path.
+func ReadFile(p Proc, path string) ([]byte, abi.Errno) {
+	fd, err := p.Open(path, abi.O_RDONLY, 0)
+	if err != abi.OK {
+		return nil, err
+	}
+	defer p.Close(fd)
+	return ReadAll(p, fd)
+}
+
+// WriteFile creates/truncates a file with contents.
+func WriteFile(p Proc, path string, data []byte, mode uint32) abi.Errno {
+	fd, err := p.Open(path, abi.O_WRONLY|abi.O_CREAT|abi.O_TRUNC, mode)
+	if err != abi.OK {
+		return err
+	}
+	werr := WriteAll(p, fd, data)
+	cerr := p.Close(fd)
+	if werr != abi.OK {
+		return werr
+	}
+	return cerr
+}
+
+// CopyFd streams src to dst until EOF, returning bytes copied.
+func CopyFd(p Proc, dst, src int) (int64, abi.Errno) {
+	var total int64
+	for {
+		b, err := p.Read(src, DefaultChunk)
+		if err != abi.OK {
+			return total, err
+		}
+		if len(b) == 0 {
+			return total, abi.OK
+		}
+		if err := WriteAll(p, dst, b); err != abi.OK {
+			return total, err
+		}
+		total += int64(len(b))
+	}
+}
+
+// LineReader reads lines from a descriptor with internal buffering.
+type LineReader struct {
+	p   Proc
+	fd  int
+	buf []byte
+	eof bool
+}
+
+// NewLineReader wraps fd for line-at-a-time reading.
+func NewLineReader(p Proc, fd int) *LineReader { return &LineReader{p: p, fd: fd} }
+
+// ReadLine returns the next line without its trailing newline; ok=false at
+// EOF (after the final, possibly unterminated, line has been returned).
+func (lr *LineReader) ReadLine() (string, bool, abi.Errno) {
+	for {
+		if i := strings.IndexByte(string(lr.buf), '\n'); i >= 0 {
+			line := string(lr.buf[:i])
+			lr.buf = lr.buf[i+1:]
+			return line, true, abi.OK
+		}
+		if lr.eof {
+			if len(lr.buf) > 0 {
+				line := string(lr.buf)
+				lr.buf = nil
+				return line, true, abi.OK
+			}
+			return "", false, abi.OK
+		}
+		b, err := lr.p.Read(lr.fd, DefaultChunk)
+		if err != abi.OK {
+			return "", false, err
+		}
+		if len(b) == 0 {
+			lr.eof = true
+			continue
+		}
+		lr.buf = append(lr.buf, b...)
+	}
+}
+
+// Lines reads all lines from fd.
+func Lines(p Proc, fd int) ([]string, abi.Errno) {
+	lr := NewLineReader(p, fd)
+	var out []string
+	for {
+		line, ok, err := lr.ReadLine()
+		if err != abi.OK {
+			return out, err
+		}
+		if !ok {
+			return out, abi.OK
+		}
+		out = append(out, line)
+	}
+}
+
+// Getenv looks a key up in an environment list ("K=V" strings).
+func Getenv(env []string, key string) string {
+	for _, kv := range env {
+		if len(kv) > len(key) && kv[len(key)] == '=' && kv[:len(key)] == key {
+			return kv[len(key)+1:]
+		}
+	}
+	return ""
+}
+
+// SetEnv returns env with key set to value, replacing any existing entry.
+func SetEnv(env []string, key, value string) []string {
+	for i, kv := range env {
+		if len(kv) > len(key) && kv[len(key)] == '=' && kv[:len(key)] == key {
+			env[i] = key + "=" + value
+			return env
+		}
+	}
+	return append(env, key+"="+value)
+}
+
+// JoinNul packs strings NUL-separated for the sync-spawn transport.
+func JoinNul(ss []string) string {
+	if len(ss) == 0 {
+		return ""
+	}
+	return strings.Join(ss, "\x00") + "\x00"
+}
+
+// Basename returns the final path element.
+func Basename(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// Dirname returns the directory portion of a path.
+func Dirname(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	switch {
+	case i < 0:
+		return "."
+	case i == 0:
+		return "/"
+	default:
+		return p[:i]
+	}
+}
+
+// LookPath resolves a command name against PATH entries, returning the
+// first candidate that exists. Absolute or relative paths pass through.
+func LookPath(p Proc, name string) (string, abi.Errno) {
+	if strings.ContainsRune(name, '/') {
+		return name, abi.OK
+	}
+	path := p.Getenv("PATH")
+	if path == "" {
+		path = "/usr/bin:/bin"
+	}
+	for _, dir := range strings.Split(path, ":") {
+		if dir == "" {
+			continue
+		}
+		cand := dir + "/" + name
+		if err := p.Access(cand, abi.X_OK); err == abi.OK {
+			return cand, abi.OK
+		}
+	}
+	return "", abi.ENOENT
+}

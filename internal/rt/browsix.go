@@ -1,0 +1,730 @@
+package rt
+
+import (
+	"repro/internal/abi"
+	"repro/internal/browser"
+	"repro/internal/posix"
+	"repro/internal/sched"
+)
+
+// workerRT is the process-side Browsix runtime living inside a Web
+// Worker: the counterpart of the paper's GopherJS/Emscripten/browser-node
+// integrations. It owns the worker's message loop, the outstanding-call
+// table (a Browsix process "can have multiple outstanding system calls",
+// §4.2), the signal-handler table, and — for em-sync — the shared heap.
+type workerRT struct {
+	sys  *browser.System
+	sim  *sched.Sim
+	w    *browser.Worker
+	prog *posix.Program
+	kind Kind
+	cost Cost
+
+	pid  int
+	args []string
+	env  []string
+
+	nextID   int64
+	pending  map[int64]*sched.G
+	handlers map[int]func(int)
+
+	// Synchronous-syscall state (em-sync): the heap layout is
+	//   [0,4)   wake cell (Atomics.wait/notify)
+	//   [8,16)  syscall return value (int64)
+	//   [16,20) errno (int32)
+	//   [64,..) scratch for string/buffer arguments
+	sync    bool
+	heap    *browser.SAB
+	scratch int64
+}
+
+const (
+	syncWaitOff = 0
+	syncRetOff  = 8
+	scratchBase = 64
+)
+
+// exitSentinel unwinds a program coroutine when Exit is called mid-stack.
+type exitSentinel struct{ code int }
+
+// bootWorker is the worker script's top-level: it registers onmessage and
+// waits for the kernel's init message before running main (§3.3: "BROWSIX-
+// enabled runtimes delay execution of a process's main() function until
+// after the worker has received an init message").
+func bootWorker(sys *browser.System, w *browser.Worker, prog *posix.Program, kind Kind) {
+	r := &workerRT{
+		sys:      sys,
+		sim:      sys.Sim,
+		w:        w,
+		prog:     prog,
+		kind:     kind,
+		cost:     CostOf(kind),
+		pending:  map[int64]*sched.G{},
+		handlers: map[int]func(int){},
+		sync:     kind == EmSyncKind || kind == WasmKind,
+	}
+	w.Ctx.OnMessage = r.onMessage
+}
+
+func (r *workerRT) onMessage(v browser.Value) {
+	m, ok := v.(map[string]browser.Value)
+	if !ok {
+		return
+	}
+	switch browser.GetString(m, "type") {
+	case "init":
+		r.pid = int(browser.GetInt(m, "pid"))
+		r.args = browser.Strings(browser.GetArray(m, "args"))
+		r.env = browser.Strings(browser.GetArray(m, "env"))
+		forkMem := browser.GetBytes(m, "forkMem")
+		forkLabel := browser.GetString(m, "forkLabel")
+		// Runtime start-up: interpreter/stdlib initialization.
+		r.sim.Charge(r.cost.InitNs)
+		if r.sync {
+			r.heap = browser.NewSAB(r.cost.HeapSize)
+		}
+		g := r.sim.NewG(r.w.Ctx.Sched(), r.prog.Name, func(any) {
+			defer r.recoverExit()
+			if r.sync {
+				// Register the sync-syscall personality: heap +
+				// return/wake offsets (§3.2), via an async call.
+				r.asyncCall("personality", r.heap, int64(syncRetOff), int64(syncWaitOff))
+			}
+			var code int
+			if forkLabel != "" || len(forkMem) > 0 {
+				if r.prog.ResumeFork == nil {
+					code = 127
+				} else {
+					code = r.prog.ResumeFork(r, forkMem, forkLabel)
+				}
+			} else {
+				code = r.prog.Main(r)
+			}
+			r.sendExit(code)
+		})
+		r.sim.ResumeG(g, nil)
+	case "reply":
+		id := browser.GetInt(m, "id")
+		g := r.pending[id]
+		if g == nil {
+			return
+		}
+		delete(r.pending, id)
+		r.sim.ResumeG(g, browser.GetArray(m, "ret"))
+	case "signal":
+		sig := int(browser.GetInt(m, "sig"))
+		h := r.handlers[sig]
+		if h == nil {
+			return
+		}
+		// The handler runs as its own event-driven coroutine so it may
+		// itself issue system calls while the main program is parked.
+		g := r.sim.NewG(r.w.Ctx.Sched(), "sighandler", func(any) {
+			defer r.recoverExit()
+			h(sig)
+		})
+		r.sim.ResumeG(g, nil)
+	}
+}
+
+// recoverExit converts an Exit() unwind (exitSentinel) into the explicit
+// exit system call; ErrKilled and real panics propagate.
+func (r *workerRT) recoverExit() {
+	e := recover()
+	switch {
+	case e == nil:
+	case e == sched.ErrKilled:
+		panic(e)
+	default:
+		if es, ok := e.(exitSentinel); ok {
+			r.sendExit(es.code)
+			return
+		}
+		panic(e)
+	}
+}
+
+// sendExit issues the explicit exit system call every runtime must make
+// (§3.3) — no reply is expected; the kernel tears the worker down.
+func (r *workerRT) sendExit(code int) {
+	r.w.PostToParent(map[string]browser.Value{
+		"type": "syscall",
+		"id":   int64(-1),
+		"name": "exit",
+		"args": []browser.Value{int64(code)},
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous transport (§3.2): continuation-passing over postMessage.
+// The calling coroutine parks; the reply event resumes it. Under the
+// Emterpreter the runtime also pays stack unwind/rewind.
+// ---------------------------------------------------------------------------
+
+func (r *workerRT) asyncCall(name string, args ...browser.Value) []browser.Value {
+	r.sim.Charge(r.cost.SyscallCPUNs)
+	if r.cost.UnwindNs > 0 {
+		r.sim.Charge(r.cost.UnwindNs)
+	}
+	id := r.nextID
+	r.nextID++
+	r.w.PostToParent(map[string]browser.Value{
+		"type": "syscall",
+		"id":   id,
+		"name": name,
+		"args": args,
+	})
+	g := r.sim.CurG()
+	if g == nil {
+		panic("rt: syscall outside program coroutine")
+	}
+	r.pending[id] = g
+	v := r.sim.Park()
+	if r.cost.RewindNs > 0 {
+		r.sim.Charge(r.cost.RewindNs)
+	}
+	ret, _ := v.([]browser.Value)
+	return ret
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous transport (§3.2): integer args via postMessage, blocking
+// Atomics.wait on the shared heap, results read back from the heap.
+// ---------------------------------------------------------------------------
+
+func (r *workerRT) syncCall(trap int, args ...int64) (int64, abi.Errno) {
+	r.sim.Charge(r.cost.SyscallCPUNs)
+	vargs := make([]browser.Value, len(args))
+	for i, a := range args {
+		vargs[i] = a
+	}
+	r.heap.Store32(syncWaitOff, 0)
+	r.w.PostToParent(map[string]browser.Value{
+		"type": "sync",
+		"trap": int64(trap),
+		"args": vargs,
+	})
+	r.sys.FutexWait(r.w.Ctx, r.heap, syncWaitOff, 0, -1)
+	b := r.heap.Bytes()
+	ret := int64(uint64(r.heap.Load32(syncRetOff)) | uint64(r.heap.Load32(syncRetOff+4))<<32)
+	errno := abi.Errno(int32(r.heap.Load32(syncRetOff + 8)))
+	_ = b
+	r.scratch = scratchBase // reset per call
+	return ret, errno
+}
+
+// putStr stages a string argument in scratch, returning (ptr, len).
+func (r *workerRT) putStr(s string) (int64, int64) {
+	ptr := r.alloc(int64(len(s)))
+	copy(r.heap.Bytes()[ptr:], s)
+	return ptr, int64(len(s))
+}
+
+// putBytes stages a buffer in scratch.
+func (r *workerRT) putBytes(b []byte) (int64, int64) {
+	ptr := r.alloc(int64(len(b)))
+	copy(r.heap.Bytes()[ptr:], b)
+	return ptr, int64(len(b))
+}
+
+// alloc bumps the scratch pointer (reset after each call completes).
+func (r *workerRT) alloc(n int64) int64 {
+	if r.scratch < scratchBase {
+		r.scratch = scratchBase
+	}
+	ptr := r.scratch
+	if ptr+n > int64(r.heap.Len()) {
+		panic("rt: sync-syscall scratch overflow")
+	}
+	r.scratch = (ptr + n + 7) &^ 7
+	return ptr
+}
+
+// ---------------------------------------------------------------------------
+// posix.Proc implementation. Every method follows the runtime's
+// transport; reply decoding mirrors the kernel's encodings.
+// ---------------------------------------------------------------------------
+
+func vi(ret []browser.Value, i int) int64 {
+	if i < len(ret) {
+		switch x := ret[i].(type) {
+		case int64:
+			return x
+		case int:
+			return int64(x)
+		case float64:
+			return int64(x)
+		}
+	}
+	return 0
+}
+
+func verr(ret []browser.Value) abi.Errno { return abi.Errno(vi(ret, 1)) }
+
+func (r *workerRT) Getpid() int { return r.pid }
+func (r *workerRT) Getppid() int {
+	if r.sync {
+		ret, _ := r.syncCall(abi.SYS_getppid)
+		return int(ret)
+	}
+	return int(vi(r.asyncCall("getppid"), 0))
+}
+func (r *workerRT) Args() []string    { return r.args }
+func (r *workerRT) Environ() []string { return r.env }
+func (r *workerRT) Getenv(key string) string {
+	return posix.Getenv(r.env, key)
+}
+func (r *workerRT) Setenv(key, value string) { r.env = posix.SetEnv(r.env, key, value) }
+
+func (r *workerRT) Open(path string, flags int, mode uint32) (int, abi.Errno) {
+	if r.sync {
+		p, n := r.putStr(path)
+		ret, err := r.syncCall(abi.SYS_open, p, n, int64(flags), int64(mode))
+		return int(ret), err
+	}
+	ret := r.asyncCall("open", path, int64(flags), int64(mode))
+	return int(vi(ret, 0)), verr(ret)
+}
+
+func (r *workerRT) Close(fd int) abi.Errno {
+	if r.sync {
+		_, err := r.syncCall(abi.SYS_close, int64(fd))
+		return err
+	}
+	return verr(r.asyncCall("close", int64(fd)))
+}
+
+func (r *workerRT) Read(fd int, n int) ([]byte, abi.Errno) {
+	if r.sync {
+		ptr := r.alloc(int64(n))
+		ret, err := r.syncCall(abi.SYS_read, int64(fd), ptr, int64(n))
+		if err != abi.OK {
+			return nil, err
+		}
+		out := make([]byte, ret)
+		copy(out, r.heap.Bytes()[ptr:ptr+ret])
+		return out, abi.OK
+	}
+	ret := r.asyncCall("read", int64(fd), int64(n))
+	if err := verr(ret); err != abi.OK {
+		return nil, err
+	}
+	if len(ret) > 2 {
+		b, _ := ret[2].([]byte)
+		return b, abi.OK
+	}
+	return nil, abi.OK
+}
+
+func (r *workerRT) Write(fd int, b []byte) (int, abi.Errno) {
+	if r.sync {
+		ptr, n := r.putBytes(b)
+		ret, err := r.syncCall(abi.SYS_write, int64(fd), ptr, n)
+		return int(ret), err
+	}
+	ret := r.asyncCall("write", int64(fd), b)
+	return int(vi(ret, 0)), verr(ret)
+}
+
+func (r *workerRT) Pread(fd int, n int, off int64) ([]byte, abi.Errno) {
+	if r.sync {
+		ptr := r.alloc(int64(n))
+		ret, err := r.syncCall(abi.SYS_pread, int64(fd), ptr, int64(n), off)
+		if err != abi.OK {
+			return nil, err
+		}
+		out := make([]byte, ret)
+		copy(out, r.heap.Bytes()[ptr:ptr+ret])
+		return out, abi.OK
+	}
+	ret := r.asyncCall("pread", int64(fd), int64(n), off)
+	if err := verr(ret); err != abi.OK {
+		return nil, err
+	}
+	if len(ret) > 2 {
+		b, _ := ret[2].([]byte)
+		return b, abi.OK
+	}
+	return nil, abi.OK
+}
+
+func (r *workerRT) Pwrite(fd int, b []byte, off int64) (int, abi.Errno) {
+	if r.sync {
+		ptr, n := r.putBytes(b)
+		ret, err := r.syncCall(abi.SYS_pwrite, int64(fd), ptr, n, off)
+		return int(ret), err
+	}
+	ret := r.asyncCall("pwrite", int64(fd), b, off)
+	return int(vi(ret, 0)), verr(ret)
+}
+
+func (r *workerRT) Seek(fd int, off int64, whence int) (int64, abi.Errno) {
+	if r.sync {
+		return r.syncCall(abi.SYS_llseek, int64(fd), off, int64(whence))
+	}
+	ret := r.asyncCall("llseek", int64(fd), off, int64(whence))
+	return vi(ret, 0), verr(ret)
+}
+
+func (r *workerRT) Ftruncate(fd int, size int64) abi.Errno {
+	if r.sync {
+		_, err := r.syncCall(abi.SYS_ftruncate, int64(fd), size)
+		return err
+	}
+	return verr(r.asyncCall("ftruncate", int64(fd), size))
+}
+
+func (r *workerRT) Dup2(oldfd, newfd int) abi.Errno {
+	if r.sync {
+		_, err := r.syncCall(abi.SYS_dup2, int64(oldfd), int64(newfd))
+		return err
+	}
+	return verr(r.asyncCall("dup2", int64(oldfd), int64(newfd)))
+}
+
+func (r *workerRT) statCall(name string, trap int, path string) (abi.Stat, abi.Errno) {
+	if r.sync {
+		p, n := r.putStr(path)
+		sp := r.alloc(abi.StatSize)
+		_, err := r.syncCall(trap, p, n, sp)
+		if err != abi.OK {
+			return abi.Stat{}, err
+		}
+		return abi.UnpackStat(r.heap.Bytes()[sp : sp+abi.StatSize]), abi.OK
+	}
+	ret := r.asyncCall(name, path)
+	if err := verr(ret); err != abi.OK {
+		return abi.Stat{}, err
+	}
+	if len(ret) > 2 {
+		if m, ok := ret[2].(map[string]browser.Value); ok {
+			return abi.StatFromMap(m), abi.OK
+		}
+	}
+	return abi.Stat{}, abi.EIO
+}
+
+func (r *workerRT) Stat(path string) (abi.Stat, abi.Errno) {
+	return r.statCall("stat", abi.SYS_stat, path)
+}
+func (r *workerRT) Lstat(path string) (abi.Stat, abi.Errno) {
+	return r.statCall("lstat", abi.SYS_lstat, path)
+}
+
+func (r *workerRT) Fstat(fd int) (abi.Stat, abi.Errno) {
+	if r.sync {
+		sp := r.alloc(abi.StatSize)
+		_, err := r.syncCall(abi.SYS_fstat, int64(fd), sp)
+		if err != abi.OK {
+			return abi.Stat{}, err
+		}
+		return abi.UnpackStat(r.heap.Bytes()[sp : sp+abi.StatSize]), abi.OK
+	}
+	ret := r.asyncCall("fstat", int64(fd))
+	if err := verr(ret); err != abi.OK {
+		return abi.Stat{}, err
+	}
+	if len(ret) > 2 {
+		if m, ok := ret[2].(map[string]browser.Value); ok {
+			return abi.StatFromMap(m), abi.OK
+		}
+	}
+	return abi.Stat{}, abi.EIO
+}
+
+func (r *workerRT) Access(path string, mode int) abi.Errno {
+	if r.sync {
+		p, n := r.putStr(path)
+		_, err := r.syncCall(abi.SYS_access, p, n, int64(mode))
+		return err
+	}
+	return verr(r.asyncCall("access", path, int64(mode)))
+}
+
+func (r *workerRT) Readlink(path string) (string, abi.Errno) {
+	if r.sync {
+		p, n := r.putStr(path)
+		bp := r.alloc(4096)
+		ret, err := r.syncCall(abi.SYS_readlink, p, n, bp, 4096)
+		if err != abi.OK {
+			return "", err
+		}
+		return string(r.heap.Bytes()[bp : bp+ret]), abi.OK
+	}
+	ret := r.asyncCall("readlink", path)
+	if err := verr(ret); err != abi.OK {
+		return "", err
+	}
+	s, _ := ret[2].(string)
+	return s, abi.OK
+}
+
+func (r *workerRT) Utimes(path string, atime, mtime int64) abi.Errno {
+	if r.sync {
+		p, n := r.putStr(path)
+		_, err := r.syncCall(abi.SYS_utimes, p, n, atime, mtime)
+		return err
+	}
+	return verr(r.asyncCall("utimes", path, atime, mtime))
+}
+
+func (r *workerRT) pathCall(name string, trap int, path string, extra ...int64) abi.Errno {
+	if r.sync {
+		p, n := r.putStr(path)
+		args := append([]int64{p, n}, extra...)
+		_, err := r.syncCall(trap, args...)
+		return err
+	}
+	vargs := []browser.Value{path}
+	for _, e := range extra {
+		vargs = append(vargs, e)
+	}
+	return verr(r.asyncCall(name, vargs...))
+}
+
+func (r *workerRT) Mkdir(path string, mode uint32) abi.Errno {
+	return r.pathCall("mkdir", abi.SYS_mkdir, path, int64(mode))
+}
+func (r *workerRT) Rmdir(path string) abi.Errno  { return r.pathCall("rmdir", abi.SYS_rmdir, path) }
+func (r *workerRT) Unlink(path string) abi.Errno { return r.pathCall("unlink", abi.SYS_unlink, path) }
+
+func (r *workerRT) Rename(oldp, newp string) abi.Errno {
+	if r.sync {
+		op, on := r.putStr(oldp)
+		np, nn := r.putStr(newp)
+		_, err := r.syncCall(abi.SYS_rename, op, on, np, nn)
+		return err
+	}
+	return verr(r.asyncCall("rename", oldp, newp))
+}
+
+func (r *workerRT) Symlink(target, link string) abi.Errno {
+	if r.sync {
+		tp, tn := r.putStr(target)
+		lp, ln := r.putStr(link)
+		_, err := r.syncCall(abi.SYS_symlink, tp, tn, lp, ln)
+		return err
+	}
+	return verr(r.asyncCall("symlink", target, link))
+}
+
+func (r *workerRT) Getdents(fd int) ([]abi.Dirent, abi.Errno) {
+	if r.sync {
+		const bufLen = 64 * 1024
+		bp := r.alloc(bufLen)
+		ret, err := r.syncCall(abi.SYS_getdents, int64(fd), bp, bufLen)
+		if err != abi.OK {
+			return nil, err
+		}
+		return abi.UnpackDirents(r.heap.Bytes()[bp : bp+ret]), abi.OK
+	}
+	ret := r.asyncCall("getdents", int64(fd))
+	if err := verr(ret); err != abi.OK {
+		return nil, err
+	}
+	var out []abi.Dirent
+	if len(ret) > 2 {
+		if arr, ok := ret[2].([]browser.Value); ok {
+			for _, v := range arr {
+				if m, ok := v.(map[string]browser.Value); ok {
+					out = append(out, abi.DirentFromMap(m))
+				}
+			}
+		}
+	}
+	return out, abi.OK
+}
+
+func (r *workerRT) Chdir(path string) abi.Errno {
+	return r.pathCall("chdir", abi.SYS_chdir, path)
+}
+
+func (r *workerRT) Getcwd() (string, abi.Errno) {
+	if r.sync {
+		bp := r.alloc(4096)
+		ret, err := r.syncCall(abi.SYS_getcwd, bp, 4096)
+		if err != abi.OK {
+			return "", err
+		}
+		return string(r.heap.Bytes()[bp : bp+ret]), abi.OK
+	}
+	ret := r.asyncCall("getcwd")
+	if err := verr(ret); err != abi.OK {
+		return "", err
+	}
+	s, _ := ret[2].(string)
+	return s, abi.OK
+}
+
+func (r *workerRT) Pipe() (int, int, abi.Errno) {
+	if r.sync {
+		fp := r.alloc(8)
+		_, err := r.syncCall(abi.SYS_pipe2, fp)
+		if err != abi.OK {
+			return -1, -1, err
+		}
+		b := r.heap.Bytes()
+		rfd := int(int32(uint32(b[fp]) | uint32(b[fp+1])<<8 | uint32(b[fp+2])<<16 | uint32(b[fp+3])<<24))
+		wfd := int(int32(uint32(b[fp+4]) | uint32(b[fp+5])<<8 | uint32(b[fp+6])<<16 | uint32(b[fp+7])<<24))
+		return rfd, wfd, abi.OK
+	}
+	ret := r.asyncCall("pipe2", int64(0))
+	if err := verr(ret); err != abi.OK {
+		return -1, -1, err
+	}
+	return int(vi(ret, 2)), int(vi(ret, 3)), abi.OK
+}
+
+func (r *workerRT) Spawn(path string, argv, env []string, files []int) (int, abi.Errno) {
+	if r.sync {
+		pp, pn := r.putStr(path)
+		ap, an := r.putStr(posix.JoinNul(argv))
+		ep, en := r.putStr(posix.JoinNul(env))
+		fdsBuf := make([]byte, 4*len(files))
+		for i, fd := range files {
+			v := uint32(int32(fd))
+			fdsBuf[i*4] = byte(v)
+			fdsBuf[i*4+1] = byte(v >> 8)
+			fdsBuf[i*4+2] = byte(v >> 16)
+			fdsBuf[i*4+3] = byte(v >> 24)
+		}
+		fp, _ := r.putBytes(fdsBuf)
+		ret, err := r.syncCall(abi.SYS_spawn, pp, pn, ap, an, ep, en, fp, int64(len(files)))
+		return int(ret), err
+	}
+	fv := make([]browser.Value, len(files))
+	for i, f := range files {
+		fv[i] = int64(f)
+	}
+	ret := r.asyncCall("spawn", path,
+		browser.StringArray(argv), browser.StringArray(env), fv)
+	return int(vi(ret, 0)), verr(ret)
+}
+
+func (r *workerRT) Fork(label string, mem []byte) (int, abi.Errno) {
+	if !r.kind.SupportsFork() {
+		// §3.2: fork is an asynchronous-only call, and only the
+		// Emterpreter runtime can serialize its state.
+		return -1, abi.ENOSYS
+	}
+	ret := r.asyncCall("fork", mem, label)
+	return int(vi(ret, 0)), verr(ret)
+}
+
+func (r *workerRT) Exec(path string, argv, env []string) abi.Errno {
+	if r.sync {
+		pp, pn := r.putStr(path)
+		ap, an := r.putStr(posix.JoinNul(argv))
+		ep, en := r.putStr(posix.JoinNul(env))
+		_, err := r.syncCall(abi.SYS_exec, pp, pn, ap, an, ep, en)
+		return err
+	}
+	ret := r.asyncCall("exec", path, browser.StringArray(argv), browser.StringArray(env))
+	return verr(ret)
+}
+
+func (r *workerRT) Wait4(pid int, options int) (int, int, abi.Errno) {
+	if r.sync {
+		sp := r.alloc(4)
+		ret, err := r.syncCall(abi.SYS_wait4, int64(pid), sp, int64(options))
+		if err != abi.OK {
+			return 0, 0, err
+		}
+		b := r.heap.Bytes()
+		status := int(int32(uint32(b[sp]) | uint32(b[sp+1])<<8 | uint32(b[sp+2])<<16 | uint32(b[sp+3])<<24))
+		return int(ret), status, abi.OK
+	}
+	ret := r.asyncCall("wait4", int64(pid), int64(options))
+	if err := verr(ret); err != abi.OK {
+		return 0, 0, err
+	}
+	return int(vi(ret, 0)), int(vi(ret, 2)), abi.OK
+}
+
+func (r *workerRT) Exit(code int) {
+	panic(exitSentinel{code})
+}
+
+func (r *workerRT) Kill(pid, sig int) abi.Errno {
+	if r.sync {
+		_, err := r.syncCall(abi.SYS_kill, int64(pid), int64(sig))
+		return err
+	}
+	return verr(r.asyncCall("kill", int64(pid), int64(sig)))
+}
+
+func (r *workerRT) Signal(sig int, handler func(int)) abi.Errno {
+	action := int64(1)
+	if handler == nil {
+		action = 0
+	}
+	var err abi.Errno
+	if r.sync {
+		_, err = r.syncCall(abi.SYS_signal, int64(sig), action)
+	} else {
+		err = verr(r.asyncCall("signal", int64(sig), action))
+	}
+	if err == abi.OK {
+		if handler == nil {
+			delete(r.handlers, sig)
+		} else {
+			r.handlers[sig] = handler
+		}
+	}
+	return err
+}
+
+func (r *workerRT) Socket() (int, abi.Errno) {
+	if r.sync {
+		ret, err := r.syncCall(abi.SYS_socket)
+		return int(ret), err
+	}
+	ret := r.asyncCall("socket")
+	return int(vi(ret, 0)), verr(ret)
+}
+
+func (r *workerRT) fdPortCall(name string, trap int, fd, val int) abi.Errno {
+	if r.sync {
+		_, err := r.syncCall(trap, int64(fd), int64(val))
+		return err
+	}
+	return verr(r.asyncCall(name, int64(fd), int64(val)))
+}
+
+func (r *workerRT) Bind(fd, port int) abi.Errno {
+	return r.fdPortCall("bind", abi.SYS_bind, fd, port)
+}
+func (r *workerRT) Listen(fd, backlog int) abi.Errno {
+	return r.fdPortCall("listen", abi.SYS_listen, fd, backlog)
+}
+func (r *workerRT) Connect(fd, port int) abi.Errno {
+	return r.fdPortCall("connect", abi.SYS_connect, fd, port)
+}
+
+func (r *workerRT) Accept(fd int) (int, abi.Errno) {
+	if r.sync {
+		ret, err := r.syncCall(abi.SYS_accept, int64(fd))
+		return int(ret), err
+	}
+	ret := r.asyncCall("accept", int64(fd))
+	return int(vi(ret, 0)), verr(ret)
+}
+
+func (r *workerRT) Getsockname(fd int) (int, abi.Errno) {
+	if r.sync {
+		ret, err := r.syncCall(abi.SYS_getsockname, int64(fd))
+		return int(ret), err
+	}
+	ret := r.asyncCall("getsockname", int64(fd))
+	return int(vi(ret, 0)), verr(ret)
+}
+
+func (r *workerRT) CPU(ns int64) {
+	r.sim.Charge(int64(float64(ns) * r.cost.Mult))
+}
+
+func (r *workerRT) CPU64(ns int64) {
+	r.sim.Charge(int64(float64(ns) * r.cost.Int64Mult))
+}
+
+func (r *workerRT) RuntimeName() string { return string(r.kind) }

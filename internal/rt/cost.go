@@ -1,0 +1,115 @@
+// Package rt implements the language-runtime integrations of §4: the
+// process-side glue that lets programs written against posix.Proc run as
+// Browsix processes (or natively, for the paper's baselines).
+//
+// Four Browsix runtimes mirror the paper's:
+//
+//   - "em-sync":  Emscripten with asm.js output + synchronous syscalls
+//     over SharedArrayBuffer/Atomics (Chrome-only in the paper);
+//   - "em-async": Emscripten's interpreted Emterpreter mode + asynchronous
+//     syscalls — the only runtime supporting fork, at the price of much
+//     slower code and per-syscall stack unwind/rewind;
+//   - "gopherjs": GopherJS with goroutine suspension over async syscalls
+//     (and the missing-int64 penalty the paper blames for meme slowness);
+//   - "node":     browser-node, Node.js high-level APIs over pure-JS
+//     bindings issuing async syscalls.
+//
+// Two host runtimes provide the evaluation baselines of Figure 9:
+// "native" (C utilities on Linux) and "node-host" (Node.js on Linux).
+package rt
+
+// Kind names a runtime.
+type Kind string
+
+// Runtime kinds.
+const (
+	NativeKind   Kind = "native"
+	NodeHostKind Kind = "node-host"
+	NodeKind     Kind = "node"
+	GopherJSKind Kind = "gopherjs"
+	EmSyncKind   Kind = "em-sync"
+	EmAsyncKind  Kind = "em-async"
+	// WasmKind models the WebAssembly executables §3.3 mentions and the
+	// §3.2 note that synchronous syscalls suit "asm.js and WebAssembly
+	// functions on the call stack": faster than asm.js, native 64-bit
+	// integers, sync transport.
+	WasmKind Kind = "wasm"
+)
+
+// IsBrowsix reports whether the kind runs as a Browsix process (vs a host
+// baseline).
+func (k Kind) IsBrowsix() bool {
+	switch k {
+	case NodeKind, GopherJSKind, EmSyncKind, EmAsyncKind, WasmKind:
+		return true
+	}
+	return false
+}
+
+// SupportsFork mirrors §3.3: "fork is only supported for C and C++
+// programs" — concretely, the Emterpreter/async runtime, which can
+// serialize its state. Synchronous syscalls are incompatible with fork
+// (§3.2), and GopherJS/Node use spawn.
+func (k Kind) SupportsFork() bool { return k == EmAsyncKind }
+
+// Cost is a runtime's CPU model. Mult scales native-equivalent work
+// (posix.Proc.CPU); Int64Mult scales 64-bit-heavy work (GopherJS lacked
+// native 64-bit integers, §5.2). InitNs is runtime start-up (V8 boot,
+// library load, asm.js compile…). SyscallCPUNs is process-side
+// marshalling per syscall; Unwind/Rewind model the Emterpreter saving and
+// restoring the C stack around every asynchronous syscall (§4.3).
+type Cost struct {
+	Mult            float64
+	Int64Mult       float64
+	InitNs          int64
+	SyscallCPUNs    int64
+	UnwindNs        int64
+	RewindNs        int64
+	DirectSyscallNs int64 // host kinds: a real kernel syscall
+	HeapSize        int   // em-sync: SharedArrayBuffer heap size
+}
+
+// CostOf returns the calibrated cost model for a runtime kind. The
+// calibration targets the absolute numbers in §5.2 (see EXPERIMENTS.md).
+func CostOf(k Kind) Cost {
+	switch k {
+	case NativeKind:
+		return Cost{Mult: 1, Int64Mult: 1, InitNs: 500_000, DirectSyscallNs: 400}
+	case NodeHostKind:
+		return Cost{Mult: 13, Int64Mult: 40, InitNs: 40_000_000, DirectSyscallNs: 2_500}
+	case NodeKind:
+		return Cost{Mult: 13, Int64Mult: 40, InitNs: 42_000_000, SyscallCPUNs: 4_000}
+	case GopherJSKind:
+		return Cost{Mult: 6, Int64Mult: 10, InitNs: 18_000_000, SyscallCPUNs: 5_000}
+	case EmSyncKind:
+		return Cost{Mult: 8, Int64Mult: 20, InitNs: 6_000_000, SyscallCPUNs: 1_200, HeapSize: 1 << 20}
+	case WasmKind:
+		return Cost{Mult: 4, Int64Mult: 4, InitNs: 4_000_000, SyscallCPUNs: 900, HeapSize: 1 << 20}
+	case EmAsyncKind:
+		return Cost{Mult: 40, Int64Mult: 90, InitNs: 9_000_000, SyscallCPUNs: 4_000,
+			UnwindNs: 180_000, RewindNs: 140_000}
+	default:
+		panic("rt: unknown runtime kind " + string(k))
+	}
+}
+
+// ArtifactSize models the compiled-JavaScript artifact size for a runtime
+// (what NewWorker parses and evaluates): browser-node packages Node's
+// high-level APIs; GopherJS output is notoriously large; Emterpreter
+// bytecode adds bulk over asm.js.
+func ArtifactSize(k Kind) int {
+	switch k {
+	case NodeKind:
+		return 1_400_000
+	case GopherJSKind:
+		return 2_400_000
+	case EmSyncKind:
+		return 900_000
+	case EmAsyncKind:
+		return 1_300_000
+	case WasmKind:
+		return 650_000
+	default:
+		return 4_096
+	}
+}

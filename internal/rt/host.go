@@ -1,0 +1,448 @@
+package rt
+
+import (
+	"repro/internal/abi"
+	"repro/internal/fs"
+	"repro/internal/posix"
+	"repro/internal/sched"
+)
+
+// HostProc runs a program directly on a (simulated) operating system — no
+// browser, no Browsix. It provides the two baselines of Figure 9: native
+// GNU/Linux utilities (Kind=native) and the same JavaScript utilities
+// under Node.js on Linux (Kind=node-host). System calls go straight to
+// the file system at native cost; CPU work is scaled by the runtime's
+// multiplier only.
+//
+// Host processes are single-process: spawn/fork/pipes/sockets return
+// ENOSYS (the baselines never need them).
+type HostProc struct {
+	sim  *sched.Sim
+	ctx  *sched.Ctx
+	fsys *fs.FileSystem
+	kind Kind
+	cost Cost
+
+	args []string
+	env  []string
+	cwd  string
+
+	fds    map[int]*hostFD
+	nextFd int
+
+	// Stdout and Stderr capture the process's output.
+	Stdout []byte
+	Stderr []byte
+}
+
+type hostFD struct {
+	h     fs.FileHandle
+	dir   string // non-empty when the fd is an open directory
+	off   int64
+	flags int
+	std   int // 1 stdout, 2 stderr, 3 stdin
+	path  string
+}
+
+// HostResult is the outcome of RunHost.
+type HostResult struct {
+	Code    int
+	Stdout  []byte
+	Stderr  []byte
+	Elapsed int64 // virtual ns, including runtime start-up
+}
+
+// RunHost executes a registered program to completion on a host runtime,
+// against the given file system image.
+func RunHost(sim *sched.Sim, fsys *fs.FileSystem, kind Kind, argv, env []string, cwd string) HostResult {
+	prog := posix.Lookup(posix.Basename(argv[0]))
+	if prog == nil {
+		return HostResult{Code: 127, Stderr: []byte("host: no such program: " + argv[0] + "\n")}
+	}
+	h := &HostProc{
+		sim:  sim,
+		ctx:  sim.NewCtx("host:" + prog.Name),
+		fsys: fsys,
+		kind: kind,
+		cost: CostOf(kind),
+		args: argv,
+		env:  env,
+		cwd:  fs.Clean(cwd),
+		fds:  map[int]*hostFD{0: {std: 3}, 1: {std: 1}, 2: {std: 2}},
+	}
+	h.nextFd = 3
+	var res HostResult
+	done := false
+	sim.Post(h.ctx, h.ctx.Now(), func() {
+		start := h.ctx.Now()
+		sim.Charge(h.cost.InitNs) // exec + runtime boot (V8 start for node-host)
+		g := sim.NewG(h.ctx, prog.Name, func(any) {
+			code := 0
+			func() {
+				defer func() {
+					e := recover()
+					switch {
+					case e == nil:
+					case e == sched.ErrKilled:
+						panic(e)
+					default:
+						if es, ok := e.(exitSentinel); ok {
+							code = es.code
+							return
+						}
+						panic(e)
+					}
+				}()
+				code = prog.Main(h)
+			}()
+			res = HostResult{Code: code, Stdout: h.Stdout, Stderr: h.Stderr, Elapsed: h.ctx.Now() - start}
+			done = true
+		})
+		sim.ResumeG(g, nil)
+	})
+	sim.RunUntil(func() bool { return done })
+	return res
+}
+
+// charge bills one native system call plus optional per-byte work.
+func (h *HostProc) charge(bytes int64) {
+	h.sim.Charge(h.cost.DirectSyscallNs + bytes/8)
+}
+
+func (h *HostProc) abs(p string) string {
+	if len(p) > 0 && p[0] == '/' {
+		return fs.Clean(p)
+	}
+	return fs.Clean(h.cwd + "/" + p)
+}
+
+// Host file-system operations complete synchronously (host images are
+// in-memory); completeErr guards that assumption.
+func completeErr() (func(abi.Errno), func() abi.Errno) {
+	out := abi.Errno(-9999)
+	return func(e abi.Errno) { out = e }, func() abi.Errno {
+		if out == -9999 {
+			panic("rt: host fs operation did not complete synchronously")
+		}
+		return out
+	}
+}
+
+func (h *HostProc) Getpid() int            { h.charge(0); return 1 }
+func (h *HostProc) Getppid() int           { h.charge(0); return 0 }
+func (h *HostProc) Args() []string         { return h.args }
+func (h *HostProc) Environ() []string      { return h.env }
+func (h *HostProc) Getenv(k string) string { return posix.Getenv(h.env, k) }
+func (h *HostProc) Setenv(k, v string)     { h.env = posix.SetEnv(h.env, k, v) }
+
+func (h *HostProc) Open(path string, flags int, mode uint32) (int, abi.Errno) {
+	h.charge(0)
+	ap := h.abs(path)
+	var st abi.Stat
+	var serr abi.Errno
+	h.fsys.Stat(ap, func(s abi.Stat, e abi.Errno) { st, serr = s, e })
+	if serr == abi.OK && st.IsDir() {
+		if flags&abi.O_ACCMODE != abi.O_RDONLY {
+			return -1, abi.EISDIR
+		}
+		fd := h.nextFd
+		h.nextFd++
+		h.fds[fd] = &hostFD{dir: ap, path: ap}
+		return fd, abi.OK
+	}
+	var handle fs.FileHandle
+	var oerr abi.Errno = -9999
+	h.fsys.Open(ap, flags, mode, func(fh fs.FileHandle, e abi.Errno) { handle, oerr = fh, e })
+	if oerr == -9999 {
+		panic("rt: host open did not complete synchronously")
+	}
+	if oerr != abi.OK {
+		return -1, oerr
+	}
+	fd := h.nextFd
+	h.nextFd++
+	h.fds[fd] = &hostFD{h: handle, flags: flags, path: ap}
+	return fd, abi.OK
+}
+
+func (h *HostProc) Close(fd int) abi.Errno {
+	h.charge(0)
+	f, ok := h.fds[fd]
+	if !ok {
+		return abi.EBADF
+	}
+	delete(h.fds, fd)
+	if f.h != nil {
+		set, get := completeErr()
+		f.h.Close(set)
+		return get()
+	}
+	return abi.OK
+}
+
+func (h *HostProc) Read(fd int, n int) ([]byte, abi.Errno) {
+	f, ok := h.fds[fd]
+	if !ok {
+		return nil, abi.EBADF
+	}
+	if f.std == 3 {
+		return nil, abi.OK // empty stdin
+	}
+	if f.h == nil {
+		return nil, abi.EISDIR
+	}
+	var out []byte
+	var err abi.Errno = -9999
+	f.h.Pread(f.off, n, func(b []byte, e abi.Errno) { out, err = b, e })
+	if err == -9999 {
+		panic("rt: host read did not complete synchronously")
+	}
+	h.charge(int64(len(out)))
+	f.off += int64(len(out))
+	return out, err
+}
+
+func (h *HostProc) Write(fd int, b []byte) (int, abi.Errno) {
+	f, ok := h.fds[fd]
+	if !ok {
+		return 0, abi.EBADF
+	}
+	h.charge(int64(len(b)))
+	switch f.std {
+	case 1:
+		h.Stdout = append(h.Stdout, b...)
+		return len(b), abi.OK
+	case 2:
+		h.Stderr = append(h.Stderr, b...)
+		return len(b), abi.OK
+	case 3:
+		return 0, abi.EBADF
+	}
+	if f.h == nil {
+		return 0, abi.EISDIR
+	}
+	var n int
+	var err abi.Errno = -9999
+	off := f.off
+	if f.flags&abi.O_APPEND != 0 {
+		var st abi.Stat
+		f.h.Stat(func(s abi.Stat, e abi.Errno) { st = s })
+		off = st.Size
+	}
+	f.h.Pwrite(off, b, func(m int, e abi.Errno) { n, err = m, e })
+	if err == -9999 {
+		panic("rt: host write did not complete synchronously")
+	}
+	f.off = off + int64(n)
+	return n, err
+}
+
+func (h *HostProc) Pread(fd int, n int, off int64) ([]byte, abi.Errno) {
+	f, ok := h.fds[fd]
+	if !ok || f.h == nil {
+		return nil, abi.EBADF
+	}
+	var out []byte
+	var err abi.Errno
+	f.h.Pread(off, n, func(b []byte, e abi.Errno) { out, err = b, e })
+	h.charge(int64(len(out)))
+	return out, err
+}
+
+func (h *HostProc) Pwrite(fd int, b []byte, off int64) (int, abi.Errno) {
+	f, ok := h.fds[fd]
+	if !ok || f.h == nil {
+		return 0, abi.EBADF
+	}
+	var n int
+	var err abi.Errno
+	f.h.Pwrite(off, b, func(m int, e abi.Errno) { n, err = m, e })
+	h.charge(int64(n))
+	return n, err
+}
+
+func (h *HostProc) Seek(fd int, off int64, whence int) (int64, abi.Errno) {
+	f, ok := h.fds[fd]
+	if !ok {
+		return 0, abi.EBADF
+	}
+	h.charge(0)
+	switch whence {
+	case abi.SEEK_SET:
+		f.off = off
+	case abi.SEEK_CUR:
+		f.off += off
+	case abi.SEEK_END:
+		st, err := h.Fstat(fd)
+		if err != abi.OK {
+			return 0, err
+		}
+		f.off = st.Size + off
+	default:
+		return 0, abi.EINVAL
+	}
+	return f.off, abi.OK
+}
+
+func (h *HostProc) Ftruncate(fd int, size int64) abi.Errno {
+	f, ok := h.fds[fd]
+	if !ok || f.h == nil {
+		return abi.EBADF
+	}
+	set, get := completeErr()
+	f.h.Truncate(size, set)
+	return get()
+}
+
+func (h *HostProc) Dup2(oldfd, newfd int) abi.Errno {
+	f, ok := h.fds[oldfd]
+	if !ok {
+		return abi.EBADF
+	}
+	h.fds[newfd] = f
+	return abi.OK
+}
+
+func (h *HostProc) statPath(path string, follow bool) (abi.Stat, abi.Errno) {
+	h.charge(0)
+	var st abi.Stat
+	var err abi.Errno = -9999
+	cb := func(s abi.Stat, e abi.Errno) { st, err = s, e }
+	if follow {
+		h.fsys.Stat(h.abs(path), cb)
+	} else {
+		h.fsys.Lstat(h.abs(path), cb)
+	}
+	if err == -9999 {
+		panic("rt: host stat did not complete synchronously")
+	}
+	return st, err
+}
+
+func (h *HostProc) Stat(path string) (abi.Stat, abi.Errno)  { return h.statPath(path, true) }
+func (h *HostProc) Lstat(path string) (abi.Stat, abi.Errno) { return h.statPath(path, false) }
+
+func (h *HostProc) Fstat(fd int) (abi.Stat, abi.Errno) {
+	f, ok := h.fds[fd]
+	if !ok {
+		return abi.Stat{}, abi.EBADF
+	}
+	h.charge(0)
+	if f.std != 0 {
+		return abi.Stat{Mode: abi.S_IFCHR | 0o600}, abi.OK
+	}
+	if f.dir != "" {
+		return h.Stat(f.dir)
+	}
+	var st abi.Stat
+	var err abi.Errno
+	f.h.Stat(func(s abi.Stat, e abi.Errno) { st, err = s, e })
+	return st, err
+}
+
+func (h *HostProc) Access(path string, mode int) abi.Errno {
+	_, err := h.Stat(path)
+	return err
+}
+
+func (h *HostProc) Readlink(path string) (string, abi.Errno) {
+	h.charge(0)
+	var out string
+	var err abi.Errno
+	h.fsys.Readlink(h.abs(path), func(s string, e abi.Errno) { out, err = s, e })
+	return out, err
+}
+
+func (h *HostProc) Utimes(path string, at, mt int64) abi.Errno {
+	h.charge(0)
+	set, get := completeErr()
+	h.fsys.Utimes(h.abs(path), at, mt, set)
+	return get()
+}
+
+func (h *HostProc) Mkdir(path string, mode uint32) abi.Errno {
+	h.charge(0)
+	set, get := completeErr()
+	h.fsys.Mkdir(h.abs(path), mode, set)
+	return get()
+}
+
+func (h *HostProc) Rmdir(path string) abi.Errno {
+	h.charge(0)
+	set, get := completeErr()
+	h.fsys.Rmdir(h.abs(path), set)
+	return get()
+}
+
+func (h *HostProc) Unlink(path string) abi.Errno {
+	h.charge(0)
+	set, get := completeErr()
+	h.fsys.Unlink(h.abs(path), set)
+	return get()
+}
+
+func (h *HostProc) Rename(oldp, newp string) abi.Errno {
+	h.charge(0)
+	set, get := completeErr()
+	h.fsys.Rename(h.abs(oldp), h.abs(newp), set)
+	return get()
+}
+
+func (h *HostProc) Symlink(target, link string) abi.Errno {
+	h.charge(0)
+	set, get := completeErr()
+	h.fsys.Symlink(target, h.abs(link), set)
+	return get()
+}
+
+func (h *HostProc) Getdents(fd int) ([]abi.Dirent, abi.Errno) {
+	f, ok := h.fds[fd]
+	if !ok {
+		return nil, abi.EBADF
+	}
+	if f.dir == "" {
+		return nil, abi.ENOTDIR
+	}
+	h.charge(0)
+	var out []abi.Dirent
+	var err abi.Errno
+	h.fsys.Readdir(f.dir, func(es []abi.Dirent, e abi.Errno) { out, err = es, e })
+	return out, err
+}
+
+func (h *HostProc) Chdir(path string) abi.Errno {
+	st, err := h.Stat(path)
+	if err != abi.OK {
+		return err
+	}
+	if !st.IsDir() {
+		return abi.ENOTDIR
+	}
+	h.cwd = h.abs(path)
+	return abi.OK
+}
+
+func (h *HostProc) Getcwd() (string, abi.Errno) { return h.cwd, abi.OK }
+
+// Multi-process facilities are not part of the host baselines.
+func (h *HostProc) Pipe() (int, int, abi.Errno) { return -1, -1, abi.ENOSYS }
+func (h *HostProc) Spawn(string, []string, []string, []int) (int, abi.Errno) {
+	return -1, abi.ENOSYS
+}
+func (h *HostProc) Fork(string, []byte) (int, abi.Errno)      { return -1, abi.ENOSYS }
+func (h *HostProc) Exec(string, []string, []string) abi.Errno { return abi.ENOSYS }
+func (h *HostProc) Wait4(int, int) (int, int, abi.Errno)      { return 0, 0, abi.ECHILD }
+func (h *HostProc) Exit(code int)                             { panic(exitSentinel{code}) }
+func (h *HostProc) Kill(int, int) abi.Errno                   { return abi.ESRCH }
+func (h *HostProc) Signal(sig int, fn func(int)) abi.Errno    { return abi.OK }
+func (h *HostProc) Socket() (int, abi.Errno)                  { return -1, abi.ENOSYS }
+func (h *HostProc) Bind(int, int) abi.Errno                   { return abi.ENOSYS }
+func (h *HostProc) Listen(int, int) abi.Errno                 { return abi.ENOSYS }
+func (h *HostProc) Accept(int) (int, abi.Errno)               { return -1, abi.ENOSYS }
+func (h *HostProc) Connect(int, int) abi.Errno                { return abi.ENOSYS }
+func (h *HostProc) Getsockname(int) (int, abi.Errno)          { return -1, abi.ENOSYS }
+
+func (h *HostProc) CPU(ns int64)   { h.sim.Charge(int64(float64(ns) * h.cost.Mult)) }
+func (h *HostProc) CPU64(ns int64) { h.sim.Charge(int64(float64(ns) * h.cost.Int64Mult)) }
+
+func (h *HostProc) RuntimeName() string { return string(h.kind) }

@@ -1,0 +1,195 @@
+package shell
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Arithmetic expansion: the $((expr)) subset dash scripts rely on.
+// Grammar (precedence climbing):
+//
+//	expr   := cmp (('==' | '!=' | '<' | '<=' | '>' | '>=') cmp)*
+//	cmp    := term (('+' | '-') term)*
+//	term   := unary (('*' | '/' | '%') unary)*
+//	unary  := ('-' | '+' | '!')* primary
+//	primary:= NUMBER | NAME | '(' expr ')'
+//
+// Unset names evaluate to 0, as POSIX specifies. Division by zero yields
+// 0 with a diagnostic-free result (dash errors; we stay total so that a
+// buggy script cannot wedge the interpreter).
+func (sh *state) arith(src string) string {
+	p := &arithParser{sh: sh, src: src}
+	v := p.parseExpr()
+	return strconv.FormatInt(v, 10)
+}
+
+type arithParser struct {
+	sh  *state
+	src string
+	pos int
+}
+
+func (p *arithParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *arithParser) peek() byte {
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *arithParser) take(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		// Don't let '<' swallow '<='.
+		if (tok == "<" || tok == ">") && p.pos+1 < len(p.src) && p.src[p.pos+1] == '=' {
+			return false
+		}
+		if tok == "=" {
+			return false // assignment unsupported; treat as garbage
+		}
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func boolVal(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (p *arithParser) parseExpr() int64 {
+	left := p.parseCmp()
+	for {
+		switch {
+		case p.take("=="):
+			left = boolVal(left == p.parseCmp())
+		case p.take("!="):
+			left = boolVal(left != p.parseCmp())
+		case p.take("<="):
+			left = boolVal(left <= p.parseCmp())
+		case p.take(">="):
+			left = boolVal(left >= p.parseCmp())
+		case p.take("<"):
+			left = boolVal(left < p.parseCmp())
+		case p.take(">"):
+			left = boolVal(left > p.parseCmp())
+		default:
+			return left
+		}
+	}
+}
+
+func (p *arithParser) parseCmp() int64 {
+	left := p.parseTerm()
+	for {
+		switch {
+		case p.take("+"):
+			left += p.parseTerm()
+		case p.take("-"):
+			left -= p.parseTerm()
+		default:
+			return left
+		}
+	}
+}
+
+func (p *arithParser) parseTerm() int64 {
+	left := p.parseUnary()
+	for {
+		switch {
+		case p.take("*"):
+			left *= p.parseUnary()
+		case p.take("/"):
+			if d := p.parseUnary(); d != 0 {
+				left /= d
+			} else {
+				left = 0
+			}
+		case p.take("%"):
+			if d := p.parseUnary(); d != 0 {
+				left %= d
+			} else {
+				left = 0
+			}
+		default:
+			return left
+		}
+	}
+}
+
+func (p *arithParser) parseUnary() int64 {
+	switch {
+	case p.take("-"):
+		return -p.parseUnary()
+	case p.take("!"):
+		return boolVal(p.parseUnary() == 0)
+	}
+	p.take("+")
+	return p.parsePrimary()
+}
+
+func (p *arithParser) parsePrimary() int64 {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	c := p.src[p.pos]
+	if c == '(' {
+		p.pos++
+		v := p.parseExpr()
+		p.skipSpace()
+		if p.peek() == ')' {
+			p.pos++
+		}
+		return v
+	}
+	if c == '$' {
+		// $VAR inside arithmetic (common in scripts).
+		p.pos++
+		return p.readName()
+	}
+	if c >= '0' && c <= '9' {
+		j := p.pos
+		for j < len(p.src) && p.src[j] >= '0' && p.src[j] <= '9' {
+			j++
+		}
+		v, _ := strconv.ParseInt(p.src[p.pos:j], 10, 64)
+		p.pos = j
+		return v
+	}
+	if isNameByte(c, true) {
+		return p.readName()
+	}
+	p.pos++ // skip garbage, stay total
+	return 0
+}
+
+func (p *arithParser) readName() int64 {
+	j := p.pos
+	for j < len(p.src) && isNameByte(p.src[j], j == p.pos) {
+		j++
+	}
+	name := p.src[p.pos:j]
+	p.pos = j
+	v, _ := strconv.ParseInt(strings.TrimSpace(p.sh.lookupVar(name)), 10, 64)
+	return v
+}
+
+func isNameByte(c byte, first bool) bool {
+	switch {
+	case c == '_', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		return true
+	case !first && c >= '0' && c <= '9':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+package shell
+
+import "testing"
+
+func TestArithmetic(t *testing.T) {
+	sh := newExpandState()
+	sh.vars["N"] = "5"
+	sh.vars["JUNK"] = "notanumber"
+	cases := map[string]string{
+		"1+2":         "3",
+		"2 * 3 + 4":   "10",
+		"2 * (3 + 4)": "14",
+		"10 / 3":      "3",
+		"10 % 3":      "1",
+		"7 - 10":      "-3",
+		"-N + 1":      "-4",
+		"N":           "5",
+		"$N * 2":      "10",
+		"N + UNSET":   "5",
+		"JUNK + 1":    "1",
+		"3 < 5":       "1",
+		"5 <= 5":      "1",
+		"5 < 5":       "0",
+		"3 == 3":      "1",
+		"3 != 3":      "0",
+		"!0":          "1",
+		"!7":          "0",
+		"1 / 0":       "0", // total: no crash on div-zero
+		"":            "0",
+	}
+	for src, want := range cases {
+		if got := sh.arith(src); got != want {
+			t.Errorf("$((%s)) = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestArithmeticInWords(t *testing.T) {
+	sh := newExpandState()
+	sh.vars["i"] = "3"
+	if got := one(t, sh, "$((i+1))"); got != "4" {
+		t.Fatalf("$((i+1)) = %q", got)
+	}
+	if got := one(t, sh, "x$((2*2))y"); got != "x4y" {
+		t.Fatalf("embedded arith = %q", got)
+	}
+}

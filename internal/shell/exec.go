@@ -1,0 +1,727 @@
+package shell
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/posix"
+)
+
+// state is one shell invocation's interpreter state.
+type state struct {
+	p          posix.Proc
+	vars       map[string]string
+	params     []string
+	name       string
+	lastStatus int
+	jobs       []int
+	exited     bool
+	exitCode   int
+}
+
+func newState(p posix.Proc, name string, params []string) *state {
+	return &state{p: p, vars: map[string]string{}, name: name, params: params}
+}
+
+// selfPath is the path subshells and command substitutions re-invoke.
+func (sh *state) selfPath() string { return "/bin/sh" }
+
+// execEnv builds the child environment: the exported environment plus
+// per-command temporary assignments.
+func (sh *state) execEnv(extra []string) []string {
+	env := append([]string{}, sh.p.Environ()...)
+	for _, kv := range extra {
+		k, v, _ := strings.Cut(kv, "=")
+		env = posix.SetEnv(env, k, v)
+	}
+	return env
+}
+
+// run executes a parsed list and returns the final status.
+func (sh *state) run(l *listNode) int {
+	sh.runList(l)
+	return sh.lastStatus
+}
+
+func (sh *state) runList(l *listNode) {
+	for _, item := range l.items {
+		if sh.exited {
+			return
+		}
+		// Interpreter bookkeeping costs a little CPU per command.
+		sh.p.CPU(15_000)
+		if item.background {
+			sh.runBackground(item.n)
+			continue
+		}
+		sh.runNode(item.n)
+	}
+}
+
+func (sh *state) runNode(n node) {
+	if sh.exited {
+		return
+	}
+	switch x := n.(type) {
+	case *listNode:
+		sh.runList(x)
+	case *andOrNode:
+		sh.runNode(x.first)
+		for _, part := range x.rest {
+			if sh.exited {
+				return
+			}
+			if (part.op == "&&") != (sh.lastStatus == 0) {
+				continue
+			}
+			sh.runNode(part.n)
+		}
+	case *pipeNode:
+		sh.runPipeline(x)
+	case *simpleNode:
+		sh.runSimple(x)
+	case *subshellNode:
+		sh.runSubshell(x, false)
+	case *ifNode:
+		sh.runIf(x)
+	case *whileNode:
+		sh.runWhile(x)
+	case *forNode:
+		sh.runFor(x)
+	}
+}
+
+func (sh *state) runIf(n *ifNode) {
+	sh.runList(n.cond)
+	if sh.lastStatus == 0 {
+		sh.runList(n.then)
+		return
+	}
+	for _, e := range n.elifs {
+		sh.runList(e.cond)
+		if sh.lastStatus == 0 {
+			sh.runList(e.then)
+			return
+		}
+	}
+	if n.els != nil {
+		sh.runList(n.els)
+		return
+	}
+	sh.lastStatus = 0
+}
+
+func (sh *state) runWhile(n *whileNode) {
+	status := 0
+	for !sh.exited {
+		sh.runList(n.cond)
+		ok := sh.lastStatus == 0
+		if n.until {
+			ok = !ok
+		}
+		if !ok {
+			break
+		}
+		sh.runList(n.body)
+		status = sh.lastStatus
+	}
+	sh.lastStatus = status
+}
+
+func (sh *state) runFor(n *forNode) {
+	var values []string
+	for _, w := range n.words {
+		values = append(values, sh.expandWord(w)...)
+	}
+	status := 0
+	for _, v := range values {
+		if sh.exited {
+			return
+		}
+		sh.vars[n.name] = v
+		sh.runList(n.body)
+		status = sh.lastStatus
+	}
+	sh.lastStatus = status
+}
+
+// runSubshell re-invokes the shell on the subshell's source text — the
+// moral equivalent of dash forking for "( ... )".
+func (sh *state) runSubshell(n *subshellNode, background bool) {
+	p := sh.p
+	files := []int{0, 1, 2}
+	opened, ok := sh.openRedirs(n.redirs, files)
+	if !ok {
+		sh.lastStatus = 1
+		return
+	}
+	defer sh.closeFds(opened)
+	pid, err := p.Spawn(sh.selfPath(), []string{"sh", "-c", n.src}, sh.execEnv(nil), files)
+	if err != abi.OK {
+		posix.Fprintf(p, abi.Stderr, "sh: subshell: %v\n", err)
+		sh.lastStatus = 127
+		return
+	}
+	if background {
+		sh.jobs = append(sh.jobs, pid)
+		sh.lastStatus = 0
+		return
+	}
+	sh.waitFor(pid)
+}
+
+// runBackground launches a node without waiting ("cmd &").
+func (sh *state) runBackground(n node) {
+	switch x := n.(type) {
+	case *simpleNode:
+		pid, ok := sh.spawnSimple(x, []int{0, 1, 2})
+		if ok {
+			sh.jobs = append(sh.jobs, pid)
+		}
+		sh.lastStatus = 0
+	case *subshellNode:
+		sh.runSubshell(x, true)
+	case *pipeNode:
+		pids, ok := sh.spawnPipeline(x)
+		if ok {
+			sh.jobs = append(sh.jobs, pids...)
+		}
+		sh.lastStatus = 0
+	default:
+		// Compound commands in the background would need their source
+		// span; dash forks here. Run synchronously as a fallback.
+		sh.runNode(n)
+	}
+}
+
+// runPipeline connects stages with pipes and runs them concurrently.
+func (sh *state) runPipeline(n *pipeNode) {
+	pids, ok := sh.spawnPipeline(n)
+	if !ok {
+		sh.lastStatus = 127
+		return
+	}
+	// Status of a pipeline is the status of its last command.
+	for i, pid := range pids {
+		st := sh.waitPid(pid)
+		if i == len(pids)-1 {
+			sh.lastStatus = st
+		}
+	}
+}
+
+// spawnPipeline spawns every stage wired through pipes, returning pids.
+func (sh *state) spawnPipeline(n *pipeNode) ([]int, bool) {
+	p := sh.p
+	var pids []int
+	prevRead := -1
+	for i, stage := range n.cmds {
+		stdin, stdout := 0, 1
+		var rfd, wfd int
+		last := i == len(n.cmds)-1
+		if !last {
+			var err abi.Errno
+			rfd, wfd, err = p.Pipe()
+			if err != abi.OK {
+				return pids, false
+			}
+			stdout = wfd
+		}
+		if prevRead >= 0 {
+			stdin = prevRead
+		}
+		files := []int{stdin, stdout, 2}
+		var pid int
+		var ok bool
+		switch s := stage.(type) {
+		case *simpleNode:
+			pid, ok = sh.spawnSimple(s, files)
+		case *subshellNode:
+			opened, rok := sh.openRedirs(s.redirs, files)
+			if rok {
+				var err abi.Errno
+				pid, err = p.Spawn(sh.selfPath(), []string{"sh", "-c", s.src}, sh.execEnv(nil), files)
+				ok = err == abi.OK
+				sh.closeFds(opened)
+			}
+		default:
+			// Compound stage: run it in a child shell via its source
+			// span, as dash's fork would.
+			src := compoundSrc(stage)
+			if src == "" {
+				posix.Fprintf(p, abi.Stderr, "sh: unsupported pipeline stage\n")
+				break
+			}
+			var err abi.Errno
+			pid, err = p.Spawn(sh.selfPath(), []string{"sh", "-c", src}, sh.execEnv(nil), files)
+			ok = err == abi.OK
+		}
+		if prevRead >= 0 {
+			p.Close(prevRead)
+		}
+		if !last {
+			p.Close(wfd)
+			prevRead = rfd
+		}
+		if !ok {
+			if !last {
+				p.Close(rfd)
+			}
+			return pids, false
+		}
+		pids = append(pids, pid)
+	}
+	return pids, true
+}
+
+// compoundSrc returns the recorded source span of a compound command.
+func compoundSrc(n node) string {
+	switch x := n.(type) {
+	case *ifNode:
+		return x.src
+	case *whileNode:
+		return x.src
+	case *forNode:
+		return x.src
+	case *subshellNode:
+		return x.src
+	}
+	return ""
+}
+
+// runSimple executes assignments + command word + redirections.
+func (sh *state) runSimple(n *simpleNode) {
+	p := sh.p
+	// Assignment-only command: set shell variables.
+	if len(n.words) == 0 {
+		for _, kv := range n.assigns {
+			k, v, _ := strings.Cut(kv, "=")
+			sh.vars[k] = sh.expandWordSingle(v)
+		}
+		sh.lastStatus = 0
+		return
+	}
+	var argv []string
+	for _, w := range n.words {
+		argv = append(argv, sh.expandWord(w)...)
+	}
+	if len(argv) == 0 {
+		sh.lastStatus = 0
+		return
+	}
+	if fn := sh.builtin(argv[0]); fn != nil {
+		restore, ok := sh.redirectInProcess(n.redirs)
+		if !ok {
+			sh.lastStatus = 1
+			return
+		}
+		sh.lastStatus = fn(argv[1:])
+		restore()
+		return
+	}
+	pid, ok := sh.spawnSimpleArgv(argv, n.assigns, n.redirs, []int{0, 1, 2})
+	if !ok {
+		sh.lastStatus = 127
+		return
+	}
+	sh.waitFor(pid)
+	_ = p
+}
+
+// spawnSimple expands and spawns a simple command with the given stdio.
+func (sh *state) spawnSimple(n *simpleNode, files []int) (int, bool) {
+	var argv []string
+	for _, w := range n.words {
+		argv = append(argv, sh.expandWord(w)...)
+	}
+	if len(argv) == 0 {
+		return 0, false
+	}
+	// Builtins inside pipelines run via their external twins (echo, test,
+	// true, false all exist in /usr/bin).
+	return sh.spawnSimpleArgv(argv, n.assigns, n.redirs, files)
+}
+
+func (sh *state) spawnSimpleArgv(argv, assigns []string, redirs []redir, files []int) (int, bool) {
+	p := sh.p
+	path, err := posix.LookPath(p, argv[0])
+	if err != abi.OK {
+		posix.Fprintf(p, abi.Stderr, "sh: %s: not found\n", argv[0])
+		return 0, false
+	}
+	files = append([]int{}, files...)
+	opened, ok := sh.openRedirs(redirs, files)
+	if !ok {
+		return 0, false
+	}
+	var expAssigns []string
+	for _, kv := range assigns {
+		k, v, _ := strings.Cut(kv, "=")
+		expAssigns = append(expAssigns, k+"="+sh.expandWordSingle(v))
+	}
+	pid, serr := p.Spawn(path, argv, sh.execEnv(expAssigns), files)
+	sh.closeFds(opened)
+	if serr != abi.OK {
+		posix.Fprintf(p, abi.Stderr, "sh: %s: %v\n", argv[0], serr)
+		return 0, false
+	}
+	return pid, true
+}
+
+// openRedirs opens redirection targets and patches the child fd table
+// (files[0..2]). It returns the fds the shell must close after spawning.
+func (sh *state) openRedirs(redirs []redir, files []int) ([]int, bool) {
+	p := sh.p
+	var opened []int
+	for _, r := range redirs {
+		switch r.op {
+		case "2>&1":
+			files[2] = files[1]
+			continue
+		}
+		target := sh.expandWordSingle(r.target)
+		var fd int
+		var err abi.Errno
+		switch r.op {
+		case "<":
+			fd, err = p.Open(target, abi.O_RDONLY, 0)
+		case ">", "2>":
+			fd, err = p.Open(target, abi.O_WRONLY|abi.O_CREAT|abi.O_TRUNC, 0o644)
+		case ">>", "2>>":
+			fd, err = p.Open(target, abi.O_WRONLY|abi.O_CREAT|abi.O_APPEND, 0o644)
+		default:
+			err = abi.EINVAL
+		}
+		if err != abi.OK {
+			posix.Fprintf(p, abi.Stderr, "sh: %s: %v\n", target, err)
+			sh.closeFds(opened)
+			return nil, false
+		}
+		opened = append(opened, fd)
+		switch r.op {
+		case "<":
+			files[0] = fd
+		case ">", ">>":
+			files[1] = fd
+		case "2>", "2>>":
+			files[2] = fd
+		}
+	}
+	return opened, true
+}
+
+func (sh *state) closeFds(fds []int) {
+	for _, fd := range fds {
+		sh.p.Close(fd)
+	}
+}
+
+// redirectInProcess applies redirections to the shell's own fds (for
+// builtins like pwd > file), returning a restore function.
+func (sh *state) redirectInProcess(redirs []redir) (func(), bool) {
+	if len(redirs) == 0 {
+		return func() {}, true
+	}
+	p := sh.p
+	const save = 200 // high fd range for saved descriptors
+	files := []int{0, 1, 2}
+	opened, ok := sh.openRedirs(redirs, files)
+	if !ok {
+		return nil, false
+	}
+	var saved []int
+	for i := 0; i < 3; i++ {
+		if files[i] != i {
+			p.Dup2(i, save+i)
+			p.Dup2(files[i], i)
+			saved = append(saved, i)
+		}
+	}
+	return func() {
+		for _, i := range saved {
+			p.Dup2(save+i, i)
+			p.Close(save + i)
+		}
+		sh.closeFds(opened)
+	}, true
+}
+
+// waitFor waits for a foreground child and records its status.
+func (sh *state) waitFor(pid int) {
+	sh.lastStatus = sh.waitPid(pid)
+}
+
+func (sh *state) waitPid(pid int) int {
+	_, status, err := sh.p.Wait4(pid, 0)
+	if err != abi.OK {
+		return 127
+	}
+	if abi.WIFSIGNALED(status) {
+		return 128 + abi.WTERMSIG(status)
+	}
+	return abi.WEXITSTATUS(status)
+}
+
+// ---------------------------------------------------------------------------
+// Builtins.
+// ---------------------------------------------------------------------------
+
+func (sh *state) builtin(name string) func(args []string) int {
+	switch name {
+	case "cd":
+		return sh.builtinCd
+	case "pwd":
+		return func([]string) int {
+			cwd, _ := sh.p.Getcwd()
+			posix.WriteString(sh.p, abi.Stdout, cwd+"\n")
+			return 0
+		}
+	case "exit":
+		return sh.builtinExit
+	case "export":
+		return sh.builtinExport
+	case "unset":
+		return func(args []string) int {
+			for _, a := range args {
+				delete(sh.vars, a)
+			}
+			return 0
+		}
+	case "shift":
+		return func(args []string) int {
+			n := 1
+			if len(args) > 0 {
+				n, _ = strconv.Atoi(args[0])
+			}
+			if n > len(sh.params) {
+				n = len(sh.params)
+			}
+			sh.params = sh.params[n:]
+			return 0
+		}
+	case "wait":
+		return sh.builtinWait
+	case "exec":
+		return sh.builtinExec
+	case ":", "true":
+		return func([]string) int { return 0 }
+	case "false":
+		return func([]string) int { return 1 }
+	case "echo":
+		return func(args []string) int {
+			noNL := false
+			if len(args) > 0 && args[0] == "-n" {
+				noNL = true
+				args = args[1:]
+			}
+			s := strings.Join(args, " ")
+			if !noNL {
+				s += "\n"
+			}
+			posix.WriteString(sh.p, abi.Stdout, s)
+			return 0
+		}
+	case "test", "[":
+		return func(args []string) int {
+			if name == "[" {
+				if len(args) == 0 || args[len(args)-1] != "]" {
+					posix.Fprintf(sh.p, abi.Stderr, "sh: [: missing ]\n")
+					return 2
+				}
+				args = args[:len(args)-1]
+			}
+			return sh.builtinTest(args)
+		}
+	case "set":
+		return func([]string) int { return 0 } // option flags are no-ops
+	case ".", "source":
+		return sh.builtinSource
+	case "jobs":
+		return func([]string) int {
+			for i, pid := range sh.jobs {
+				posix.Fprintf(sh.p, abi.Stdout, "[%d] %d\n", i+1, pid)
+			}
+			return 0
+		}
+	}
+	return nil
+}
+
+func (sh *state) builtinCd(args []string) int {
+	dir := sh.p.Getenv("HOME")
+	if len(args) > 0 {
+		dir = args[0]
+	}
+	if dir == "" {
+		dir = "/"
+	}
+	if err := sh.p.Chdir(dir); err != abi.OK {
+		posix.Fprintf(sh.p, abi.Stderr, "sh: cd: %s: %v\n", dir, err)
+		return 1
+	}
+	return 0
+}
+
+func (sh *state) builtinExit(args []string) int {
+	code := sh.lastStatus
+	if len(args) > 0 {
+		code, _ = strconv.Atoi(args[0])
+	}
+	sh.exited = true
+	sh.exitCode = code
+	return code
+}
+
+func (sh *state) builtinExport(args []string) int {
+	for _, a := range args {
+		k, v, has := strings.Cut(a, "=")
+		if !has {
+			v = sh.vars[k]
+		}
+		sh.p.Setenv(k, v)
+		delete(sh.vars, k)
+	}
+	return 0
+}
+
+func (sh *state) builtinWait(args []string) int {
+	if len(args) > 0 {
+		for _, a := range args {
+			pid, err := strconv.Atoi(a)
+			if err != nil {
+				continue
+			}
+			sh.waitPid(pid)
+		}
+		return 0
+	}
+	for _, pid := range sh.jobs {
+		sh.waitPid(pid)
+	}
+	sh.jobs = nil
+	return 0
+}
+
+func (sh *state) builtinExec(args []string) int {
+	if len(args) == 0 {
+		return 0
+	}
+	path, err := posix.LookPath(sh.p, args[0])
+	if err != abi.OK {
+		posix.Fprintf(sh.p, abi.Stderr, "sh: exec: %s: not found\n", args[0])
+		sh.exited = true
+		sh.exitCode = 127
+		return 127
+	}
+	if e := sh.p.Exec(path, args, sh.p.Environ()); e != abi.OK {
+		posix.Fprintf(sh.p, abi.Stderr, "sh: exec: %v\n", e)
+		sh.exited = true
+		sh.exitCode = 127
+		return 127
+	}
+	return 0 // unreachable: exec replaced the image
+}
+
+func (sh *state) builtinSource(args []string) int {
+	if len(args) == 0 {
+		return 2
+	}
+	data, err := posix.ReadFile(sh.p, args[0])
+	if err != abi.OK {
+		posix.Fprintf(sh.p, abi.Stderr, "sh: %s: %v\n", args[0], err)
+		return 1
+	}
+	list, perr := parse(string(data))
+	if perr != nil {
+		posix.Fprintf(sh.p, abi.Stderr, "sh: %s: %v\n", args[0], perr)
+		return 2
+	}
+	sh.runList(list)
+	return sh.lastStatus
+}
+
+// builtinTest implements the test/[ expression subset the case studies
+// and Makefiles use.
+func (sh *state) builtinTest(args []string) int {
+	res := sh.evalTest(args)
+	if res {
+		return 0
+	}
+	return 1
+}
+
+func (sh *state) evalTest(args []string) bool {
+	switch len(args) {
+	case 0:
+		return false
+	case 1:
+		return args[0] != ""
+	case 2:
+		switch args[0] {
+		case "!":
+			return !sh.evalTest(args[1:])
+		case "-z":
+			return args[1] == ""
+		case "-n":
+			return args[1] != ""
+		case "-e":
+			_, err := sh.p.Stat(args[1])
+			return err == abi.OK
+		case "-f":
+			st, err := sh.p.Stat(args[1])
+			return err == abi.OK && st.IsRegular()
+		case "-d":
+			st, err := sh.p.Stat(args[1])
+			return err == abi.OK && st.IsDir()
+		case "-s":
+			st, err := sh.p.Stat(args[1])
+			return err == abi.OK && st.Size > 0
+		case "-x", "-r", "-w":
+			_, err := sh.p.Stat(args[1])
+			return err == abi.OK
+		}
+		return false
+	case 3:
+		a, op, b := args[0], args[1], args[2]
+		switch op {
+		case "=", "==":
+			return a == b
+		case "!=":
+			return a != b
+		case "-eq", "-ne", "-lt", "-le", "-gt", "-ge":
+			x, err1 := strconv.Atoi(a)
+			y, err2 := strconv.Atoi(b)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			switch op {
+			case "-eq":
+				return x == y
+			case "-ne":
+				return x != y
+			case "-lt":
+				return x < y
+			case "-le":
+				return x <= y
+			case "-gt":
+				return x > y
+			case "-ge":
+				return x >= y
+			}
+		case "-nt": // file a newer than b (make-style checks)
+			sa, ea := sh.p.Stat(a)
+			sb, eb := sh.p.Stat(b)
+			return ea == abi.OK && (eb != abi.OK || sa.Mtime > sb.Mtime)
+		}
+		if args[0] == "!" {
+			return !sh.evalTest(args[1:])
+		}
+		return false
+	default:
+		if args[0] == "!" {
+			return !sh.evalTest(args[1:])
+		}
+		return false
+	}
+}

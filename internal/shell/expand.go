@@ -1,0 +1,334 @@
+package shell
+
+import (
+	"path"
+	"strconv"
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/posix"
+)
+
+// Word expansion: quote handling, parameter expansion, command
+// substitution, field splitting, pathname globbing — the dash subset.
+
+// segment is a run of expanded text; quoted runs are exempt from field
+// splitting and globbing.
+type segment struct {
+	text   string
+	quoted bool
+}
+
+// expandSegments processes quoting and $-expansions of one raw word.
+// "$@" produces one fieldBreak-separated segment per positional param.
+func (sh *state) expandSegments(raw string) []segment {
+	var segs []segment
+	add := func(text string, quoted bool) {
+		segs = append(segs, segment{text: text, quoted: quoted})
+	}
+	i := 0
+	for i < len(raw) {
+		c := raw[i]
+		switch {
+		case c == '\'':
+			end := strings.IndexByte(raw[i+1:], '\'')
+			add(raw[i+1:i+1+end], true)
+			i += end + 2
+		case c == '"':
+			j := i + 1
+			var inner strings.Builder
+			for j < len(raw) && raw[j] != '"' {
+				if raw[j] == '\\' && j+1 < len(raw) && strings.IndexByte("$`\"\\", raw[j+1]) >= 0 {
+					inner.WriteByte(raw[j+1])
+					j += 2
+					continue
+				}
+				if raw[j] == '$' {
+					val, n := sh.expandDollar(raw[j:], true)
+					inner.WriteString(val)
+					j += n
+					continue
+				}
+				inner.WriteByte(raw[j])
+				j++
+			}
+			add(inner.String(), true)
+			i = j + 1
+		case c == '\\':
+			if i+1 < len(raw) {
+				add(string(raw[i+1]), true)
+				i += 2
+			} else {
+				i++
+			}
+		case c == '$':
+			val, n := sh.expandDollar(raw[i:], false)
+			add(val, false)
+			i += n
+		default:
+			j := i
+			for j < len(raw) && strings.IndexByte(`'"\$`, raw[j]) < 0 {
+				j++
+			}
+			add(raw[i:j], false)
+			i = j
+		}
+	}
+	return segs
+}
+
+// expandDollar handles one $-expansion at the start of s, returning the
+// value and the number of source bytes consumed.
+func (sh *state) expandDollar(s string, inQuotes bool) (string, int) {
+	if len(s) < 2 {
+		return "$", 1
+	}
+	switch s[1] {
+	case '?':
+		return strconv.Itoa(sh.lastStatus), 2
+	case '$':
+		return strconv.Itoa(sh.p.Getpid()), 2
+	case '#':
+		return strconv.Itoa(len(sh.params)), 2
+	case '!':
+		if len(sh.jobs) == 0 {
+			return "", 2
+		}
+		return strconv.Itoa(sh.jobs[len(sh.jobs)-1]), 2
+	case '@', '*':
+		return strings.Join(sh.params, " "), 2
+	case '(':
+		// $(( ... )) is arithmetic expansion; $( ... ) command subst.
+		if len(s) > 2 && s[2] == '(' {
+			if end := strings.Index(s, "))"); end >= 0 {
+				return sh.arith(s[3:end]), end + 2
+			}
+		}
+		depth := 0
+		for i := 1; i < len(s); i++ {
+			if s[i] == '(' {
+				depth++
+			}
+			if s[i] == ')' {
+				depth--
+				if depth == 0 {
+					return sh.commandSubst(s[2:i]), i + 1
+				}
+			}
+		}
+		return "", len(s)
+	case '{':
+		end := strings.IndexByte(s, '}')
+		if end < 0 {
+			return "", len(s)
+		}
+		return sh.lookupVar(s[2:end]), end + 1
+	}
+	if s[1] >= '0' && s[1] <= '9' {
+		n := int(s[1] - '0')
+		if n == 0 {
+			return sh.name, 2
+		}
+		if n <= len(sh.params) {
+			return sh.params[n-1], 2
+		}
+		return "", 2
+	}
+	// $NAME
+	j := 1
+	for j < len(s) && (s[j] == '_' || s[j] >= 'a' && s[j] <= 'z' || s[j] >= 'A' && s[j] <= 'Z' || j > 1 && s[j] >= '0' && s[j] <= '9') {
+		j++
+	}
+	if j == 1 {
+		return "$", 1
+	}
+	return sh.lookupVar(s[1:j]), j
+}
+
+// lookupVar checks shell variables, then the environment.
+func (sh *state) lookupVar(name string) string {
+	if v, ok := sh.vars[name]; ok {
+		return v
+	}
+	return sh.p.Getenv(name)
+}
+
+// commandSubst runs a command in a subshell and captures its stdout,
+// stripping trailing newlines (POSIX).
+func (sh *state) commandSubst(src string) string {
+	out := sh.captureOutput(src)
+	return strings.TrimRight(out, "\n")
+}
+
+// captureOutput spawns `sh -c src` with stdout connected to a pipe and
+// slurps it.
+func (sh *state) captureOutput(src string) string {
+	p := sh.p
+	r, w, err := p.Pipe()
+	if err != abi.OK {
+		return ""
+	}
+	pid, serr := p.Spawn(sh.selfPath(), []string{"sh", "-c", src}, sh.execEnv(nil), []int{0, w, 2})
+	p.Close(w)
+	if serr != abi.OK {
+		p.Close(r)
+		return ""
+	}
+	data, _ := posix.ReadAll(p, r)
+	p.Close(r)
+	p.Wait4(pid, 0)
+	return string(data)
+}
+
+// expandWord fully expands one raw word into zero or more fields.
+func (sh *state) expandWord(raw string) []string {
+	// "$@" as a complete word becomes one field per parameter.
+	if raw == `"$@"` {
+		return append([]string{}, sh.params...)
+	}
+	segs := sh.expandSegments(raw)
+	fields := splitFields(segs)
+	var out []string
+	for _, f := range fields {
+		if !f.quoted && strings.ContainsAny(f.text, "*?[") {
+			if matches := sh.glob(f.text); len(matches) > 0 {
+				out = append(out, matches...)
+				continue
+			}
+		}
+		out = append(out, f.text)
+	}
+	return out
+}
+
+// expandWordSingle expands a word into exactly one field (redirect
+// targets, for-variable names).
+func (sh *state) expandWordSingle(raw string) string {
+	segs := sh.expandSegments(raw)
+	var sb strings.Builder
+	for _, s := range segs {
+		sb.WriteString(s.text)
+	}
+	return sb.String()
+}
+
+// splitFields performs IFS field splitting over the segment list:
+// unquoted whitespace separates fields; quoted segments never split.
+func splitFields(segs []segment) []segment {
+	var out []segment
+	cur := segment{}
+	started := false
+	flush := func() {
+		if started {
+			out = append(out, cur)
+			cur = segment{}
+			started = false
+		}
+	}
+	for _, s := range segs {
+		if s.quoted {
+			cur.text += s.text
+			// A field counts as quoted (glob-suppressed) when a quoted
+			// part contributed glob metacharacters.
+			if strings.ContainsAny(s.text, "*?[") {
+				cur.quoted = true
+			}
+			started = true
+			continue
+		}
+		rest := s.text
+		for {
+			i := strings.IndexAny(rest, " \t\n")
+			if i < 0 {
+				if rest != "" {
+					cur.text += rest
+					started = true
+				}
+				break
+			}
+			if i > 0 {
+				cur.text += rest[:i]
+				started = true
+			}
+			flush()
+			rest = rest[i+1:]
+		}
+	}
+	flush()
+	return out
+}
+
+// glob expands a pathname pattern against the file system. Returns nil
+// when nothing matches (the caller then keeps the literal pattern, as
+// POSIX specifies).
+func (sh *state) glob(pattern string) []string {
+	p := sh.p
+	absolute := strings.HasPrefix(pattern, "/")
+	parts := strings.Split(strings.Trim(pattern, "/"), "/")
+	bases := []string{"."}
+	if absolute {
+		bases = []string{"/"}
+	}
+	for _, part := range parts {
+		if part == "" {
+			continue
+		}
+		var next []string
+		if !strings.ContainsAny(part, "*?[") {
+			for _, b := range bases {
+				next = append(next, joinPath(b, part))
+			}
+			bases = next
+			continue
+		}
+		for _, b := range bases {
+			fd, err := p.Open(b, abi.O_RDONLY|abi.O_DIRECTORY, 0)
+			if err != abi.OK {
+				continue
+			}
+			ents, err := p.Getdents(fd)
+			p.Close(fd)
+			if err != abi.OK {
+				continue
+			}
+			names := make([]string, 0, len(ents))
+			for _, e := range ents {
+				names = append(names, e.Name)
+			}
+			// Deterministic order.
+			sortStrings(names)
+			for _, name := range names {
+				if strings.HasPrefix(name, ".") && !strings.HasPrefix(part, ".") {
+					continue
+				}
+				if ok, _ := path.Match(part, name); ok {
+					next = append(next, joinPath(b, name))
+				}
+			}
+		}
+		bases = next
+	}
+	// Verify existence of literal tails (e.g. dir/*/file with fixed file).
+	var out []string
+	for _, b := range bases {
+		if _, err := p.Lstat(b); err == abi.OK {
+			out = append(out, strings.TrimPrefix(b, "./"))
+		}
+	}
+	return out
+}
+
+func joinPath(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

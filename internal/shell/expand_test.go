@@ -1,0 +1,151 @@
+package shell
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/posix"
+)
+
+// expandProc implements the minimum of posix.Proc that parameter
+// expansion needs (pid, env); glob and command substitution are covered
+// by the integration suite.
+type expandProc struct {
+	posix.Proc
+	env []string
+}
+
+func (e *expandProc) Getpid() int            { return 42 }
+func (e *expandProc) Getenv(k string) string { return posix.Getenv(e.env, k) }
+func (e *expandProc) Setenv(k, v string)     { e.env = posix.SetEnv(e.env, k, v) }
+
+func newExpandState() *state {
+	sh := newState(&expandProc{env: []string{"HOME=/home", "PATH=/usr/bin"}}, "sh", []string{"one", "two"})
+	sh.vars["LOCAL"] = "lv"
+	sh.lastStatus = 7
+	return sh
+}
+
+func one(t *testing.T, sh *state, raw string) string {
+	t.Helper()
+	fields := sh.expandWord(raw)
+	if len(fields) != 1 {
+		t.Fatalf("expandWord(%q) = %v, want one field", raw, fields)
+	}
+	return fields[0]
+}
+
+func TestExpandParameters(t *testing.T) {
+	sh := newExpandState()
+	cases := map[string]string{
+		"$LOCAL":     "lv",
+		"${LOCAL}x":  "lvx",
+		"$HOME":      "/home",
+		"$?":         "7",
+		"$$":         "42",
+		"$#":         "2",
+		"$1":         "one",
+		"$2":         "two",
+		"$0":         "sh",
+		"a$LOCAL-b":  "alv-b",
+		"'$LOCAL'":   "$LOCAL",
+		`"$LOCAL"`:   "lv",
+		`\$LOCAL`:    "$LOCAL",
+		"$MISSING-x": "-x",
+		"$":          "$",
+	}
+	for raw, want := range cases {
+		if got := one(t, sh, raw); got != want {
+			t.Errorf("expand(%q) = %q, want %q", raw, got, want)
+		}
+	}
+}
+
+func TestExpandFieldSplitting(t *testing.T) {
+	sh := newExpandState()
+	sh.vars["MULTI"] = "a b  c"
+	fields := sh.expandWord("$MULTI")
+	if len(fields) != 3 || fields[0] != "a" || fields[2] != "c" {
+		t.Fatalf("unquoted expansion fields = %v", fields)
+	}
+	fields = sh.expandWord(`"$MULTI"`)
+	if len(fields) != 1 || fields[0] != "a b  c" {
+		t.Fatalf("quoted expansion fields = %v", fields)
+	}
+}
+
+func TestExpandDollarAt(t *testing.T) {
+	sh := newExpandState()
+	fields := sh.expandWord(`"$@"`)
+	if len(fields) != 2 || fields[0] != "one" || fields[1] != "two" {
+		t.Fatalf(`"$@" = %v`, fields)
+	}
+	fields = sh.expandWord("$@")
+	if len(fields) != 2 {
+		t.Fatalf("$@ = %v", fields)
+	}
+}
+
+func TestExpandSingleNoSplit(t *testing.T) {
+	sh := newExpandState()
+	sh.vars["MULTI"] = "a b"
+	if got := sh.expandWordSingle("$MULTI.txt"); got != "a b.txt" {
+		t.Fatalf("expandWordSingle = %q", got)
+	}
+}
+
+func TestSplitFieldsPure(t *testing.T) {
+	// Unquoted spaces break fields even next to quoted segments; the
+	// quoted interior never splits.
+	fields := splitFields([]segment{
+		{text: "a ", quoted: false},
+		{text: "b c", quoted: true},
+		{text: " d", quoted: false},
+	})
+	if len(fields) != 3 || fields[0].text != "a" || fields[1].text != "b c" || fields[2].text != "d" {
+		t.Fatalf("fields = %+v", fields)
+	}
+	// Adjacent quoted+unquoted text with no spaces concatenates.
+	fields = splitFields([]segment{
+		{text: "pre", quoted: false},
+		{text: "mid dle", quoted: true},
+		{text: "post", quoted: false},
+	})
+	if len(fields) != 1 || fields[0].text != "premid dlepost" {
+		t.Fatalf("concat fields = %+v", fields)
+	}
+	// All-whitespace unquoted text yields no fields.
+	if got := splitFields([]segment{{text: "   ", quoted: false}}); len(got) != 0 {
+		t.Fatalf("whitespace fields = %+v", got)
+	}
+	// Quoted empty string yields one empty field.
+	if got := splitFields([]segment{{text: "", quoted: true}}); len(got) != 1 {
+		t.Fatalf("empty quoted = %+v", got)
+	}
+}
+
+func TestEvalTestPure(t *testing.T) {
+	sh := newState(&expandProc{}, "test", nil)
+	cases := []struct {
+		args []string
+		want bool
+	}{
+		{[]string{"x"}, true},
+		{[]string{""}, false},
+		{[]string{"-z", ""}, true},
+		{[]string{"-n", "y"}, true},
+		{[]string{"a", "=", "a"}, true},
+		{[]string{"a", "!=", "a"}, false},
+		{[]string{"2", "-lt", "10"}, true},
+		{[]string{"10", "-lt", "2"}, false},
+		{[]string{"!", "-z", "v"}, true},
+		{[]string{"notanum", "-eq", "3"}, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := sh.evalTest(c.args); got != c.want {
+			t.Errorf("test %v = %v, want %v", c.args, got, c.want)
+		}
+	}
+	_ = abi.OK
+}

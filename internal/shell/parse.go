@@ -1,0 +1,452 @@
+package shell
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AST node types. The grammar is the dash subset:
+//
+//	list     : andOr ((';' | '&' | '\n') andOr)*
+//	andOr    : pipeline (('&&' | '||') pipeline)*
+//	pipeline : command ('|' command)*
+//	command  : simple | '(' list ')' redirs | ifCmd | whileCmd | forCmd
+//	simple   : assignment* word* redirs
+type node interface{ nodeTag() string }
+
+// listNode is a sequence of and-or items, each possibly backgrounded.
+type listNode struct {
+	items []listItem
+}
+
+type listItem struct {
+	n          node
+	background bool
+}
+
+// andOrNode chains pipelines with && / ||.
+type andOrNode struct {
+	first node
+	rest  []andOrPart
+}
+
+type andOrPart struct {
+	op string // "&&" or "||"
+	n  node
+}
+
+// pipeNode is a pipeline of two or more commands.
+type pipeNode struct {
+	cmds []node
+}
+
+// redir is one redirection.
+type redir struct {
+	op     string // "<", ">", ">>", "2>", "2>>", "2>&1"
+	target string // raw word (expanded later); empty for 2>&1
+}
+
+// simpleNode is assignments + argv words + redirections.
+type simpleNode struct {
+	assigns []string // raw "K=V" words
+	words   []string // raw words, expanded at execution
+	redirs  []redir
+}
+
+// subshellNode runs a list in a child shell process.
+type subshellNode struct {
+	body   *listNode
+	src    string // raw source text, re-executed via sh -c
+	redirs []redir
+}
+
+// ifNode is if/elif/else/fi.
+type ifNode struct {
+	cond, then *listNode
+	elifs      []ifElif
+	els        *listNode
+	src        string // raw source span (pipeline stages re-run via sh -c)
+}
+
+type ifElif struct {
+	cond, then *listNode
+}
+
+// whileNode is while/do/done.
+type whileNode struct {
+	cond, body *listNode
+	until      bool
+	src        string
+}
+
+// forNode is for NAME in WORDS; do ...; done.
+type forNode struct {
+	name  string
+	words []string
+	body  *listNode
+	src   string
+}
+
+func (*listNode) nodeTag() string     { return "list" }
+func (*andOrNode) nodeTag() string    { return "andor" }
+func (*pipeNode) nodeTag() string     { return "pipe" }
+func (*simpleNode) nodeTag() string   { return "simple" }
+func (*subshellNode) nodeTag() string { return "subshell" }
+func (*ifNode) nodeTag() string       { return "if" }
+func (*whileNode) nodeTag() string    { return "while" }
+func (*forNode) nodeTag() string      { return "for" }
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// parse builds the AST for a complete source string.
+func parse(src string) (*listNode, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	list, err := p.parseList(nil)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tEOF {
+		return nil, fmt.Errorf("shell: syntax error near %q", p.cur().text)
+	}
+	return list, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) skipNewlines() {
+	for p.cur().kind == tOp && p.cur().text == "\n" {
+		p.advance()
+	}
+}
+
+// atKeyword reports whether the current token is the given reserved word.
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tWord && p.cur().text == kw
+}
+
+func (p *parser) atAnyKeyword(kws ...string) bool {
+	for _, kw := range kws {
+		if p.atKeyword(kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseList parses until EOF, ')' or one of the stop keywords.
+func (p *parser) parseList(stops []string) (*listNode, error) {
+	out := &listNode{}
+	for {
+		p.skipNewlines()
+		if p.cur().kind == tEOF {
+			return out, nil
+		}
+		if p.cur().kind == tOp && p.cur().text == ")" {
+			return out, nil
+		}
+		if len(stops) > 0 && p.atAnyKeyword(stops...) {
+			return out, nil
+		}
+		item, err := p.parseAndOr(stops)
+		if err != nil {
+			return nil, err
+		}
+		bg := false
+		if p.cur().kind == tOp {
+			switch p.cur().text {
+			case "&":
+				bg = true
+				p.advance()
+			case ";", "\n":
+				p.advance()
+			}
+		}
+		out.items = append(out.items, listItem{n: item, background: bg})
+	}
+}
+
+func (p *parser) parseAndOr(stops []string) (node, error) {
+	first, err := p.parsePipeline(stops)
+	if err != nil {
+		return nil, err
+	}
+	ao := &andOrNode{first: first}
+	for p.cur().kind == tOp && (p.cur().text == "&&" || p.cur().text == "||") {
+		op := p.advance().text
+		p.skipNewlines()
+		next, err := p.parsePipeline(stops)
+		if err != nil {
+			return nil, err
+		}
+		ao.rest = append(ao.rest, andOrPart{op: op, n: next})
+	}
+	if len(ao.rest) == 0 {
+		return first, nil
+	}
+	return ao, nil
+}
+
+func (p *parser) parsePipeline(stops []string) (node, error) {
+	first, err := p.parseCommand(stops)
+	if err != nil {
+		return nil, err
+	}
+	pn := &pipeNode{cmds: []node{first}}
+	for p.cur().kind == tOp && p.cur().text == "|" {
+		p.advance()
+		p.skipNewlines()
+		next, err := p.parseCommand(stops)
+		if err != nil {
+			return nil, err
+		}
+		pn.cmds = append(pn.cmds, next)
+	}
+	if len(pn.cmds) == 1 {
+		return first, nil
+	}
+	return pn, nil
+}
+
+func (p *parser) parseCommand(stops []string) (node, error) {
+	if p.cur().kind == tOp && p.cur().text == "(" {
+		open := p.advance()
+		body, err := p.parseList(nil)
+		if err != nil {
+			return nil, err
+		}
+		if !(p.cur().kind == tOp && p.cur().text == ")") {
+			return nil, errIncomplete
+		}
+		closeTok := p.advance()
+		sub := &subshellNode{body: body, src: p.src[open.pos+1 : closeTok.pos]}
+		rs, err := p.parseRedirs()
+		if err != nil {
+			return nil, err
+		}
+		sub.redirs = rs
+		return sub, nil
+	}
+	// Compound commands record their source span so pipelines can run
+	// them in a child shell (dash forks for pipeline stages).
+	start := p.cur().pos
+	span := func() string { return strings.TrimSpace(p.src[start:p.cur().pos]) }
+	switch {
+	case p.atKeyword("if"):
+		n, err := p.parseIf()
+		if err == nil {
+			n.(*ifNode).src = span()
+		}
+		return n, err
+	case p.atKeyword("while"), p.atKeyword("until"):
+		n, err := p.parseWhile()
+		if err == nil {
+			n.(*whileNode).src = span()
+		}
+		return n, err
+	case p.atKeyword("for"):
+		n, err := p.parseFor()
+		if err == nil {
+			n.(*forNode).src = span()
+		}
+		return n, err
+	}
+	return p.parseSimple(stops)
+}
+
+func (p *parser) parseRedirs() ([]redir, error) {
+	var out []redir
+	for p.cur().kind == tOp {
+		op := p.cur().text
+		switch op {
+		case "<", ">", ">>", "2>", "2>>":
+			p.advance()
+			if p.cur().kind != tWord {
+				return nil, fmt.Errorf("shell: redirect needs a target")
+			}
+			out = append(out, redir{op: op, target: p.advance().text})
+		case "2>&1":
+			p.advance()
+			out = append(out, redir{op: op})
+		default:
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+func isAssignment(w string) bool {
+	for i := 0; i < len(w); i++ {
+		c := w[i]
+		if c == '=' {
+			return i > 0
+		}
+		if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || i > 0 && c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return false
+}
+
+func (p *parser) parseSimple(stops []string) (node, error) {
+	cmd := &simpleNode{}
+	for {
+		if p.cur().kind == tWord {
+			w := p.cur().text
+			if len(cmd.words) == 0 && isAssignment(w) {
+				cmd.assigns = append(cmd.assigns, w)
+				p.advance()
+				continue
+			}
+			if len(stops) > 0 && len(cmd.words) == 0 && len(cmd.assigns) == 0 && p.atAnyKeyword(stops...) {
+				break
+			}
+			cmd.words = append(cmd.words, w)
+			p.advance()
+			continue
+		}
+		rs, err := p.parseRedirs()
+		if err != nil {
+			return nil, err
+		}
+		if len(rs) > 0 {
+			cmd.redirs = append(cmd.redirs, rs...)
+			continue
+		}
+		break
+	}
+	if len(cmd.words) == 0 && len(cmd.assigns) == 0 && len(cmd.redirs) == 0 {
+		return nil, fmt.Errorf("shell: syntax error near %q", p.cur().text)
+	}
+	return cmd, nil
+}
+
+// expectKeyword consumes a required reserved word.
+func (p *parser) expectKeyword(kw string) error {
+	p.skipNewlines()
+	if !p.atKeyword(kw) {
+		if p.cur().kind == tEOF {
+			return errIncomplete
+		}
+		return fmt.Errorf("shell: expected %q, got %q", kw, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) parseIf() (node, error) {
+	p.advance() // "if"
+	cond, err := p.parseList([]string{"then"})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("then"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseList([]string{"elif", "else", "fi"})
+	if err != nil {
+		return nil, err
+	}
+	out := &ifNode{cond: cond, then: then}
+	for {
+		p.skipNewlines()
+		switch {
+		case p.atKeyword("elif"):
+			p.advance()
+			econd, err := p.parseList([]string{"then"})
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("then"); err != nil {
+				return nil, err
+			}
+			ethen, err := p.parseList([]string{"elif", "else", "fi"})
+			if err != nil {
+				return nil, err
+			}
+			out.elifs = append(out.elifs, ifElif{cond: econd, then: ethen})
+		case p.atKeyword("else"):
+			p.advance()
+			els, err := p.parseList([]string{"fi"})
+			if err != nil {
+				return nil, err
+			}
+			out.els = els
+		case p.atKeyword("fi"):
+			p.advance()
+			return out, nil
+		default:
+			if p.cur().kind == tEOF {
+				return nil, errIncomplete
+			}
+			return nil, fmt.Errorf("shell: expected fi, got %q", p.cur().text)
+		}
+	}
+}
+
+func (p *parser) parseWhile() (node, error) {
+	until := p.cur().text == "until"
+	p.advance()
+	cond, err := p.parseList([]string{"do"})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("do"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseList([]string{"done"})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("done"); err != nil {
+		return nil, err
+	}
+	return &whileNode{cond: cond, body: body, until: until}, nil
+}
+
+func (p *parser) parseFor() (node, error) {
+	p.advance() // "for"
+	if p.cur().kind != tWord {
+		return nil, fmt.Errorf("shell: for needs a variable name")
+	}
+	name := p.advance().text
+	p.skipNewlines()
+	var words []string
+	if p.atKeyword("in") {
+		p.advance()
+		for p.cur().kind == tWord {
+			words = append(words, p.advance().text)
+		}
+	} else {
+		words = []string{`"$@"`}
+	}
+	if p.cur().kind == tOp && (p.cur().text == ";" || p.cur().text == "\n") {
+		p.advance()
+	}
+	if err := p.expectKeyword("do"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseList([]string{"done"})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("done"); err != nil {
+		return nil, err
+	}
+	return &forNode{name: name, words: words, body: body}, nil
+}

@@ -1,0 +1,140 @@
+package shell
+
+import (
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/posix"
+)
+
+// Main is the entry point for the "sh"/"dash" programs:
+//
+//	sh -c 'command line'      run one command string
+//	sh script.sh [args...]    run a script file
+//	sh                        read commands from standard input
+func Main(p posix.Proc) int {
+	args := p.Args()[1:]
+	if len(args) > 0 && args[0] == "-c" {
+		if len(args) < 2 {
+			posix.Fprintf(p, abi.Stderr, "sh: -c requires an argument\n")
+			return 2
+		}
+		name := "sh"
+		var params []string
+		if len(args) > 2 {
+			name = args[2]
+			params = args[3:]
+		}
+		return runSource(p, args[1], name, params)
+	}
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		data, err := posix.ReadFile(p, args[0])
+		if err != abi.OK {
+			posix.Fprintf(p, abi.Stderr, "sh: %s: %v\n", args[0], err)
+			return 127
+		}
+		src := string(data)
+		// Scripts may start with a shebang; the kernel already consumed
+		// its meaning, drop the line.
+		if strings.HasPrefix(src, "#!") {
+			if i := strings.IndexByte(src, '\n'); i >= 0 {
+				src = src[i+1:]
+			}
+		}
+		return runSource(p, src, args[0], args[1:])
+	}
+	return interactive(p)
+}
+
+// runSource parses and executes a complete source string.
+func runSource(p posix.Proc, src, name string, params []string) int {
+	list, err := parse(src)
+	if err != nil {
+		posix.Fprintf(p, abi.Stderr, "sh: %v\n", err)
+		return 2
+	}
+	sh := newState(p, name, params)
+	sh.run(list)
+	if sh.exited {
+		return sh.exitCode
+	}
+	return sh.lastStatus
+}
+
+// interactive reads commands from stdin, accumulating lines until they
+// parse (so multi-line constructs work), and executes each complete
+// command. A "$ " prompt goes to stderr, like a real shell on a pipe-less
+// terminal.
+func interactive(p posix.Proc) int {
+	sh := newState(p, "sh", nil)
+	lr := posix.NewLineReader(p, abi.Stdin)
+	var pending strings.Builder
+	for {
+		if pending.Len() == 0 {
+			posix.WriteString(p, abi.Stderr, "$ ")
+		} else {
+			posix.WriteString(p, abi.Stderr, "> ")
+		}
+		line, ok, err := lr.ReadLine()
+		if err != abi.OK || !ok {
+			break
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		list, perr := parse(pending.String())
+		if perr == errIncomplete {
+			continue
+		}
+		src := pending.String()
+		pending.Reset()
+		if perr != nil {
+			posix.Fprintf(p, abi.Stderr, "sh: %v\n", perr)
+			sh.lastStatus = 2
+			continue
+		}
+		_ = src
+		sh.runList(list)
+		if sh.exited {
+			return sh.exitCode
+		}
+	}
+	return sh.lastStatus
+}
+
+func init() {
+	posix.Register(&posix.Program{Name: "sh", Main: Main})
+	posix.Register(&posix.Program{Name: "dash", Main: Main})
+	// test/[ also exist as external binaries, as on a real system.
+	testMain := func(p posix.Proc) int {
+		args := p.Args()[1:]
+		if posix.Basename(p.Args()[0]) == "[" {
+			if len(args) == 0 || args[len(args)-1] != "]" {
+				posix.Fprintf(p, abi.Stderr, "[: missing ]\n")
+				return 2
+			}
+			args = args[:len(args)-1]
+		}
+		sh := newState(p, "test", nil)
+		return sh.builtinTest(args)
+	}
+	posix.Register(&posix.Program{Name: "test", Main: testMain})
+	posix.Register(&posix.Program{Name: "[", Main: testMain})
+	// The paper's terminal ships an `exec` utility: replace the process
+	// image with the given command.
+	posix.Register(&posix.Program{Name: "exec", Main: func(p posix.Proc) int {
+		args := p.Args()[1:]
+		if len(args) == 0 {
+			return 0
+		}
+		path, err := posix.LookPath(p, args[0])
+		if err != abi.OK {
+			posix.Fprintf(p, abi.Stderr, "exec: %s: not found\n", args[0])
+			return 127
+		}
+		if e := p.Exec(path, args, p.Environ()); e != abi.OK {
+			posix.Fprintf(p, abi.Stderr, "exec: %v\n", e)
+			return 127
+		}
+		return 0
+	}})
+}

@@ -1,0 +1,116 @@
+package tex
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTexMacros(t *testing.T) {
+	src, _ := SampleDocument()
+	d := parseTex(src)
+	if d.class != "article" {
+		t.Fatalf("class = %q", d.class)
+	}
+	want := []string{"graphicx", "amsmath", "hyperref"}
+	if len(d.packages) != len(want) {
+		t.Fatalf("packages = %v", d.packages)
+	}
+	for i := range want {
+		if d.packages[i] != want[i] {
+			t.Fatalf("packages = %v", d.packages)
+		}
+	}
+	if len(d.cites) != 3 || d.cites[0] != "browsix" {
+		t.Fatalf("cites = %v", d.cites)
+	}
+	if d.bibdata != "main" || d.bibstyle != "plain" {
+		t.Fatalf("bib = %q/%q", d.bibdata, d.bibstyle)
+	}
+	if d.pages() < 1 {
+		t.Fatal("no pages")
+	}
+}
+
+func TestParseTexDuplicateCites(t *testing.T) {
+	d := parseTex(`\cite{a} and \cite{a,b} again \cite{b}`)
+	if len(d.cites) != 2 {
+		t.Fatalf("cites = %v (want deduped a,b)", d.cites)
+	}
+}
+
+func TestParseBibEntries(t *testing.T) {
+	_, bib := SampleDocument()
+	entries := ParseBib(bib)
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries["browsix"]
+	if e.Type != "inproceedings" {
+		t.Fatalf("type = %q", e.Type)
+	}
+	if !strings.Contains(e.Fields["author"], "Powers") {
+		t.Fatalf("author = %q", e.Fields["author"])
+	}
+	if entries["emscripten"].Fields["year"] != "2011" {
+		t.Fatalf("bare-number field = %q", entries["emscripten"].Fields["year"])
+	}
+	if entries["emscripten"].Fields["title"] == "" {
+		t.Fatal("quoted field missing")
+	}
+}
+
+func TestParseBibNestedBraces(t *testing.T) {
+	entries := ParseBib(`@article{k, title = {Outer {Inner} Rest}, year = {2000}}`)
+	if got := entries["k"].Fields["title"]; got != "Outer {Inner} Rest" {
+		t.Fatalf("nested braces: %q", got)
+	}
+}
+
+func TestParseBibGarbageTolerance(t *testing.T) {
+	entries := ParseBib("random text @ @article{ok, year={1}} trailing @comment{x}")
+	if len(entries) != 1 || entries["ok"].Fields["year"] != "1" {
+		t.Fatalf("entries = %v", entries)
+	}
+}
+
+func TestBuildTreeShape(t *testing.T) {
+	cfg := SmallTree()
+	tree := BuildTree(cfg)
+	if _, ok := tree["/cls/article.cls"]; !ok {
+		t.Fatal("article.cls missing")
+	}
+	if _, ok := tree["/sty/graphicx.sty"]; !ok {
+		t.Fatal("graphicx.sty missing")
+	}
+	if _, ok := tree["/fonts/cmr10.tfm"]; !ok {
+		t.Fatal("cmr10.tfm missing")
+	}
+	want := cfg.Classes + cfg.Packages + cfg.Fonts + cfg.ExtraFiles
+	if len(tree) != want {
+		t.Fatalf("tree has %d files, want %d", len(tree), want)
+	}
+	// Dependency chaining: graphicx requires amsmath (pkg 0 -> pkg 1).
+	if !strings.Contains(string(tree["/sty/graphicx.sty"]), "\\RequirePackage{amsmath}") {
+		t.Fatalf("package chaining missing: %s", tree["/sty/graphicx.sty"][:80])
+	}
+}
+
+func TestRenderPDFScalesWithDocument(t *testing.T) {
+	small := renderPDF(&texDoc{class: "article", body: "short", words: 2}, "", nil)
+	big := renderPDF(&texDoc{class: "article", body: strings.Repeat("lorem ipsum ", 2000), words: 4000}, "", nil)
+	if len(big) <= len(small) {
+		t.Fatal("PDF size does not scale with content")
+	}
+	if !strings.HasPrefix(string(small), "%PDF-1.5") {
+		t.Fatal("missing PDF header")
+	}
+}
+
+func TestCutMacro(t *testing.T) {
+	if v, ok := cutMacro(`\usepackage{tikz}`, `\usepackage{`); !ok || v != "tikz" {
+		t.Fatalf("cutMacro = %q %v", v, ok)
+	}
+	if _, ok := cutMacro(`\usepackage{unclosed`, `\usepackage{`); ok {
+		t.Fatal("unclosed macro accepted")
+	}
+}
