@@ -16,9 +16,13 @@ import (
 	"testing"
 
 	browsix "repro"
+	"repro/internal/abi"
 	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/coreutils"
 	"repro/internal/expt"
 	"repro/internal/meme"
+	"repro/internal/rt"
 	"repro/internal/sched"
 )
 
@@ -231,6 +235,105 @@ func BenchmarkAblation_SpawnLatency(b *testing.B) {
 		browsix.InstallBase(in)
 		return in.RunCommand("true").Elapsed
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Ring-transport / vectored-pipe benchmarks. BenchmarkPipe* measures the
+// kernel pipe data plane itself (real wall-clock MB/s via b.SetBytes):
+// the scalar path copies every chunk into the pipe; the vectored path
+// moves owned 64 KiB buffers through WriteOwned/Splice and recycles them,
+// the zero-copy discipline the ring transport's splice path uses.
+// ---------------------------------------------------------------------------
+
+const pipeBenchChunk = 64 * 1024
+const pipeBenchChunks = 64 // 4 MiB per op
+
+func BenchmarkPipeScalar(b *testing.B) {
+	b.SetBytes(pipeBenchChunk * pipeBenchChunks)
+	src := make([]byte, pipeBenchChunk)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewPipe()
+		for c := 0; c < pipeBenchChunks; c++ {
+			p.Write(src, func(int, abi.Errno) {})
+			var got int
+			p.Read(pipeBenchChunk, func(bts []byte, err abi.Errno) { got = len(bts) })
+			if got != pipeBenchChunk {
+				b.Fatalf("short read: %d", got)
+			}
+		}
+	}
+}
+
+func BenchmarkPipeVectored(b *testing.B) {
+	b.SetBytes(pipeBenchChunk * pipeBenchChunks)
+	buf := make([]byte, pipeBenchChunk)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewPipe()
+		for c := 0; c < pipeBenchChunks; c++ {
+			p.WriteOwned([][]byte{buf}, func(int, abi.Errno) {})
+			var got [][]byte
+			p.Splice(pipeBenchChunk, func(segs [][]byte, err abi.Errno) { got = segs })
+			if len(got) != 1 || len(got[0]) != pipeBenchChunk {
+				b.Fatal("short splice")
+			}
+			buf = got[0] // recycle the buffer that crossed the pipe
+		}
+	}
+}
+
+// BenchmarkRingTransport runs the paper's pipe benchmark (cat | wc -c on
+// a 1 MiB file) with the coreutils on a synchronous runtime, comparing
+// the ring transport against the scalar sync fallback and the async
+// transport. Virtual time is the quantity of interest (virtual-ms/op);
+// b.SetBytes additionally reports harness wall-clock MB/s.
+func BenchmarkRingTransport(b *testing.B) {
+	const payload = 1 << 20
+	stage := func(sync bool, disableRing bool) *browsix.Instance {
+		in := browsix.Boot(browsix.Config{})
+		browsix.InstallBase(in)
+		in.Kernel.DisableRing = disableRing
+		if sync {
+			image := map[string][]byte{}
+			for _, name := range coreutils.Names() {
+				rt.InstallExecutable(image, "/usr/bin/"+name, name, rt.WasmKind)
+			}
+			for p, data := range image {
+				in.WriteFile(p, data)
+			}
+		}
+		in.WriteFile("/big.bin", make([]byte, payload))
+		return in
+	}
+	for _, cfg := range []struct {
+		name    string
+		sync    bool
+		disable bool
+	}{
+		{"ring", true, false},
+		{"sync-scalar", true, true},
+		{"async", false, false},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.SetBytes(payload)
+			reportVirtual(b, func() int64 {
+				in := stage(cfg.sync, cfg.disable)
+				res := in.RunCommand("cat /big.bin | wc -c")
+				if res.Code != 0 {
+					b.Fatalf("pipeline failed: %s", res.Stderr)
+				}
+				return res.Elapsed
+			})
+		})
+	}
 }
 
 // BenchmarkMemeCompose measures the real (wall-clock) Go cost of the

@@ -85,8 +85,9 @@ func main() {
 		for _, t := range inst.Kernel.Tasks() {
 			fmt.Fprintf(os.Stderr, "pid %3d %s ppid %3d %s\n", t.Pid, t.StateName(), t.ParentPid, t.Path)
 		}
-		fmt.Fprintf(os.Stderr, "syscalls: %d async, %d sync, %d signals\n",
-			inst.Kernel.AsyncSyscalls, inst.Kernel.SyncSyscalls, inst.Kernel.SignalsDelivered)
+		fmt.Fprintf(os.Stderr, "syscalls: %d async, %d sync (%d via ring, %d batched), %d signals\n",
+			inst.Kernel.AsyncSyscalls, inst.Kernel.SyncSyscalls,
+			inst.Kernel.RingSyscalls, inst.Kernel.RingBatchedCalls, inst.Kernel.SignalsDelivered)
 		fmt.Fprintf(os.Stderr, "mounts: %v\n", inst.FS.Mounts())
 	}
 	os.Exit(exit)

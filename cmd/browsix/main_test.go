@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	browsix "repro"
+)
+
+// Smoke test for the CLI's core path: boot → InstallBase → RunCommand,
+// exactly what run() does per input line, so `go test` exercises the
+// binary's round trip without spawning a process.
+func TestCLIRoundTrip(t *testing.T) {
+	inst := browsix.Boot(browsix.Config{})
+	browsix.InstallBase(inst)
+
+	res := inst.RunCommand("echo hi | wc -c")
+	if res.Code != 0 {
+		t.Fatalf("pipeline exited %d: %s", res.Code, res.Stderr)
+	}
+	if got := strings.TrimSpace(string(res.Stdout)); got != "3" {
+		t.Fatalf("wc -c printed %q, want 3", got)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+
+	// A failing command reports its exit code without wedging the
+	// instance.
+	if res := inst.RunCommand("false"); res.Code != 1 {
+		t.Fatalf("false exited %d, want 1", res.Code)
+	}
+	if res := inst.RunCommand("cat /etc/motd"); res.Code != 0 ||
+		!strings.Contains(string(res.Stdout), "Browsix") {
+		t.Fatalf("motd: code=%d stdout=%q", res.Code, res.Stdout)
+	}
+}

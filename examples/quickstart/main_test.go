@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	browsix "repro"
+	"repro/internal/abi"
+)
+
+// Smoke test replicating the quickstart flow (boot → InstallBase → stage
+// a file → shell pipeline → read results back) with assertions, so the
+// example's end-to-end path is exercised by `go test`.
+func TestQuickstartFlow(t *testing.T) {
+	inst := browsix.Boot(browsix.Config{})
+	browsix.InstallBase(inst)
+
+	if err := inst.WriteFile("/data/fruit.txt",
+		[]byte("banana\napple\ncherry\napple pie\n")); err != abi.OK {
+		t.Fatalf("staging: %v", err)
+	}
+
+	res := inst.RunCommand("cat /data/fruit.txt | grep apple | sort | tee /data/apples.txt | wc -l")
+	if res.Code != 0 {
+		t.Fatalf("pipeline exited %d: %s", res.Code, res.Stderr)
+	}
+	if got := strings.TrimSpace(string(res.Stdout)); got != "2" {
+		t.Fatalf("wc -l printed %q, want 2", got)
+	}
+
+	out, err := inst.ReadFile("/data/apples.txt")
+	if err != abi.OK || string(out) != "apple\napple pie\n" {
+		t.Fatalf("apples.txt = %q (%v)", out, err)
+	}
+
+	if inst.Kernel.AsyncSyscalls == 0 {
+		t.Fatal("no async syscalls recorded for the Node coreutils")
+	}
+}

@@ -313,6 +313,8 @@ const (
 	SYS_connect
 	SYS_getsockname
 	SYS_symlink
+	SYS_readv
+	SYS_writev
 	SYS_max // sentinel
 )
 
@@ -333,6 +335,7 @@ func SyscallName(n int) string {
 		SYS_getcwd: "getcwd", SYS_chdir: "chdir", SYS_socket: "socket",
 		SYS_bind: "bind", SYS_listen: "listen", SYS_accept: "accept",
 		SYS_connect: "connect", SYS_getsockname: "getsockname", SYS_symlink: "symlink",
+		SYS_readv: "readv", SYS_writev: "writev",
 	}
 	if n > 0 && n < len(names) && names[n] != "" {
 		return names[n]

@@ -1,0 +1,218 @@
+package abi
+
+import "encoding/binary"
+
+// This file defines the shared-memory ring-buffer syscall transport's wire
+// format: iovec records for the vectored readv/writev calls, and the
+// framing of call/reply records flowing through a pair of single-producer
+// single-consumer rings carved out of a process's SharedArrayBuffer heap.
+//
+// The rings are the fast path the paper's §3.2/§6 point toward: once a
+// process has registered its heap, a system call is a handful of integer
+// stores plus one wake, instead of a structured-cloned postMessage per
+// call — and several calls can share a single kernel dispatch (reply
+// batching), which is what makes pipe-heavy shell pipelines cheap.
+
+// Iovec is one (pointer, length) scatter/gather element, addressing the
+// process's shared heap.
+type Iovec struct {
+	Ptr int64
+	Len int64
+}
+
+// IovecSize is the packed size of one Iovec.
+const IovecSize = 16
+
+// PackIovecs writes iovs into b, returning bytes written. b must hold
+// len(iovs)*IovecSize bytes.
+func PackIovecs(b []byte, iovs []Iovec) int {
+	le := binary.LittleEndian
+	for i, iov := range iovs {
+		le.PutUint64(b[i*IovecSize:], uint64(iov.Ptr))
+		le.PutUint64(b[i*IovecSize+8:], uint64(iov.Len))
+	}
+	return len(iovs) * IovecSize
+}
+
+// UnpackIovecs decodes n iovec records from b.
+func UnpackIovecs(b []byte, n int) []Iovec {
+	le := binary.LittleEndian
+	out := make([]Iovec, 0, n)
+	for i := 0; i < n && (i+1)*IovecSize <= len(b); i++ {
+		out = append(out, Iovec{
+			Ptr: int64(le.Uint64(b[i*IovecSize:])),
+			Len: int64(le.Uint64(b[i*IovecSize+8:])),
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Ring framing.
+//
+// A Ring is a view over a byte region of the shared heap:
+//
+//	[0,4)  head — read cursor (index into the data area)
+//	[4,8)  tail — write cursor
+//	[8,..) data — circular byte buffer
+//
+// One side only pushes, the other only pops (the call ring is written by
+// the process and drained by the kernel; the reply ring the reverse), so
+// within the deterministic simulator plain loads/stores stand in for the
+// Atomics the browser implementation would use. One byte of slack
+// distinguishes full from empty, as in a classic circular buffer.
+// ---------------------------------------------------------------------------
+
+// RingHdrSize is the cursor header before a ring's data area.
+const RingHdrSize = 8
+
+// MinRingSize is the smallest usable ring region.
+const MinRingSize = RingHdrSize + 64
+
+// Ring is a single-producer single-consumer byte ring over shared memory.
+type Ring struct {
+	B []byte // header + data, aliasing the shared heap
+}
+
+// NewRing wraps a shared-memory region as a ring without resetting it
+// (both sides wrap the same bytes; only one should Reset).
+func NewRing(b []byte) Ring { return Ring{B: b} }
+
+func (r Ring) le() binary.ByteOrder { return binary.LittleEndian }
+
+func (r Ring) head() int     { return int(r.le().Uint32(r.B[0:])) }
+func (r Ring) tail() int     { return int(r.le().Uint32(r.B[4:])) }
+func (r Ring) setHead(v int) { r.le().PutUint32(r.B[0:], uint32(v)) }
+func (r Ring) setTail(v int) { r.le().PutUint32(r.B[4:], uint32(v)) }
+
+// Reset zeroes the cursors (producer-side initialization).
+func (r Ring) Reset() { r.setHead(0); r.setTail(0) }
+
+func (r Ring) dataLen() int { return len(r.B) - RingHdrSize }
+
+// Used returns the number of buffered bytes.
+func (r Ring) Used() int {
+	d := r.tail() - r.head()
+	if d < 0 {
+		d += r.dataLen()
+	}
+	return d
+}
+
+// Free returns the bytes that may be pushed without overwriting (one byte
+// of slack is reserved to distinguish full from empty).
+func (r Ring) Free() int { return r.dataLen() - 1 - r.Used() }
+
+// copyIn writes b at cursor position pos (mod data size).
+func (r Ring) copyIn(pos int, b []byte) {
+	data := r.B[RingHdrSize:]
+	n := copy(data[pos:], b)
+	if n < len(b) {
+		copy(data, b[n:])
+	}
+}
+
+// copyOut reads n bytes at cursor position pos.
+func (r Ring) copyOut(pos, n int) []byte {
+	data := r.B[RingHdrSize:]
+	out := make([]byte, n)
+	m := copy(out, data[pos:])
+	if m < n {
+		copy(out[m:], data)
+	}
+	return out
+}
+
+func (r Ring) advance(pos, n int) int { return (pos + n) % r.dataLen() }
+
+// Call-frame layout: size u32 (bytes after this field), seq u32, trap u32,
+// nargs u32, then nargs little-endian u64 arguments.
+const callFrameHdr = 16
+
+// ReplyFrameSize is the reply-frame layout size: size u32, seq u32,
+// ret u64, errno u32. Exported so the producer can bound a batch by the
+// reply ring's capacity.
+const ReplyFrameSize = 20
+
+// PushCall appends a call frame; it reports false when the ring is full
+// (the producer should fall back to the scalar transport).
+func (r Ring) PushCall(seq uint32, trap int, args []int64) bool {
+	need := callFrameHdr + 8*len(args)
+	if len(args) > 16 || need > r.Free() {
+		return false
+	}
+	var buf [callFrameHdr + 8*16]byte
+	le := r.le()
+	le.PutUint32(buf[0:], uint32(need-4))
+	le.PutUint32(buf[4:], seq)
+	le.PutUint32(buf[8:], uint32(trap))
+	le.PutUint32(buf[12:], uint32(len(args)))
+	for i, a := range args {
+		le.PutUint64(buf[callFrameHdr+8*i:], uint64(a))
+	}
+	r.copyIn(r.tail(), buf[:need])
+	r.setTail(r.advance(r.tail(), need))
+	return true
+}
+
+// PopCall removes and decodes the next call frame.
+func (r Ring) PopCall() (seq uint32, trap int, args []int64, ok bool) {
+	if r.Used() < callFrameHdr {
+		return 0, 0, nil, false
+	}
+	le := r.le()
+	hdr := r.copyOut(r.head(), callFrameHdr)
+	size := int(le.Uint32(hdr[0:])) + 4
+	if size < callFrameHdr || r.Used() < size {
+		return 0, 0, nil, false
+	}
+	frame := r.copyOut(r.head(), size)
+	seq = le.Uint32(frame[4:])
+	trap = int(le.Uint32(frame[8:]))
+	nargs := int(le.Uint32(frame[12:]))
+	// The frame lives in guest-writable shared memory: a corrupt nargs
+	// must not drive an allocation or an out-of-frame read. Drop the
+	// malformed frame by resetting the ring (producer and consumer can
+	// no longer agree on framing).
+	if nargs < 0 || nargs > 16 || callFrameHdr+8*nargs != size {
+		r.Reset()
+		return 0, 0, nil, false
+	}
+	args = make([]int64, nargs)
+	for i := 0; i < nargs; i++ {
+		args[i] = int64(le.Uint64(frame[callFrameHdr+8*i:]))
+	}
+	r.setHead(r.advance(r.head(), size))
+	return seq, trap, args, true
+}
+
+// PushReply appends a reply frame; false when full (the producer must
+// retry after the consumer drains — the kernel defers in that case).
+func (r Ring) PushReply(seq uint32, ret int64, errno Errno) bool {
+	if ReplyFrameSize > r.Free() {
+		return false
+	}
+	var buf [ReplyFrameSize]byte
+	le := r.le()
+	le.PutUint32(buf[0:], ReplyFrameSize-4)
+	le.PutUint32(buf[4:], seq)
+	le.PutUint64(buf[8:], uint64(ret))
+	le.PutUint32(buf[16:], uint32(int32(errno)))
+	r.copyIn(r.tail(), buf[:])
+	r.setTail(r.advance(r.tail(), ReplyFrameSize))
+	return true
+}
+
+// PopReply removes and decodes the next reply frame.
+func (r Ring) PopReply() (seq uint32, ret int64, errno Errno, ok bool) {
+	if r.Used() < ReplyFrameSize {
+		return 0, 0, OK, false
+	}
+	frame := r.copyOut(r.head(), ReplyFrameSize)
+	le := r.le()
+	seq = le.Uint32(frame[4:])
+	ret = int64(le.Uint64(frame[8:]))
+	errno = Errno(int32(le.Uint32(frame[16:])))
+	r.setHead(r.advance(r.head(), ReplyFrameSize))
+	return seq, ret, errno, true
+}

@@ -1,0 +1,126 @@
+package abi
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestIovecRoundTrip(t *testing.T) {
+	iovs := []Iovec{{Ptr: 64, Len: 4096}, {Ptr: 4160, Len: 65536}, {Ptr: 1 << 40, Len: 1}}
+	buf := make([]byte, len(iovs)*IovecSize)
+	if n := PackIovecs(buf, iovs); n != len(buf) {
+		t.Fatalf("packed %d bytes, want %d", n, len(buf))
+	}
+	got := UnpackIovecs(buf, len(iovs))
+	if len(got) != len(iovs) {
+		t.Fatalf("unpacked %d iovecs, want %d", len(got), len(iovs))
+	}
+	for i := range iovs {
+		if got[i] != iovs[i] {
+			t.Fatalf("iovec %d: got %+v want %+v", i, got[i], iovs[i])
+		}
+	}
+}
+
+func TestRingCallRoundTrip(t *testing.T) {
+	r := NewRing(make([]byte, 256))
+	r.Reset()
+	if _, _, _, ok := r.PopCall(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+	if !r.PushCall(7, SYS_read, []int64{3, 64, 4096}) {
+		t.Fatal("push failed on empty ring")
+	}
+	if !r.PushCall(8, SYS_getpid, nil) {
+		t.Fatal("second push failed")
+	}
+	seq, trap, args, ok := r.PopCall()
+	if !ok || seq != 7 || trap != SYS_read || len(args) != 3 || args[2] != 4096 {
+		t.Fatalf("pop 1: seq=%d trap=%d args=%v ok=%v", seq, trap, args, ok)
+	}
+	seq, trap, args, ok = r.PopCall()
+	if !ok || seq != 8 || trap != SYS_getpid || len(args) != 0 {
+		t.Fatalf("pop 2: seq=%d trap=%d args=%v ok=%v", seq, trap, args, ok)
+	}
+	if r.Used() != 0 {
+		t.Fatalf("ring not drained: %d bytes used", r.Used())
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	// A small ring forces the cursors to wrap mid-frame many times.
+	r := NewRing(make([]byte, MinRingSize))
+	r.Reset()
+	seq := uint32(0)
+	for i := 0; i < 100; i++ {
+		for r.PushCall(seq, SYS_write, []int64{int64(seq), 2, 3}) {
+			seq++
+		}
+		for {
+			got, trap, args, ok := r.PopCall()
+			if !ok {
+				break
+			}
+			if trap != SYS_write || args[0] != int64(got) {
+				t.Fatalf("iter %d: frame corrupted: seq=%d trap=%d args=%v", i, got, trap, args)
+			}
+		}
+		if r.Used() != 0 {
+			t.Fatalf("iter %d: residue %d bytes", i, r.Used())
+		}
+	}
+	if seq < 100 {
+		t.Fatalf("only %d frames pushed through a wrapping ring", seq)
+	}
+}
+
+func TestRingPopCallRejectsMalformedFrames(t *testing.T) {
+	// The ring lives in guest-writable shared memory: a frame whose
+	// nargs disagrees with its size must be dropped, not drive a huge
+	// allocation or an out-of-frame read.
+	r := NewRing(make([]byte, 256))
+	r.Reset()
+	r.PushCall(1, SYS_read, []int64{1, 2, 3})
+	// Corrupt nargs (offset: header 8 + frame base, nargs at +12).
+	binary.LittleEndian.PutUint32(r.B[RingHdrSize+12:], 0xFFFF)
+	if _, _, _, ok := r.PopCall(); ok {
+		t.Fatal("malformed frame popped successfully")
+	}
+	if r.Used() != 0 {
+		t.Fatalf("ring not reset after malformed frame: %d used", r.Used())
+	}
+	// A healthy ring keeps working after the reset.
+	if !r.PushCall(2, SYS_getpid, nil) {
+		t.Fatal("push after reset failed")
+	}
+	if seq, trap, _, ok := r.PopCall(); !ok || seq != 2 || trap != SYS_getpid {
+		t.Fatalf("post-reset pop: seq=%d trap=%d ok=%v", seq, trap, ok)
+	}
+}
+
+func TestRingReplyRoundTripAndFull(t *testing.T) {
+	r := NewRing(make([]byte, MinRingSize))
+	r.Reset()
+	pushed := 0
+	for r.PushReply(uint32(pushed), int64(1000+pushed), EAGAIN) {
+		pushed++
+	}
+	if pushed == 0 {
+		t.Fatal("no replies fit")
+	}
+	for i := 0; i < pushed; i++ {
+		seq, ret, errno, ok := r.PopReply()
+		if !ok || seq != uint32(i) || ret != int64(1000+i) || errno != EAGAIN {
+			t.Fatalf("reply %d: seq=%d ret=%d errno=%v ok=%v", i, seq, ret, errno, ok)
+		}
+	}
+	if _, _, _, ok := r.PopReply(); ok {
+		t.Fatal("pop from drained reply ring succeeded")
+	}
+	// Negative return values survive the u64 crossing.
+	r.PushReply(9, -1, EPIPE)
+	_, ret, errno, _ := r.PopReply()
+	if ret != -1 || errno != EPIPE {
+		t.Fatalf("ret=%d errno=%v", ret, errno)
+	}
+}

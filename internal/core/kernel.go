@@ -48,6 +48,11 @@ type Kernel struct {
 	tasks   map[int]*Task
 	nextPid int
 
+	// DisableRing refuses ring-transport registration, forcing sync
+	// processes onto the scalar wake-cell path (differential testing and
+	// browsers without the fast path).
+	DisableRing bool
+
 	ports         map[int]*Socket
 	portWatchers  map[int][]func(int)
 	nextEphemeral int
@@ -57,6 +62,12 @@ type Kernel struct {
 	AsyncSyscalls    int64
 	SyncSyscalls     int64
 	SignalsDelivered int64
+	// RingSyscalls counts sync calls that arrived via the ring transport
+	// (also included in SyncSyscalls); RingBatchedCalls counts the calls
+	// beyond the first in each multi-call doorbell drain — the dispatches
+	// the ring saved.
+	RingSyscalls     int64
+	RingBatchedCalls int64
 }
 
 // NewKernel boots a kernel over the given browser system and file system.
@@ -146,7 +157,7 @@ func (k *Kernel) Spawn(parent *Task, spec SpawnSpec, cb func(int, abi.Errno)) {
 			if spec.Env != nil {
 				t.Env = spec.Env
 			}
-			t.heap, t.retOff, t.waitOff = nil, 0, 0
+			t.heap, t.retOff, t.waitOff, t.ring = nil, 0, 0, nil
 			t.sigActions = map[int]sigAction{}
 			old := t.worker
 			defer old.Terminate()

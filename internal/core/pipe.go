@@ -14,27 +14,43 @@ const PipeCap = 64 * 1024
 // is written) and write-side backpressure (writers into a full buffer wait
 // until the pipe is drained) — the discipline §6 laments plain postMessage
 // lacks.
+//
+// Internally the buffer is a FIFO queue of owned byte segments rather than
+// one flat slice. The scalar Read/Write API behaves exactly as before
+// (Write copies the caller's bytes in; Read returns min(n, Buffered())
+// bytes), but the owned-segment representation enables the zero-copy fast
+// path the ring transport uses: WriteOwned moves caller-owned buffers into
+// the queue without copying, and Splice moves whole segments out to the
+// reader — so a shell pipeline's payload is copied once (into the
+// destination heap) instead of at every pipe crossing.
 type Pipe struct {
 	id          int
-	buf         []byte
-	readWaiters []pipeRead
-	writeWaiter *pipeWrite
-	readClosed  bool
-	writeClosed bool
+	segs         [][]byte // owned buffers, FIFO
+	size         int      // total buffered bytes across segs
+	readWaiters  []pipeRead
+	writeWaiters []*pipeWrite
+	readClosed   bool
+	writeClosed  bool
 
-	// onWriterBlocked lets the kernel observe backpressure in tests.
+	// onReadable lets the kernel observe backpressure in tests.
 	onReadable func()
 }
 
+// pipeRead is a parked reader: exactly one of cb (scalar) or spliceCB
+// (vectored, owned-segment) is set.
 type pipeRead struct {
-	n  int
-	cb func([]byte, abi.Errno)
+	n        int
+	cb       func([]byte, abi.Errno)
+	spliceCB func([][]byte, abi.Errno)
 }
 
+// pipeWrite is a parked writer. segs holds the bytes still to transfer;
+// owned writers hand their buffers over without copying.
 type pipeWrite struct {
-	data []byte
-	done int
-	cb   func(int, abi.Errno)
+	segs  [][]byte
+	done  int
+	owned bool
+	cb    func(int, abi.Errno)
 }
 
 var pipeSeq int
@@ -45,10 +61,80 @@ func NewPipe() *Pipe {
 	return &Pipe{id: pipeSeq}
 }
 
+// takeBytes removes and returns min(n, size) bytes as one slice. When the
+// head segment alone satisfies the request the slice is handed over
+// without copying (the pipe owns its segments, so ownership transfers to
+// the reader); only reads spanning segments gather into a fresh buffer.
+func (p *Pipe) takeBytes(n int) []byte {
+	if n > p.size {
+		n = p.size
+	}
+	if n == 0 {
+		return nil
+	}
+	if s := p.segs[0]; len(s) >= n {
+		// Full slice expression: the handed-out slice's capacity stops
+		// at n, so a reader growing it can never reach bytes the pipe
+		// still buffers in s[n:].
+		out := s[:n:n]
+		if len(s) == n {
+			p.segs = p.segs[1:]
+		} else {
+			p.segs[0] = s[n:]
+		}
+		p.size -= n
+		return out
+	}
+	out := make([]byte, 0, n)
+	for n > 0 {
+		s := p.segs[0]
+		take := len(s)
+		if take > n {
+			take = n
+		}
+		out = append(out, s[:take]...)
+		if take == len(s) {
+			p.segs = p.segs[1:]
+		} else {
+			p.segs[0] = s[take:]
+		}
+		p.size -= take
+		n -= take
+	}
+	return out
+}
+
+// takeSegs removes up to max bytes as whole owned segments, splitting
+// only the final segment — no bytes are copied. Split pieces leave with
+// their capacity capped so the reader's slice can never grow into bytes
+// the pipe still buffers.
+func (p *Pipe) takeSegs(max int) [][]byte {
+	if max > p.size {
+		max = p.size
+	}
+	var out [][]byte
+	n := max
+	for n > 0 {
+		s := p.segs[0]
+		if len(s) <= n {
+			out = append(out, s)
+			p.segs = p.segs[1:]
+			p.size -= len(s)
+			n -= len(s)
+		} else {
+			out = append(out, s[:n:n])
+			p.segs[0] = s[n:]
+			p.size -= n
+			n = 0
+		}
+	}
+	return out
+}
+
 // read delivers up to n bytes, or queues the continuation when the pipe is
 // empty. At EOF (writer closed, buffer drained) it delivers an empty slice.
 func (p *Pipe) read(n int, cb func([]byte, abi.Errno)) {
-	if len(p.buf) == 0 {
+	if p.size == 0 {
 		if p.writeClosed {
 			cb(nil, abi.OK) // EOF
 			return
@@ -56,88 +142,137 @@ func (p *Pipe) read(n int, cb func([]byte, abi.Errno)) {
 		p.readWaiters = append(p.readWaiters, pipeRead{n: n, cb: cb})
 		return
 	}
-	if n > len(p.buf) {
-		n = len(p.buf)
-	}
-	out := make([]byte, n)
-	copy(out, p.buf)
-	p.buf = p.buf[n:]
+	out := p.takeBytes(n)
 	p.pumpWriter()
 	cb(out, abi.OK)
 }
 
-// write appends data, blocking (queuing the continuation) when the buffer
-// is full. Writes complete only when every byte is buffered, so pipeline
-// stages see classic blocking-write semantics.
+// splice delivers up to max buffered bytes as owned segments without
+// copying, queuing the continuation when the pipe is empty. EOF delivers a
+// nil segment list.
+func (p *Pipe) splice(max int, cb func([][]byte, abi.Errno)) {
+	if p.size == 0 {
+		if p.writeClosed {
+			cb(nil, abi.OK) // EOF
+			return
+		}
+		p.readWaiters = append(p.readWaiters, pipeRead{n: max, spliceCB: cb})
+		return
+	}
+	out := p.takeSegs(max)
+	p.pumpWriter()
+	cb(out, abi.OK)
+}
+
+// write appends a copy of data, blocking (queuing the continuation) when
+// the buffer is full. Writes complete only when every byte is buffered, so
+// pipeline stages see classic blocking-write semantics.
 func (p *Pipe) write(data []byte, cb func(int, abi.Errno)) {
+	p.enqueueWrite([][]byte{data}, false, cb)
+}
+
+// writeOwned transfers ownership of bufs into the pipe — the caller must
+// not touch them afterwards. Backpressure matches write: the continuation
+// fires once every byte is buffered.
+func (p *Pipe) writeOwned(bufs [][]byte, cb func(int, abi.Errno)) {
+	p.enqueueWrite(bufs, true, cb)
+}
+
+func (p *Pipe) enqueueWrite(bufs [][]byte, owned bool, cb func(int, abi.Errno)) {
 	if p.readClosed {
 		cb(0, abi.EPIPE)
 		return
 	}
-	if p.writeWaiter != nil {
-		// A single writer at a time keeps semantics simple; Browsix
-		// pipelines have one writer per pipe end.
-		cb(0, abi.EAGAIN)
-		return
+	segs := make([][]byte, 0, len(bufs))
+	for _, b := range bufs {
+		if len(b) > 0 {
+			segs = append(segs, b)
+		}
 	}
-	w := &pipeWrite{data: data, cb: cb}
-	p.writeWaiter = w
+	// Writers queue FIFO, so several outstanding writes (the ring
+	// transport batches them) complete in order as space frees up.
+	p.writeWaiters = append(p.writeWaiters, &pipeWrite{segs: segs, owned: owned, cb: cb})
 	p.pumpWriter()
-	p.pumpReaders()
 }
 
-// pumpWriter moves pending write bytes into the buffer as space allows.
+// pumpWriter moves pending write bytes into the segment queue as space
+// allows, completing writers in FIFO order. Owned segments move by
+// reference; scalar writes copy once here.
 func (p *Pipe) pumpWriter() {
-	w := p.writeWaiter
-	if w == nil {
-		return
+	if len(p.writeWaiters) == 0 {
+		return // nothing queued; don't re-enter pumpReaders
 	}
-	if p.readClosed {
-		p.writeWaiter = nil
-		w.cb(w.done, abi.EPIPE)
-		return
-	}
-	space := PipeCap - len(p.buf)
-	if space > 0 && w.done < len(w.data) {
-		take := len(w.data) - w.done
-		if take > space {
-			take = space
+	for len(p.writeWaiters) > 0 {
+		w := p.writeWaiters[0]
+		if p.readClosed {
+			p.writeWaiters = p.writeWaiters[1:]
+			w.cb(w.done, abi.EPIPE)
+			continue
 		}
-		p.buf = append(p.buf, w.data[w.done:w.done+take]...)
-		w.done += take
-	}
-	if w.done == len(w.data) {
-		p.writeWaiter = nil
+		space := PipeCap - p.size
+		for space > 0 && len(w.segs) > 0 {
+			s := w.segs[0]
+			take := len(s)
+			if take > space {
+				take = space
+			}
+			if w.owned {
+				// Capacity-capped so a reader who later receives this
+				// piece whole can't grow it into the unsent remainder.
+				p.segs = append(p.segs, s[:take:take])
+			} else {
+				cp := make([]byte, take)
+				copy(cp, s[:take])
+				p.segs = append(p.segs, cp)
+			}
+			p.size += take
+			w.done += take
+			space -= take
+			if take == len(s) {
+				w.segs = w.segs[1:]
+			} else {
+				w.segs[0] = s[take:]
+			}
+		}
+		if len(w.segs) > 0 {
+			break // blocked on space until a reader drains
+		}
+		p.writeWaiters = p.writeWaiters[1:]
 		w.cb(w.done, abi.OK)
 	}
 	p.pumpReaders()
 }
 
-// pumpReaders satisfies queued readers from the buffer.
+// pumpReaders satisfies queued readers (scalar and splice alike, in FIFO
+// order) from the segment queue.
 func (p *Pipe) pumpReaders() {
 	for len(p.readWaiters) > 0 {
-		if len(p.buf) == 0 {
+		if p.size == 0 {
 			if p.writeClosed {
 				// Drain EOF to all waiters.
 				ws := p.readWaiters
 				p.readWaiters = nil
 				for _, r := range ws {
-					r.cb(nil, abi.OK)
+					if r.spliceCB != nil {
+						r.spliceCB(nil, abi.OK)
+					} else {
+						r.cb(nil, abi.OK)
+					}
 				}
 			}
 			return
 		}
 		r := p.readWaiters[0]
 		p.readWaiters = p.readWaiters[1:]
-		n := r.n
-		if n > len(p.buf) {
-			n = len(p.buf)
+		if r.spliceCB != nil {
+			out := p.takeSegs(r.n)
+			p.pumpWriter()
+			r.spliceCB(out, abi.OK)
+		} else {
+			out := p.takeBytes(r.n)
+			p.pumpWriter()
+			r.cb(out, abi.OK)
 		}
-		out := make([]byte, n)
-		copy(out, p.buf)
-		p.buf = p.buf[n:]
-		p.pumpWriter()
-		r.cb(out, abi.OK)
 	}
 }
 
@@ -152,15 +287,17 @@ func (p *Pipe) closeWrite() {
 // with EPIPE (the kernel also raises SIGPIPE, as Unix does).
 func (p *Pipe) closeRead() {
 	p.readClosed = true
-	p.buf = nil
-	if w := p.writeWaiter; w != nil {
-		p.writeWaiter = nil
+	p.segs = nil
+	p.size = 0
+	ws := p.writeWaiters
+	p.writeWaiters = nil
+	for _, w := range ws {
 		w.cb(w.done, abi.EPIPE)
 	}
 }
 
 // Buffered returns the bytes currently queued (diagnostics).
-func (p *Pipe) Buffered() int { return len(p.buf) }
+func (p *Pipe) Buffered() int { return p.size }
 
 // Read is the exported read for kernel-side consumers (System's output
 // pumps, the web app's XHR path, tests).
@@ -168,6 +305,14 @@ func (p *Pipe) Read(n int, cb func([]byte, abi.Errno)) { p.read(n, cb) }
 
 // Write is the exported write for kernel-side producers.
 func (p *Pipe) Write(data []byte, cb func(int, abi.Errno)) { p.write(data, cb) }
+
+// WriteOwned is the exported zero-copy write: ownership of bufs moves to
+// the pipe, which will hand the same backing arrays to splicing readers.
+func (p *Pipe) WriteOwned(bufs [][]byte, cb func(int, abi.Errno)) { p.writeOwned(bufs, cb) }
+
+// Splice is the exported zero-copy read: up to max bytes leave the pipe as
+// whole owned segments.
+func (p *Pipe) Splice(max int, cb func([][]byte, abi.Errno)) { p.splice(max, cb) }
 
 // CloseRead closes the reader side (future writes fail with EPIPE).
 func (p *Pipe) CloseRead() { p.closeRead() }
@@ -213,6 +358,32 @@ func (e *pipeEnd) Write(d *Desc, data []byte, cb func(int, abi.Errno)) {
 		}
 		cb(n, err)
 	})
+}
+
+// Writev is the vectored, zero-copy write: the kernel hands over buffers
+// it owns (decoded from a process heap or a cloned message) and the pipe
+// keeps them instead of copying.
+func (e *pipeEnd) Writev(d *Desc, bufs [][]byte, cb func(int, abi.Errno)) {
+	if e.reader {
+		cb(0, abi.EBADF)
+		return
+	}
+	e.p.writeOwned(bufs, func(n int, err abi.Errno) {
+		if err == abi.EPIPE && e.sigPipe != nil {
+			e.sigPipe()
+		}
+		cb(n, err)
+	})
+}
+
+// Splice moves up to max buffered bytes out as owned segments (the
+// vectored-read fast path).
+func (e *pipeEnd) Splice(d *Desc, max int, cb func([][]byte, abi.Errno)) {
+	if !e.reader {
+		cb(nil, abi.EBADF)
+		return
+	}
+	e.p.splice(max, cb)
 }
 
 func (e *pipeEnd) Pread(off int64, n int, cb func([]byte, abi.Errno)) { cb(nil, abi.ESPIPE) }

@@ -1,0 +1,308 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/core"
+)
+
+// Pipe edge cases and the zero-copy (owned-segment) path, exercised
+// directly against the kernel object.
+
+func TestPipeWriteAfterCloseReadEPIPE(t *testing.T) {
+	p := core.NewPipe()
+	p.CloseRead()
+	var gotN = -1
+	var gotErr abi.Errno
+	p.Write([]byte("doomed"), func(n int, err abi.Errno) { gotN, gotErr = n, err })
+	if gotErr != abi.EPIPE || gotN != 0 {
+		t.Fatalf("write after close-read: n=%d err=%v, want 0/EPIPE", gotN, gotErr)
+	}
+	// The owned path fails the same way.
+	gotN, gotErr = -1, abi.OK
+	p.WriteOwned([][]byte{[]byte("also doomed")}, func(n int, err abi.Errno) { gotN, gotErr = n, err })
+	if gotErr != abi.EPIPE || gotN != 0 {
+		t.Fatalf("owned write after close-read: n=%d err=%v, want 0/EPIPE", gotN, gotErr)
+	}
+	// A writer blocked mid-transfer gets EPIPE with its partial count.
+	p2 := core.NewPipe()
+	big := make([]byte, core.PipeCap+1000)
+	done := false
+	p2.Write(big, func(n int, err abi.Errno) {
+		done = true
+		if err != abi.EPIPE || n != core.PipeCap {
+			t.Fatalf("blocked writer after close-read: n=%d err=%v, want %d/EPIPE", n, err, core.PipeCap)
+		}
+	})
+	if done {
+		t.Fatal("oversized write completed with no reader")
+	}
+	p2.CloseRead()
+	if !done {
+		t.Fatal("blocked writer not failed by close-read")
+	}
+}
+
+func TestPipeReadAfterCloseWriteDrainsThenEOF(t *testing.T) {
+	p := core.NewPipe()
+	p.Write([]byte("residue"), func(int, abi.Errno) {})
+	p.CloseWrite()
+	// Buffered bytes must still drain (in two partial reads), then EOF.
+	var got []byte
+	read := func(n int) []byte {
+		var out []byte
+		called := false
+		p.Read(n, func(b []byte, err abi.Errno) {
+			called = true
+			if err != abi.OK {
+				t.Fatalf("read err %v", err)
+			}
+			out = b
+		})
+		if !called {
+			t.Fatal("read did not complete synchronously on buffered pipe")
+		}
+		return out
+	}
+	got = append(got, read(3)...)
+	got = append(got, read(100)...)
+	if string(got) != "residue" {
+		t.Fatalf("drained %q, want %q", got, "residue")
+	}
+	if b := read(10); len(b) != 0 {
+		t.Fatalf("expected EOF, got %q", b)
+	}
+	// Splice sees EOF the same way.
+	eof := false
+	p.Splice(10, func(segs [][]byte, err abi.Errno) { eof = err == abi.OK && len(segs) == 0 })
+	if !eof {
+		t.Fatal("splice after EOF did not report EOF")
+	}
+}
+
+func TestPipeMultiReaderFairness(t *testing.T) {
+	// Parked readers are served FIFO: each of three readers gets one of
+	// three writes, in arrival order.
+	p := core.NewPipe()
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		p.Read(4, func(b []byte, err abi.Errno) {
+			if err != abi.OK {
+				t.Fatalf("reader %d err %v", i, err)
+			}
+			order = append(order, i)
+		})
+	}
+	p.Write([]byte("aaaa"), func(int, abi.Errno) {})
+	p.Write([]byte("bbbb"), func(int, abi.Errno) {})
+	p.Write([]byte("cccc"), func(int, abi.Errno) {})
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("reader completion order %v, want [0 1 2]", order)
+	}
+	// Mixed scalar and splice waiters keep FIFO order too.
+	p2 := core.NewPipe()
+	var kinds []string
+	p2.Read(2, func([]byte, abi.Errno) { kinds = append(kinds, "scalar") })
+	p2.Splice(2, func([][]byte, abi.Errno) { kinds = append(kinds, "splice") })
+	p2.Read(2, func([]byte, abi.Errno) { kinds = append(kinds, "scalar2") })
+	p2.Write([]byte("123456"), func(int, abi.Errno) {})
+	if len(kinds) != 3 || kinds[0] != "scalar" || kinds[1] != "splice" || kinds[2] != "scalar2" {
+		t.Fatalf("waiter service order %v", kinds)
+	}
+}
+
+func TestPipeBufferedAccountingPartialReads(t *testing.T) {
+	p := core.NewPipe()
+	p.Write(bytes.Repeat([]byte("x"), 1000), func(int, abi.Errno) {})
+	p.WriteOwned([][]byte{bytes.Repeat([]byte("y"), 500), bytes.Repeat([]byte("z"), 500)}, func(int, abi.Errno) {})
+	if p.Buffered() != 2000 {
+		t.Fatalf("Buffered=%d, want 2000", p.Buffered())
+	}
+	p.Read(300, func(b []byte, err abi.Errno) {
+		if len(b) != 300 {
+			t.Fatalf("partial read returned %d", len(b))
+		}
+	})
+	if p.Buffered() != 1700 {
+		t.Fatalf("Buffered=%d after 300-byte read, want 1700", p.Buffered())
+	}
+	// A read crossing the scalar/owned segment boundary gathers across
+	// segments and keeps the count right.
+	p.Read(900, func(b []byte, err abi.Errno) {
+		if len(b) != 900 || b[699] != 'x' || b[700] != 'y' {
+			t.Fatalf("cross-segment read: len=%d [699]=%c [700]=%c", len(b), b[699], b[700])
+		}
+	})
+	if p.Buffered() != 800 {
+		t.Fatalf("Buffered=%d, want 800", p.Buffered())
+	}
+	p.Splice(10_000, func(segs [][]byte, err abi.Errno) {
+		var n int
+		for _, s := range segs {
+			n += len(s)
+		}
+		if n != 800 {
+			t.Fatalf("splice drained %d, want 800", n)
+		}
+	})
+	if p.Buffered() != 0 {
+		t.Fatalf("Buffered=%d after full splice, want 0", p.Buffered())
+	}
+}
+
+func TestPipeOwnedSegmentsMoveWithoutCopy(t *testing.T) {
+	// The zero-copy contract: a spliced-out segment is the same backing
+	// array WriteOwned put in.
+	p := core.NewPipe()
+	seg := []byte("owned-segment")
+	p.WriteOwned([][]byte{seg}, func(n int, err abi.Errno) {
+		if n != len(seg) || err != abi.OK {
+			t.Fatalf("owned write n=%d err=%v", n, err)
+		}
+	})
+	p.Splice(64, func(segs [][]byte, err abi.Errno) {
+		if len(segs) != 1 {
+			t.Fatalf("splice returned %d segments", len(segs))
+		}
+		if &segs[0][0] != &seg[0] {
+			t.Fatal("splice copied the owned segment instead of moving it")
+		}
+	})
+}
+
+func TestPipeSpliceSplitDoesNotAliasRetainedBytes(t *testing.T) {
+	// When Splice splits a segment, the piece handed out must not let
+	// the reader reach the bytes the pipe still buffers: growing the
+	// received slice has to reallocate (capacity is capped at the split).
+	p := core.NewPipe()
+	buf := make([]byte, 100)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	p.WriteOwned([][]byte{buf}, func(int, abi.Errno) {})
+	var got [][]byte
+	p.Splice(40, func(segs [][]byte, err abi.Errno) { got = segs })
+	if len(got) != 1 || len(got[0]) != 40 {
+		t.Fatalf("splice returned %d segs, first len %d", len(got), len(got[0]))
+	}
+	if cap(got[0]) != 40 {
+		t.Fatalf("split segment capacity %d leaks into retained bytes", cap(got[0]))
+	}
+	_ = append(got[0], 0xFF, 0xFF) // must reallocate, not clobber
+	p.Read(100, func(b []byte, err abi.Errno) {
+		if len(b) != 60 {
+			t.Fatalf("retained %d bytes, want 60", len(b))
+		}
+		for i, v := range b {
+			if v != byte(40+i) {
+				t.Fatalf("retained byte %d corrupted: %d", i, v)
+			}
+		}
+	})
+}
+
+func TestPipeScalarAndVectoredAgree(t *testing.T) {
+	// Differential: the same payload pushed through the scalar path and
+	// the owned/splice path arrives byte-identical, chunking aside.
+	payload := make([]byte, 256*1024)
+	for i := range payload {
+		payload[i] = byte(i * 131)
+	}
+	drive := func(owned bool) []byte {
+		p := core.NewPipe()
+		var out []byte
+		// Writer: 64 KiB chunks (pipe capacity), queued up front; the
+		// pipe's backpressure interleaves them with the reader.
+		for off := 0; off < len(payload); off += 64 * 1024 {
+			chunk := payload[off : off+64*1024]
+			if owned {
+				cp := make([]byte, len(chunk))
+				copy(cp, chunk)
+				p.WriteOwned([][]byte{cp[:16*1024], cp[16*1024 : 32*1024], cp[32*1024:]}, func(int, abi.Errno) {})
+			} else {
+				p.Write(chunk, func(int, abi.Errno) {})
+			}
+		}
+		done := false
+		var loop func()
+		loop = func() {
+			if owned {
+				p.Splice(64*1024, func(segs [][]byte, err abi.Errno) {
+					if err != abi.OK {
+						t.Fatalf("splice err %v", err)
+					}
+					if len(segs) == 0 {
+						done = true
+						return
+					}
+					for _, s := range segs {
+						out = append(out, s...)
+					}
+					loop()
+				})
+			} else {
+				p.Read(64*1024, func(b []byte, err abi.Errno) {
+					if err != abi.OK {
+						t.Fatalf("read err %v", err)
+					}
+					if len(b) == 0 {
+						done = true
+						return
+					}
+					out = append(out, b...)
+					loop()
+				})
+			}
+		}
+		loop()
+		p.CloseWrite()
+		if !done {
+			// The final EOF read parks until close; pump once more.
+			p.Read(1, func([]byte, abi.Errno) {})
+		}
+		return out
+	}
+	scalar := drive(false)
+	vectored := drive(true)
+	if !bytes.Equal(scalar, payload) {
+		t.Fatal("scalar path corrupted the payload")
+	}
+	if !bytes.Equal(vectored, payload) {
+		t.Fatal("vectored path corrupted the payload")
+	}
+}
+
+func TestPipeQueuedWritersCompleteFIFO(t *testing.T) {
+	// Several outstanding writes (as the ring transport batches them)
+	// complete in order as the reader drains.
+	p := core.NewPipe()
+	var completed []int
+	half := bytes.Repeat([]byte("a"), core.PipeCap/2)
+	for i := 0; i < 4; i++ {
+		i := i
+		p.Write(half, func(n int, err abi.Errno) {
+			if err != abi.OK || n != len(half) {
+				t.Fatalf("write %d: n=%d err=%v", i, n, err)
+			}
+			completed = append(completed, i)
+		})
+	}
+	// Two fit immediately; the rest complete as we read.
+	if len(completed) != 2 {
+		t.Fatalf("%d writes completed before any read, want 2", len(completed))
+	}
+	for p.Buffered() > 0 {
+		p.Read(core.PipeCap, func([]byte, abi.Errno) {})
+	}
+	if len(completed) != 4 {
+		t.Fatalf("%d writes completed after drain, want 4", len(completed))
+	}
+	for i, v := range completed {
+		if i != v {
+			t.Fatalf("completion order %v, want FIFO", completed)
+		}
+	}
+}

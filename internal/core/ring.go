@@ -1,0 +1,130 @@
+package core
+
+import (
+	"repro/internal/abi"
+)
+
+// Kernel side of the shared-memory ring-buffer syscall transport.
+//
+// A sync-transport process may upgrade from per-call postMessages to a
+// pair of rings carved out of its registered heap: it pushes call frames
+// into the request ring, rings a doorbell (one postMessage, regardless of
+// how many frames are queued), and Atomics.waits on its wake cell. The
+// kernel drains the whole request ring in a single dispatch, pushes reply
+// frames into the reply ring as calls complete, and wakes the process once
+// per batch — so a task draining a ready pipe completes several system
+// calls per kernel dispatch instead of paying a message round trip each.
+//
+// Calls whose completion is deferred (a read against an empty pipe) reply
+// out of order; frames carry sequence numbers so the process can match
+// them. The scalar sync transport remains as the fallback for kernels or
+// processes that don't negotiate the ring (Kernel.DisableRing).
+
+// taskRing is the per-task transport state.
+type taskRing struct {
+	req abi.Ring // process -> kernel call frames
+	rep abi.Ring // kernel -> process reply frames
+
+	draining bool        // inside drainRing's dispatch loop
+	dirty    bool        // replies pushed since the last wake
+	overflow []ringReply // replies that did not fit the reply ring
+}
+
+type ringReply struct {
+	seq uint32
+	ret int64
+	err abi.Errno
+}
+
+// registerRing validates and installs a task's ring regions (the "ring"
+// registration call). Both regions must lie inside the registered heap.
+func (k *Kernel) registerRing(t *Task, reqOff, reqLen, repOff, repLen int64) abi.Errno {
+	if k.DisableRing {
+		return abi.ENOSYS
+	}
+	if t.heap == nil {
+		return abi.EINVAL
+	}
+	hlen := int64(t.heap.Len())
+	ok := func(off, n int64) bool {
+		return off >= 0 && n >= abi.MinRingSize && off+n <= hlen
+	}
+	if !ok(reqOff, reqLen) || !ok(repOff, repLen) {
+		return abi.EINVAL
+	}
+	b := t.heap.Bytes()
+	t.ring = &taskRing{
+		req: abi.NewRing(b[reqOff : reqOff+reqLen]),
+		rep: abi.NewRing(b[repOff : repOff+repLen]),
+	}
+	return abi.OK
+}
+
+// drainRing services a doorbell: dispatch every queued call frame, then
+// wake the process once if any replies landed.
+func (k *Kernel) drainRing(t *Task) {
+	r := t.ring
+	if r == nil || t.heap == nil || t.state == taskZombie {
+		return
+	}
+	r.draining = true
+	batch := 0
+	for {
+		seq, trap, args, ok := r.req.PopCall()
+		if !ok {
+			break
+		}
+		batch++
+		k.SyncSyscalls++
+		k.RingSyscalls++
+		k.Sys.Sim.Charge(k.CPU.SyscallNs)
+		k.SyscallCount[abi.SyscallName(trap)]++
+		k.dispatchCall(t, trap, args, func(ret int64, err abi.Errno) {
+			k.ringReply(t, seq, ret, err)
+		})
+	}
+	if batch > 1 {
+		k.RingBatchedCalls += int64(batch - 1)
+	}
+	r.draining = false
+	k.flushRingWake(t)
+}
+
+// ringReply queues one completion into the reply ring. During a drain
+// batch the wake is deferred so the whole batch costs one notify; late
+// completions (calls that blocked) wake immediately.
+func (k *Kernel) ringReply(t *Task, seq uint32, ret int64, err abi.Errno) {
+	r := t.ring
+	if r == nil || t.heap == nil || t.state == taskZombie {
+		return
+	}
+	if len(r.overflow) > 0 || !r.rep.PushReply(seq, ret, err) {
+		r.overflow = append(r.overflow, ringReply{seq, ret, err})
+	}
+	r.dirty = true
+	if !r.draining {
+		k.flushRingWake(t)
+	}
+}
+
+// flushRingWake drains any overflow replies into the ring and wakes the
+// process if new replies are waiting.
+func (k *Kernel) flushRingWake(t *Task) {
+	r := t.ring
+	if r == nil || t.heap == nil || t.state == taskZombie {
+		return
+	}
+	for len(r.overflow) > 0 {
+		o := r.overflow[0]
+		if !r.rep.PushReply(o.seq, o.ret, o.err) {
+			break
+		}
+		r.overflow = r.overflow[1:]
+	}
+	if !r.dirty {
+		return
+	}
+	r.dirty = false
+	t.heap.Store32(t.waitOff, 1)
+	k.Sys.FutexNotify(t.heap, t.waitOff, 1)
+}

@@ -1,0 +1,167 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/posix"
+	"repro/internal/rt"
+)
+
+// A program that exercises the vectored syscalls over files and pipes;
+// its output must be byte-identical on every transport.
+func init() {
+	posix.Register(&posix.Program{Name: "t-vectored", Main: func(p posix.Proc) int {
+		fd, err := p.Open("/vec.txt", abi.O_WRONLY|abi.O_CREAT|abi.O_TRUNC, 0o644)
+		if err != abi.OK {
+			return 1
+		}
+		n, err := p.Writev(fd, [][]byte{[]byte("alpha-"), []byte("beta-"), []byte("gamma")})
+		if err != abi.OK || n != 16 {
+			return 2
+		}
+		p.Close(fd)
+
+		fd, err = p.Open("/vec.txt", abi.O_RDONLY, 0)
+		if err != abi.OK {
+			return 3
+		}
+		segs, err := p.Readv(fd, []int{4, 4, 64})
+		if err != abi.OK {
+			return 4
+		}
+		var all []byte
+		for _, s := range segs {
+			all = append(all, s...)
+		}
+		p.Close(fd)
+		posix.Fprintf(p, abi.Stdout, "file n=%d data=%s\n", n, all)
+
+		// Vectored round trip through a pipe (the splice fast path).
+		r, w, perr := p.Pipe()
+		if perr != abi.OK {
+			return 5
+		}
+		if _, err := p.Writev(w, [][]byte{[]byte("ring"), []byte("-"), []byte("pipe")}); err != abi.OK {
+			return 6
+		}
+		psegs, err := p.Readv(r, []int{2, 2, 64})
+		if err != abi.OK {
+			return 7
+		}
+		var pall []byte
+		for _, s := range psegs {
+			pall = append(pall, s...)
+		}
+		posix.Fprintf(p, abi.Stdout, "pipe data=%s\n", pall)
+		p.Close(r)
+		p.Close(w)
+		return 0
+	}})
+}
+
+func init() {
+	// Writes a buffer larger than the em-sync scratch region (1 MiB heap
+	// minus rings): the runtime must chunk it, not overflow.
+	posix.Register(&posix.Program{Name: "t-bigwrite", Main: func(p posix.Proc) int {
+		big := make([]byte, (1<<20)+(1<<19))
+		for i := range big {
+			big[i] = byte(i * 7)
+		}
+		fd, err := p.Open("/big.out", abi.O_WRONLY|abi.O_CREAT|abi.O_TRUNC, 0o644)
+		if err != abi.OK {
+			return 1
+		}
+		n, err := p.Write(fd, big)
+		if err != abi.OK || n != len(big) {
+			return 2
+		}
+		p.Close(fd)
+		st, err := p.Stat("/big.out")
+		if err != abi.OK || st.Size != int64(len(big)) {
+			return 3
+		}
+		posix.Fprintf(p, abi.Stdout, "big=%d\n", st.Size)
+		return 0
+	}})
+}
+
+// TestOversizedSyncWriteChunks: a write larger than the shared heap's
+// scratch region must complete (in pieces) on both sync paths instead of
+// overflowing the staging area.
+func TestOversizedSyncWriteChunks(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		w := boot(t)
+		w.k.DisableRing = disable
+		w.install(t, "/usr/bin/t-bigwrite", "t-bigwrite", rt.EmSyncKind)
+		code, out, errOut := w.run(t, "/usr/bin/t-bigwrite")
+		if code != 0 || out != "big=1572864\n" {
+			t.Fatalf("disableRing=%v: exit=%d out=%q err=%q", disable, code, out, errOut)
+		}
+	}
+}
+
+// TestVectoredTransportsAgree is the differential proof that the scalar
+// sync path, the ring transport, and the async transport produce
+// byte-identical results for the same program.
+func TestVectoredTransportsAgree(t *testing.T) {
+	type cfg struct {
+		name    string
+		kind    rt.Kind
+		disable bool
+	}
+	cases := []cfg{
+		{"async-node", rt.NodeKind, false},
+		{"sync-scalar", rt.EmSyncKind, true},
+		{"sync-ring", rt.EmSyncKind, false},
+		{"wasm-ring", rt.WasmKind, false},
+	}
+	outputs := map[string]string{}
+	for _, c := range cases {
+		w := boot(t)
+		w.k.DisableRing = c.disable
+		w.install(t, "/usr/bin/t-vec", "t-vectored", c.kind)
+		code, out, errOut := w.run(t, "/usr/bin/t-vec")
+		if code != 0 {
+			t.Fatalf("%s: t-vectored exited %d (stderr %q)", c.name, code, errOut)
+		}
+		outputs[c.name] = out
+		switch c.name {
+		case "sync-ring":
+			if w.k.RingSyscalls == 0 {
+				t.Errorf("%s: ring transport negotiated but unused", c.name)
+			}
+			if w.k.RingBatchedCalls == 0 {
+				t.Errorf("%s: writev fan-out produced no batched dispatches", c.name)
+			}
+		case "sync-scalar":
+			if w.k.RingSyscalls != 0 {
+				t.Errorf("%s: DisableRing kernel still saw ring calls", c.name)
+			}
+			if w.k.SyncSyscalls == 0 {
+				t.Errorf("%s: scalar fallback made no sync calls", c.name)
+			}
+		}
+	}
+	want := "file n=16 data=alpha-beta-gamma\npipe data=ring-pipe\n"
+	for name, out := range outputs {
+		if out != want {
+			t.Errorf("%s output %q, want %q", name, out, want)
+		}
+	}
+}
+
+// TestRingFallsBackWhenRefused checks an existing sync program keeps
+// working — on the scalar path — against a kernel that refuses rings.
+func TestRingFallsBackWhenRefused(t *testing.T) {
+	w := boot(t)
+	w.k.DisableRing = true
+	w.install(t, "/usr/bin/t-fsops-sync", "t-fsops", rt.EmSyncKind)
+	code, out, _ := w.run(t, "/usr/bin/t-fsops-sync")
+	if code != 0 {
+		t.Fatalf("exit=%d out=%q", code, out)
+	}
+	if w.k.SyncSyscalls == 0 || w.k.RingSyscalls != 0 {
+		t.Fatalf("sync=%d ring=%d, want scalar-only traffic", w.k.SyncSyscalls, w.k.RingSyscalls)
+	}
+}

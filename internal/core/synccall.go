@@ -76,18 +76,26 @@ func (c leCursor) putU64(v uint64) {
 	leCursor{c.b, c.off + 4}.putU32(uint32(v >> 32))
 }
 
-// dispatchSync decodes and executes a synchronous system call.
+// dispatchSync decodes and executes a synchronous system call, completing
+// it through the wake-cell reply protocol.
 func (k *Kernel) dispatchSync(t *Task, trap int, a []int64) {
 	if t.heap == nil {
 		return // no personality registered; nothing to wake
 	}
+	k.dispatchCall(t, trap, a, func(ret int64, err abi.Errno) { k.syncReply(t, ret, err) })
+}
+
+// dispatchCall decodes and executes a heap-addressed system call. It is
+// transport-independent: the scalar sync path and the ring transport both
+// feed it, differing only in how done delivers the completion (wake-cell
+// store vs reply-ring frame).
+func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi.Errno)) {
 	arg := func(i int) int64 {
 		if i < len(a) {
 			return a[i]
 		}
 		return 0
 	}
-	done := func(ret int64, err abi.Errno) { k.syncReply(t, ret, err) }
 
 	switch trap {
 	case abi.SYS_open:
@@ -115,9 +123,45 @@ func (k *Kernel) dispatchSync(t *Task, trap int, a []int64) {
 			done(-1, err)
 			return
 		}
-		d.file.Write(d, t.heapBytes(arg(1), arg(2)), func(n int, err abi.Errno) {
+		// heapBytes returns a fresh copy, so ownership can transfer to
+		// the file (zero-copy into pipes).
+		writeMoved(d, t.heapBytes(arg(1), arg(2)), func(n int, err abi.Errno) {
 			done(int64(n), err)
 		})
+	case abi.SYS_readv:
+		d, err := t.lookFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		cnt, ivp := arg(2), arg(1)
+		if cnt <= 0 || cnt > 1024 {
+			done(-1, abi.EINVAL)
+			return
+		}
+		// Overflow-safe bounds test: cnt is capped, so the subtraction
+		// can't wrap the way ivp+cnt*IovecSize could.
+		if ivp < 0 || ivp > int64(t.heap.Len())-cnt*abi.IovecSize {
+			done(-1, abi.EFAULT)
+			return
+		}
+		k.doReadv(t, d, abi.UnpackIovecs(t.heapBytes(ivp, cnt*abi.IovecSize), int(cnt)), done)
+	case abi.SYS_writev:
+		d, err := t.lookFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		cnt, ivp := arg(2), arg(1)
+		if cnt <= 0 || cnt > 1024 {
+			done(-1, abi.EINVAL)
+			return
+		}
+		if ivp < 0 || ivp > int64(t.heap.Len())-cnt*abi.IovecSize {
+			done(-1, abi.EFAULT)
+			return
+		}
+		k.doWritev(t, d, abi.UnpackIovecs(t.heapBytes(ivp, cnt*abi.IovecSize), int(cnt)), done)
 	case abi.SYS_pread:
 		d, err := t.lookFd(int(arg(0)))
 		if err != abi.OK {

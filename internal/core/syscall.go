@@ -56,6 +56,12 @@ func (k *Kernel) onWorkerMessage(t *Task, w *browser.Worker, v browser.Value) {
 			}
 		}
 		k.dispatchSync(t, trap, ia)
+	case "ringbell":
+		// Ring-transport doorbell: any number of call frames may be
+		// queued behind this one message. Per-call kernel CPU is charged
+		// inside the drain; the doorbell itself already paid the
+		// postMessage cost.
+		k.drainRing(t)
 	}
 }
 
@@ -231,6 +237,16 @@ func (k *Kernel) dispatchAsync(t *Task, name string, a []browser.Value, reply fu
 		t.waitOff = int(argInt(2))
 		reply(int64(0), errv(abi.OK))
 
+	case "ring":
+		// Ring-transport negotiation (after personality): request and
+		// reply ring regions inside the registered heap.
+		err := k.registerRing(t, argInt(0), argInt(1), argInt(2), argInt(3))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		reply(int64(0), errv(abi.OK))
+
 	case "open":
 		k.doOpen(t, argStr(0), int(argInt(1)), uint32(argInt(2)), func(fd int, err abi.Errno) {
 			reply(int64(fd), errv(err))
@@ -252,8 +268,61 @@ func (k *Kernel) dispatchAsync(t *Task, name string, a []browser.Value, reply fu
 			reply(int64(-1), errv(err))
 			return
 		}
-		d.file.Write(d, argBytes(1), func(n int, err abi.Errno) {
+		// The cloned message's buffer is uniquely ours, so ownership can
+		// transfer to the file (zero-copy into pipes).
+		writeMoved(d, argBytes(1), func(n int, err abi.Errno) {
 			reply(int64(n), errv(err))
+		})
+	case "readv":
+		d, err := t.lookFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		lens := argInts(1)
+		if len(lens) > 1024 {
+			reply(int64(-1), errv(abi.EINVAL))
+			return
+		}
+		total := 0
+		for _, n := range lens {
+			if n < 0 {
+				reply(int64(-1), errv(abi.EINVAL))
+				return
+			}
+			total += n
+		}
+		readGather(d, total, func(segs [][]byte, rerr abi.Errno) {
+			if rerr != abi.OK {
+				reply(int64(-1), errv(rerr))
+				return
+			}
+			arr := make([]browser.Value, len(segs))
+			var n int64
+			for i, s := range segs {
+				arr[i] = s
+				n += int64(len(s))
+			}
+			reply(n, errv(abi.OK), arr)
+		})
+	case "writev":
+		d, err := t.lookFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		var bufs [][]byte
+		if 1 < len(a) {
+			if arr, ok := a[1].([]browser.Value); ok {
+				for _, v := range arr {
+					if b, ok := v.([]byte); ok && len(b) > 0 {
+						bufs = append(bufs, b)
+					}
+				}
+			}
+		}
+		writevBufs(d, bufs, func(n int64, werr abi.Errno) {
+			reply(n, errv(werr))
 		})
 	case "pread":
 		d, err := t.lookFd(int(argInt(0)))
@@ -454,7 +523,7 @@ func SyscallTable() map[string][]string {
 		"Process Metadata":   {"chdir", "getcwd", "getpid", "getppid"},
 		"Sockets":            {"socket", "bind", "getsockname", "listen", "accept", "connect"},
 		"Directory IO":       {"readdir", "getdents", "rmdir", "mkdir"},
-		"File IO":            {"open", "close", "read", "write", "unlink", "llseek", "pread", "pwrite", "dup2", "ftruncate", "rename", "symlink"},
+		"File IO":            {"open", "close", "read", "write", "readv", "writev", "unlink", "llseek", "pread", "pwrite", "dup2", "ftruncate", "rename", "symlink"},
 		"File Metadata":      {"access", "fstat", "lstat", "stat", "readlink", "utimes"},
 	}
 }

@@ -50,6 +50,10 @@ type Task struct {
 	retOff  int
 	waitOff int
 
+	// ring is the task's upgraded syscall transport (nil until the
+	// process negotiates it with the "ring" registration call).
+	ring *taskRing
+
 	// onExit callbacks registered by the kernel API (kernel.system).
 	onExit []func(status int)
 

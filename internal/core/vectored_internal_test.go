@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/browser"
+	"repro/internal/sched"
+)
+
+// Guest-supplied iovecs outside the registered heap must fail the call
+// with EFAULT — never panic the kernel.
+func TestVectoredRejectsOutOfRangeIovecs(t *testing.T) {
+	sim := sched.New()
+	sys := browser.NewSystem(sim, browser.Chrome())
+	k := NewKernel(sys, nil, nil)
+	task := &Task{k: k, heap: browser.NewSAB(4096)}
+	_, w := NewPipePair()
+	d := NewDesc(w, abi.O_WRONLY, "w")
+
+	bad := [][]abi.Iovec{
+		{{Ptr: 4090, Len: 100}},           // runs past the heap
+		{{Ptr: -8, Len: 16}},              // negative pointer
+		{{Ptr: 0, Len: -1}},               // negative length
+		{{Ptr: 1 << 40, Len: 16}},         // pointer past the heap
+		{{Ptr: 16, Len: 1 << 62}},         // length overflows any sum
+		{{Ptr: (1 << 63) - 9, Len: 16}},   // Ptr+Len wraps negative
+		{{Ptr: 0, Len: 16}, {Ptr: 4096, Len: 1}}, // second iovec bad
+	}
+	for i, iovs := range bad {
+		var got abi.Errno = -1
+		k.doWritev(task, d, iovs, func(ret int64, err abi.Errno) { got = err })
+		if got != abi.EFAULT {
+			t.Errorf("writev case %d: err=%v, want EFAULT", i, got)
+		}
+		got = -1
+		rd, _ := NewPipePair()
+		dr := NewDesc(rd, abi.O_RDONLY, "r")
+		k.doReadv(task, dr, iovs, func(ret int64, err abi.Errno) { got = err })
+		if got != abi.EFAULT {
+			t.Errorf("readv case %d: err=%v, want EFAULT", i, got)
+		}
+	}
+
+	// A task with no registered heap fails cleanly too.
+	bare := &Task{k: k}
+	var got abi.Errno = -1
+	k.doWritev(bare, d, []abi.Iovec{{Ptr: 0, Len: 8}}, func(ret int64, err abi.Errno) { got = err })
+	if got != abi.EFAULT {
+		t.Errorf("heapless writev: err=%v, want EFAULT", got)
+	}
+}

@@ -118,8 +118,9 @@ func forEachInput(p posix.Proc, operands []string, fn func(fd int, name string) 
 func catMain(p posix.Proc) int {
 	_, operands := parseFlags(p.Args()[1:])
 	return forEachInput(p, operands, func(fd int, name string) int {
-		// Charge per-byte processing work on top of the I/O itself.
-		n, err := posix.CopyFd(p, abi.Stdout, fd)
+		// Vectored copy: a pipe capacity's worth of data per kernel
+		// crossing. Charge per-byte processing work on top of the I/O.
+		n, err := posix.CopyFdVectored(p, abi.Stdout, fd)
 		p.CPU(n / 4)
 		if err != abi.OK {
 			return fail(p, "%s: %v", name, err)
@@ -150,7 +151,7 @@ func cpMain(p posix.Proc) int {
 		return fail(p, "%s: %v", dst, err)
 	}
 	defer p.Close(dfd)
-	n, err := posix.CopyFd(p, dfd, sfd)
+	n, err := posix.CopyFdVectored(p, dfd, sfd)
 	p.CPU(n / 8)
 	if err != abi.OK {
 		return fail(p, "copy: %v", err)
@@ -255,9 +256,8 @@ func echoMain(p posix.Proc) int {
 // --- env -------------------------------------------------------------------
 
 func envMain(p posix.Proc) int {
-	for _, kv := range p.Environ() {
-		posix.WriteString(p, abi.Stdout, kv+"\n")
-	}
+	// One vectored write, one fragment per variable.
+	posix.WriteLines(p, abi.Stdout, p.Environ())
 	return 0
 }
 
@@ -402,6 +402,9 @@ func lsMain(p posix.Proc) int {
 			continue
 		}
 		sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+		// Collect one fragment per entry and emit the listing as a
+		// single vectored write.
+		var lines []string
 		for _, e := range ents {
 			if !all && strings.HasPrefix(e.Name, ".") {
 				continue
@@ -413,19 +416,23 @@ func lsMain(p posix.Proc) int {
 				if serr != abi.OK {
 					est = abi.Stat{}
 				}
-				printEntry(p, true, e.Name, est)
+				lines = append(lines, formatEntry(true, e.Name, est))
 			} else {
-				posix.WriteString(p, abi.Stdout, e.Name+"\n")
+				lines = append(lines, e.Name)
 			}
 		}
+		posix.WriteLines(p, abi.Stdout, lines)
 	}
 	return rc
 }
 
 func printEntry(p posix.Proc, long bool, name string, st abi.Stat) {
+	posix.WriteString(p, abi.Stdout, formatEntry(long, name, st)+"\n")
+}
+
+func formatEntry(long bool, name string, st abi.Stat) string {
 	if !long {
-		posix.WriteString(p, abi.Stdout, name+"\n")
-		return
+		return name
 	}
 	kind := "-"
 	switch st.Mode & abi.S_IFMT {
@@ -438,7 +445,7 @@ func printEntry(p posix.Proc, long bool, name string, st abi.Stat) {
 	case abi.S_IFSOCK:
 		kind = "s"
 	}
-	posix.Fprintf(p, abi.Stdout, "%s%03o %8d %12d %s\n", kind, st.Mode&0o777, st.Size, st.Mtime, name)
+	return fmt.Sprintf("%s%03o %8d %12d %s", kind, st.Mode&0o777, st.Size, st.Mtime, name)
 }
 
 // --- mkdir / rmdir / rm / touch ---------------------------------------------
@@ -747,14 +754,15 @@ func teeMain(p posix.Proc) int {
 		}
 		outs = append(outs, fd)
 	}
+	lens := posix.VectoredLens()
 	for {
-		b, err := p.Read(abi.Stdin, posix.DefaultChunk)
-		if err != abi.OK || len(b) == 0 {
+		segs, err := p.Readv(abi.Stdin, lens)
+		if err != abi.OK || len(segs) == 0 {
 			break
 		}
-		posix.WriteAll(p, abi.Stdout, b)
+		posix.WritevAll(p, abi.Stdout, segs)
 		for _, fd := range outs {
-			posix.WriteAll(p, fd, b)
+			posix.WritevAll(p, fd, segs)
 		}
 	}
 	for _, fd := range outs {
@@ -773,28 +781,31 @@ func wcMain(p posix.Proc) int {
 	}
 	var totL, totW, totC int64
 	files := 0
+	lens := posix.VectoredLens()
 	rc := forEachInput(p, operands, func(fd int, name string) int {
 		var l, w, c int64
 		inWord := false
 		for {
-			b, err := p.Read(fd, posix.DefaultChunk)
+			segs, err := p.Readv(fd, lens)
 			if err != abi.OK {
 				return fail(p, "%s: %v", name, err)
 			}
-			if len(b) == 0 {
+			if len(segs) == 0 {
 				break
 			}
-			p.CPU(int64(len(b)))
-			c += int64(len(b))
-			for _, ch := range b {
-				if ch == '\n' {
-					l++
+			for _, b := range segs {
+				p.CPU(int64(len(b)))
+				c += int64(len(b))
+				for _, ch := range b {
+					if ch == '\n' {
+						l++
+					}
+					space := ch == ' ' || ch == '\n' || ch == '\t' || ch == '\r'
+					if !space && !inWord {
+						w++
+					}
+					inWord = !space
 				}
-				space := ch == ' ' || ch == '\n' || ch == '\t' || ch == '\r'
-				if !space && !inWord {
-					w++
-				}
-				inWord = !space
 			}
 		}
 		files++

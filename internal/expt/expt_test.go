@@ -1,0 +1,73 @@
+package expt
+
+import (
+	"testing"
+
+	"repro/internal/posix"
+	"repro/internal/rt"
+	"repro/internal/sched"
+)
+
+// TestSyscallProbeConstruction covers the probe registration path: the
+// program is in the registry, runs to completion on the host baseline,
+// and reports a positive per-call cost.
+func TestSyscallProbeConstruction(t *testing.T) {
+	if posix.Lookup("syscall-probe") == nil {
+		t.Fatal("syscall-probe not registered")
+	}
+	// Re-registration is a no-op, not a panic.
+	registerSyscallProbe("syscall-probe")
+
+	sim := sched.New()
+	sim.MaxSteps = 50_000_000
+	res := rt.RunHost(sim, stageFig9Host(sim), rt.NativeKind, []string{"syscall-probe"}, nil, "/")
+	if res.Code != 0 {
+		t.Fatalf("probe exited %d: %s", res.Code, res.Stderr)
+	}
+	if got := perCall(res.Stdout, res.Code); got <= 0 {
+		t.Fatalf("per-call cost %d, want > 0", got)
+	}
+}
+
+// TestMeasureSyscallsOrdering checks the §3.2/§6 shape: native syscalls
+// are cheapest, the sync (SharedArrayBuffer) transport beats async, and
+// the Emterpreter's unwind/rewind makes async worse still.
+func TestMeasureSyscallsOrdering(t *testing.T) {
+	s := MeasureSyscalls()
+	if s.NativeNs <= 0 || s.SyncNs <= 0 || s.AsyncNs <= 0 || s.AsyncEmterpNs <= 0 {
+		t.Fatalf("non-positive measurement: %+v", s)
+	}
+	if s.NativeNs >= s.SyncNs {
+		t.Errorf("native (%d) should be cheaper than sync (%d)", s.NativeNs, s.SyncNs)
+	}
+	if s.SyncNs >= s.AsyncNs {
+		t.Errorf("sync (%d) should be cheaper than async (%d)", s.SyncNs, s.AsyncNs)
+	}
+	if s.AsyncNs >= s.AsyncEmterpNs {
+		t.Errorf("async (%d) should be cheaper than Emterpreter async (%d)", s.AsyncNs, s.AsyncEmterpNs)
+	}
+}
+
+// TestFig9TableShape drives the experiment table rows and checks the
+// paper's qualitative result: Browsix overhead over Node, Node over
+// native.
+func TestFig9TableShape(t *testing.T) {
+	rows := Fig9All()
+	if len(rows) != 2 {
+		t.Fatalf("Fig9All returned %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.Command == "" {
+			t.Error("row without a command label")
+		}
+		if row.NativeNs <= 0 || row.NodeNs <= 0 || row.BrowsixNs <= 0 {
+			t.Errorf("%s: non-positive timing %+v", row.Command, row)
+		}
+		if row.NativeNs >= row.NodeNs {
+			t.Errorf("%s: native (%d) should beat node (%d)", row.Command, row.NativeNs, row.NodeNs)
+		}
+		if row.NodeNs >= row.BrowsixNs {
+			t.Errorf("%s: node-on-host (%d) should beat Browsix (%d)", row.Command, row.NodeNs, row.BrowsixNs)
+		}
+	}
+}

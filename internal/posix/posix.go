@@ -42,6 +42,15 @@ type Proc interface {
 	Ftruncate(fd int, size int64) abi.Errno
 	Dup2(oldfd, newfd int) abi.Errno
 
+	// Vectored I/O (readv/writev). Readv reads up to the sum of lens
+	// bytes with a single blocking point, returning whatever was
+	// immediately available as a list of segments (nil at EOF). Writev
+	// writes every buffer, in order, returning the total written. On the
+	// Browsix synchronous transport these map to single ring/trap
+	// dispatches instead of one kernel round trip per buffer.
+	Readv(fd int, lens []int) ([][]byte, abi.Errno)
+	Writev(fd int, bufs [][]byte) (int64, abi.Errno)
+
 	// Metadata.
 	Stat(path string) (abi.Stat, abi.Errno)
 	Lstat(path string) (abi.Stat, abi.Errno)

@@ -74,6 +74,95 @@ func WriteFile(p Proc, path string, data []byte, mode uint32) abi.Errno {
 	return cerr
 }
 
+// WritevAll writes every buffer to fd with vectored calls, looping on
+// short writes.
+func WritevAll(p Proc, fd int, bufs [][]byte) abi.Errno {
+	// Advance through a private copy of the segment list: callers (tee)
+	// reuse the same list for several outputs, and a short write must
+	// not truncate their view.
+	bufs = append([][]byte(nil), bufs...)
+	var want int64
+	for _, b := range bufs {
+		want += int64(len(b))
+	}
+	for want > 0 {
+		n, err := p.Writev(fd, bufs)
+		if err != abi.OK {
+			return err
+		}
+		if n <= 0 {
+			return abi.EIO
+		}
+		want -= n
+		if want <= 0 {
+			return abi.OK
+		}
+		for n > 0 && len(bufs) > 0 {
+			if int64(len(bufs[0])) <= n {
+				n -= int64(len(bufs[0]))
+				bufs = bufs[1:]
+			} else {
+				bufs[0] = bufs[0][n:]
+				n = 0
+			}
+		}
+	}
+	return abi.OK
+}
+
+// WriteLines emits each line (newline-terminated) as one fragment of a
+// single vectored write — the multi-fragment output path utilities like
+// ls and env use instead of a write per line.
+func WriteLines(p Proc, fd int, lines []string) abi.Errno {
+	if len(lines) == 0 {
+		return abi.OK
+	}
+	bufs := make([][]byte, len(lines))
+	for i, l := range lines {
+		bufs[i] = []byte(l + "\n")
+	}
+	return WritevAll(p, fd, bufs)
+}
+
+// VectoredChunks is how many DefaultChunk iovecs CopyFdVectored moves per
+// kernel crossing (4 × 16 KiB = one pipe capacity per crossing).
+const VectoredChunks = 4
+
+// VectoredLens is the standard readv length vector: VectoredChunks
+// iovecs of DefaultChunk each.
+func VectoredLens() []int {
+	lens := make([]int, VectoredChunks)
+	for i := range lens {
+		lens[i] = DefaultChunk
+	}
+	return lens
+}
+
+// CopyFdVectored streams src to dst until EOF using readv/writev —
+// VectoredChunks×DefaultChunk bytes per kernel crossing instead of one
+// DefaultChunk read and one write each. Returns bytes copied.
+func CopyFdVectored(p Proc, dst, src int) (int64, abi.Errno) {
+	lens := VectoredLens()
+	var total int64
+	for {
+		segs, err := p.Readv(src, lens)
+		if err != abi.OK {
+			return total, err
+		}
+		if len(segs) == 0 {
+			return total, abi.OK
+		}
+		var n int64
+		for _, s := range segs {
+			n += int64(len(s))
+		}
+		if werr := WritevAll(p, dst, segs); werr != abi.OK {
+			return total, werr
+		}
+		total += n
+	}
+}
+
 // CopyFd streams src to dst until EOF, returning bytes copied.
 func CopyFd(p Proc, dst, src int) (int64, abi.Errno) {
 	var total int64

@@ -33,15 +33,33 @@ type workerRT struct {
 	//   [8,16)  syscall return value (int64)
 	//   [16,20) errno (int32)
 	//   [64,..) scratch for string/buffer arguments
-	sync    bool
-	heap    *browser.SAB
-	scratch int64
+	//   [top-2R, top) request + reply rings (when the ring transport
+	//                 is negotiated; R = ringRegionSize)
+	sync       bool
+	heap       *browser.SAB
+	scratch    int64
+	scratchTop int64 // exclusive upper bound for scratch allocations
+
+	// Ring transport (negotiated with the kernel after personality
+	// registration; falls back to the scalar wake-cell path if refused).
+	ringOK    bool
+	reqRing   abi.Ring
+	repRing   abi.Ring
+	ringSeq   uint32
+	ringStash map[uint32]ringRep
+	// ringOutstanding counts pushed frames whose replies have not yet
+	// been popped (bounds batches to the reply ring's capacity);
+	// inflight counts parked sync/ring calls so only the outermost
+	// recycles the scratch region.
+	ringOutstanding int
+	inflight        int
 }
 
 const (
-	syncWaitOff = 0
-	syncRetOff  = 8
-	scratchBase = 64
+	syncWaitOff    = 0
+	syncRetOff     = 8
+	scratchBase    = 64
+	ringRegionSize = 8 * 1024
 )
 
 // exitSentinel unwinds a program coroutine when Exit is called mid-stack.
@@ -82,6 +100,7 @@ func (r *workerRT) onMessage(v browser.Value) {
 		r.sim.Charge(r.cost.InitNs)
 		if r.sync {
 			r.heap = browser.NewSAB(r.cost.HeapSize)
+			r.scratchTop = int64(r.heap.Len())
 		}
 		g := r.sim.NewG(r.w.Ctx.Sched(), r.prog.Name, func(any) {
 			defer r.recoverExit()
@@ -89,6 +108,7 @@ func (r *workerRT) onMessage(v browser.Value) {
 				// Register the sync-syscall personality: heap +
 				// return/wake offsets (§3.2), via an async call.
 				r.asyncCall("personality", r.heap, int64(syncRetOff), int64(syncWaitOff))
+				r.negotiateRing()
 			}
 			var code int
 			if forkLabel != "" || len(forkMem) > 0 {
@@ -193,6 +213,10 @@ func (r *workerRT) asyncCall(name string, args ...browser.Value) []browser.Value
 // ---------------------------------------------------------------------------
 
 func (r *workerRT) syncCall(trap int, args ...int64) (int64, abi.Errno) {
+	if r.ringOK {
+		rets, errs := r.ringCalls([]ringReq{{trap: trap, args: args}})
+		return rets[0], errs[0]
+	}
 	r.sim.Charge(r.cost.SyscallCPUNs)
 	vargs := make([]browser.Value, len(args))
 	for i, a := range args {
@@ -204,12 +228,17 @@ func (r *workerRT) syncCall(trap int, args ...int64) (int64, abi.Errno) {
 		"trap": int64(trap),
 		"args": vargs,
 	})
+	r.inflight++
 	r.sys.FutexWait(r.w.Ctx, r.heap, syncWaitOff, 0, -1)
-	b := r.heap.Bytes()
+	r.inflight--
 	ret := int64(uint64(r.heap.Load32(syncRetOff)) | uint64(r.heap.Load32(syncRetOff+4))<<32)
 	errno := abi.Errno(int32(r.heap.Load32(syncRetOff + 8)))
-	_ = b
-	r.scratch = scratchBase // reset per call
+	if r.inflight == 0 {
+		// Only the outermost call recycles scratch: a signal handler's
+		// interleaved call must keep allocating above a parked call's
+		// staged buffers.
+		r.scratch = scratchBase
+	}
 	return ret, errno
 }
 
@@ -227,17 +256,38 @@ func (r *workerRT) putBytes(b []byte) (int64, int64) {
 	return ptr, int64(len(b))
 }
 
-// alloc bumps the scratch pointer (reset after each call completes).
+// alloc bumps the scratch pointer (reset after each call completes). The
+// ring regions at the top of the heap are off limits.
 func (r *workerRT) alloc(n int64) int64 {
 	if r.scratch < scratchBase {
 		r.scratch = scratchBase
 	}
 	ptr := r.scratch
-	if ptr+n > int64(r.heap.Len()) {
+	if ptr+n > r.scratchTop {
 		panic("rt: sync-syscall scratch overflow")
 	}
 	r.scratch = (ptr + n + 7) &^ 7
 	return ptr
+}
+
+// scratchFits reports whether n more scratch bytes (plus alignment slack)
+// fit below the ring regions.
+func (r *workerRT) scratchFits(n int64) bool {
+	base := r.scratch
+	if base < scratchBase {
+		base = scratchBase
+	}
+	return base+n+8 <= r.scratchTop
+}
+
+// maxScratchPayload is the largest single data buffer stageable in the
+// scratch region, leaving slack for argument/iovec staging.
+func (r *workerRT) maxScratchPayload() int64 {
+	m := r.scratchTop - scratchBase - 256
+	if m < 0 {
+		m = 0
+	}
+	return m
 }
 
 // ---------------------------------------------------------------------------
@@ -296,6 +346,11 @@ func (r *workerRT) Close(fd int) abi.Errno {
 
 func (r *workerRT) Read(fd int, n int) ([]byte, abi.Errno) {
 	if r.sync {
+		// A request larger than the scratch region degrades to a short
+		// read rather than overflowing the staging area.
+		if max := r.maxScratchPayload(); int64(n) > max {
+			n = int(max)
+		}
 		ptr := r.alloc(int64(n))
 		ret, err := r.syncCall(abi.SYS_read, int64(fd), ptr, int64(n))
 		if err != abi.OK {
@@ -318,12 +373,163 @@ func (r *workerRT) Read(fd int, n int) ([]byte, abi.Errno) {
 
 func (r *workerRT) Write(fd int, b []byte) (int, abi.Errno) {
 	if r.sync {
+		// Buffers larger than the scratch region go out in pieces.
+		if max := r.maxScratchPayload(); int64(len(b)) > max {
+			if max <= 0 {
+				return 0, abi.ENOMEM
+			}
+			total := 0
+			for len(b) > 0 {
+				n := len(b)
+				if int64(n) > max {
+					n = int(max)
+				}
+				m, err := r.Write(fd, b[:n])
+				total += m
+				if err != abi.OK {
+					return total, err
+				}
+				if m <= 0 {
+					return total, abi.EIO
+				}
+				b = b[m:]
+			}
+			return total, abi.OK
+		}
 		ptr, n := r.putBytes(b)
 		ret, err := r.syncCall(abi.SYS_write, int64(fd), ptr, n)
 		return int(ret), err
 	}
 	ret := r.asyncCall("write", int64(fd), b)
 	return int(vi(ret, 0)), verr(ret)
+}
+
+// Readv reads up to the sum of lens bytes in a single kernel crossing,
+// with one blocking point: it returns whatever is immediately available.
+func (r *workerRT) Readv(fd int, lens []int) ([][]byte, abi.Errno) {
+	total := 0
+	for _, n := range lens {
+		if n < 0 {
+			return nil, abi.EINVAL
+		}
+		total += n
+	}
+	if total == 0 {
+		return nil, abi.OK
+	}
+	if !r.sync {
+		lv := make([]browser.Value, len(lens))
+		for i, n := range lens {
+			lv[i] = int64(n)
+		}
+		ret := r.asyncCall("readv", int64(fd), lv)
+		if err := verr(ret); err != abi.OK {
+			return nil, err
+		}
+		var out [][]byte
+		if len(ret) > 2 {
+			if arr, ok := ret[2].([]browser.Value); ok {
+				for _, v := range arr {
+					if b, ok := v.([]byte); ok && len(b) > 0 {
+						out = append(out, b)
+					}
+				}
+			}
+		}
+		return out, abi.OK
+	}
+	need := int64(total) + int64(len(lens)+1)*(abi.IovecSize+8)
+	if !r.scratchFits(need) {
+		// Payload larger than the scratch region: degrade to one scalar
+		// read (still POSIX-legal readv behaviour — a short result).
+		b, err := r.Read(fd, total)
+		if err != abi.OK || len(b) == 0 {
+			return nil, err
+		}
+		return [][]byte{b}, abi.OK
+	}
+	iovs := make([]abi.Iovec, len(lens))
+	for i, n := range lens {
+		iovs[i] = abi.Iovec{Ptr: r.alloc(int64(n)), Len: int64(n)}
+	}
+	ivp := r.alloc(int64(len(iovs) * abi.IovecSize))
+	abi.PackIovecs(r.heap.Bytes()[ivp:], iovs)
+	ret, err := r.syncCall(abi.SYS_readv, int64(fd), ivp, int64(len(iovs)))
+	if err != abi.OK {
+		return nil, err
+	}
+	n := ret
+	var out [][]byte
+	hb := r.heap.Bytes()
+	for _, iov := range iovs {
+		if n <= 0 {
+			break
+		}
+		take := iov.Len
+		if take > n {
+			take = n
+		}
+		buf := make([]byte, take)
+		copy(buf, hb[iov.Ptr:iov.Ptr+take])
+		out = append(out, buf)
+		n -= take
+	}
+	return out, abi.OK
+}
+
+// Writev writes every buffer in order through a single kernel crossing
+// (one writev trap, or one ring doorbell fanning out per-buffer frames).
+func (r *workerRT) Writev(fd int, bufs [][]byte) (int64, abi.Errno) {
+	nonEmpty := make([][]byte, 0, len(bufs))
+	for _, b := range bufs {
+		if len(b) > 0 {
+			nonEmpty = append(nonEmpty, b)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return 0, abi.OK
+	}
+	if !r.sync {
+		arr := make([]browser.Value, len(nonEmpty))
+		for i, b := range nonEmpty {
+			arr[i] = b
+		}
+		ret := r.asyncCall("writev", int64(fd), arr)
+		return vi(ret, 0), verr(ret)
+	}
+	if r.ringOK {
+		return r.ringWritev(fd, nonEmpty)
+	}
+	need := int64(len(nonEmpty)+1) * (abi.IovecSize + 8)
+	for _, b := range nonEmpty {
+		need += int64(len(b)) + 8
+	}
+	if !r.scratchFits(need) {
+		var total int64
+		for _, b := range nonEmpty {
+			n, err := r.Write(fd, b)
+			total += int64(n)
+			if err != abi.OK {
+				if total > 0 {
+					return total, abi.OK
+				}
+				return -1, err
+			}
+		}
+		return total, abi.OK
+	}
+	iovs := make([]abi.Iovec, len(nonEmpty))
+	for i, b := range nonEmpty {
+		ptr, n := r.putBytes(b)
+		iovs[i] = abi.Iovec{Ptr: ptr, Len: n}
+	}
+	ivp := r.alloc(int64(len(iovs) * abi.IovecSize))
+	abi.PackIovecs(r.heap.Bytes()[ivp:], iovs)
+	ret, err := r.syncCall(abi.SYS_writev, int64(fd), ivp, int64(len(iovs)))
+	if err != abi.OK {
+		return -1, err
+	}
+	return ret, abi.OK
 }
 
 func (r *workerRT) Pread(fd int, n int, off int64) ([]byte, abi.Errno) {

@@ -261,6 +261,42 @@ func (h *HostProc) Pwrite(fd int, b []byte, off int64) (int, abi.Errno) {
 	return n, err
 }
 
+// Readv on the host is one positional read of the summed length — a
+// single (simulated) kernel crossing, like the real vectored call.
+func (h *HostProc) Readv(fd int, lens []int) ([][]byte, abi.Errno) {
+	total := 0
+	for _, n := range lens {
+		if n < 0 {
+			return nil, abi.EINVAL
+		}
+		total += n
+	}
+	if total == 0 {
+		return nil, abi.OK
+	}
+	b, err := h.Read(fd, total)
+	if err != abi.OK || len(b) == 0 {
+		return nil, err
+	}
+	return [][]byte{b}, abi.OK
+}
+
+// Writev writes the buffers back to back; host files never short-write.
+func (h *HostProc) Writev(fd int, bufs [][]byte) (int64, abi.Errno) {
+	var total int64
+	for _, b := range bufs {
+		n, err := h.Write(fd, b)
+		total += int64(n)
+		if err != abi.OK {
+			if total > 0 {
+				return total, abi.OK
+			}
+			return -1, err
+		}
+	}
+	return total, abi.OK
+}
+
 func (h *HostProc) Seek(fd int, off int64, whence int) (int64, abi.Errno) {
 	f, ok := h.fds[fd]
 	if !ok {

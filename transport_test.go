@@ -1,0 +1,108 @@
+package browsix_test
+
+import (
+	"testing"
+
+	browsix "repro"
+	"repro/internal/abi"
+	"repro/internal/coreutils"
+	"repro/internal/rt"
+)
+
+// Differential proof for the shell case studies: the asynchronous
+// transport, the scalar synchronous transport, and the ring transport run
+// the same pipelines to byte-identical results. The sync instances stage
+// the coreutils on a synchronous runtime (wasm) so every utility syscall
+// travels the path under test.
+
+// installWasmCoreutils restages /usr/bin with sync-runtime builds.
+func installWasmCoreutils(t *testing.T, in *browsix.Instance) {
+	t.Helper()
+	image := map[string][]byte{}
+	for _, name := range coreutils.Names() {
+		rt.InstallExecutable(image, "/usr/bin/"+name, name, rt.WasmKind)
+	}
+	for p, data := range image {
+		if err := in.WriteFile(p, data); err != abi.OK {
+			t.Fatalf("staging %s: %v", p, err)
+		}
+	}
+}
+
+func TestShellCaseStudiesIdenticalAcrossTransports(t *testing.T) {
+	payload := make([]byte, 256*1024)
+	for i := range payload {
+		payload[i] = byte(i*31 + i>>9)
+	}
+	cmds := []string{
+		"cat /data/fruit.txt | grep apple | sort | tee /data/apples.txt | wc -l",
+		"cat /big.bin | wc -c",
+		"sha1sum /big.bin",
+		"echo hello vectored world | tee /out.txt | wc -w",
+		"ls /usr/bin",
+		"env",
+	}
+	type result struct {
+		stdouts []string
+		apples  string
+		out     string
+		ring    int64
+	}
+	run := func(name string, sync bool, disableRing bool) result {
+		in := browsix.Boot(browsix.Config{})
+		browsix.InstallBase(in)
+		in.Kernel.DisableRing = disableRing
+		if sync {
+			installWasmCoreutils(t, in)
+		}
+		in.WriteFile("/data/fruit.txt", []byte("banana\napple\ncherry\napple pie\n"))
+		in.WriteFile("/big.bin", payload)
+		var r result
+		for _, cmd := range cmds {
+			res := in.RunCommand(cmd)
+			if res.Code != 0 {
+				t.Fatalf("%s: %q exited %d: %s", name, cmd, res.Code, res.Stderr)
+			}
+			r.stdouts = append(r.stdouts, string(res.Stdout))
+		}
+		apples, err := in.ReadFile("/data/apples.txt")
+		if err != abi.OK {
+			t.Fatalf("%s: apples.txt: %v", name, err)
+		}
+		out, err := in.ReadFile("/out.txt")
+		if err != abi.OK {
+			t.Fatalf("%s: out.txt: %v", name, err)
+		}
+		r.apples, r.out = string(apples), string(out)
+		r.ring = in.Kernel.RingSyscalls
+		return r
+	}
+
+	async := run("async", false, false)
+	scalar := run("sync-scalar", true, true)
+	ring := run("sync-ring", true, false)
+
+	if scalar.ring != 0 {
+		t.Errorf("scalar instance used the ring (%d calls)", scalar.ring)
+	}
+	if ring.ring == 0 {
+		t.Error("ring instance never used the ring transport")
+	}
+	for i, cmd := range cmds {
+		if async.stdouts[i] != scalar.stdouts[i] {
+			t.Errorf("%q: async %q != sync-scalar %q", cmd, async.stdouts[i], scalar.stdouts[i])
+		}
+		if scalar.stdouts[i] != ring.stdouts[i] {
+			t.Errorf("%q: sync-scalar %q != sync-ring %q", cmd, scalar.stdouts[i], ring.stdouts[i])
+		}
+	}
+	if async.apples != scalar.apples || scalar.apples != ring.apples {
+		t.Errorf("apples.txt diverged: %q / %q / %q", async.apples, scalar.apples, ring.apples)
+	}
+	if async.out != scalar.out || scalar.out != ring.out {
+		t.Errorf("out.txt diverged: %q / %q / %q", async.out, scalar.out, ring.out)
+	}
+	if async.apples != "apple\napple pie\n" {
+		t.Errorf("apples.txt content %q", async.apples)
+	}
+}
