@@ -108,34 +108,65 @@ func (f *fsFile) Read(d *Desc, n int, cb func([]byte, abi.Errno)) {
 	})
 }
 
-func (f *fsFile) Write(d *Desc, data []byte, cb func(int, abi.Errno)) {
-	if f.append {
-		f.h.Stat(func(st abi.Stat, err abi.Errno) {
-			if err != abi.OK {
-				cb(0, err)
-				return
-			}
-			d.off = st.Size
-			f.h.Pwrite(d.off, data, func(n int, err abi.Errno) {
-				if err == abi.OK {
-					d.off += int64(n)
-				}
-				cb(n, err)
-			})
-		})
+// writePos resolves the descriptor's write offset — O_APPEND seeks to
+// EOF first — then runs the write; the scalar and vectored paths share
+// this positioning protocol.
+func (f *fsFile) writePos(d *Desc, write func(off int64), fail func(abi.Errno)) {
+	if !f.append {
+		write(d.off)
 		return
 	}
-	f.h.Pwrite(d.off, data, func(n int, err abi.Errno) {
-		if err == abi.OK {
-			d.off += int64(n)
+	f.h.Stat(func(st abi.Stat, err abi.Errno) {
+		if err != abi.OK {
+			fail(err)
+			return
 		}
-		cb(n, err)
+		d.off = st.Size
+		write(d.off)
 	})
+}
+
+func (f *fsFile) Write(d *Desc, data []byte, cb func(int, abi.Errno)) {
+	f.writePos(d, func(off int64) {
+		f.h.Pwrite(off, data, func(n int, err abi.Errno) {
+			if err == abi.OK {
+				d.off += int64(n)
+			}
+			cb(n, err)
+		})
+	}, func(err abi.Errno) { cb(0, err) })
 }
 
 func (f *fsFile) Pread(off int64, n int, cb func([]byte, abi.Errno)) { f.h.Pread(off, n, cb) }
 func (f *fsFile) Pwrite(off int64, data []byte, cb func(int, abi.Errno)) {
 	f.h.Pwrite(off, data, cb)
+}
+
+// Readv implements vectoredReader: the gather happens in the storage
+// layer (page cache or backend) and comes back as segments, which the
+// kernel scatters straight into the process heap — no coalescing buffer.
+func (f *fsFile) Readv(d *Desc, total int, cb func([][]byte, abi.Errno)) {
+	f.h.Preadv(d.off, []int{total}, func(segs [][]byte, err abi.Errno) {
+		if err == abi.OK {
+			for _, s := range segs {
+				d.off += int64(len(s))
+			}
+		}
+		cb(segs, err)
+	})
+}
+
+// Writev implements vectoredWriter: the iovec segments the transport
+// carried into the kernel reach the file handle in one vectored call.
+func (f *fsFile) Writev(d *Desc, bufs [][]byte, cb func(int, abi.Errno)) {
+	f.writePos(d, func(off int64) {
+		f.h.Pwritev(off, bufs, func(n int, err abi.Errno) {
+			if err == abi.OK {
+				d.off += int64(n)
+			}
+			cb(n, err)
+		})
+	}, func(err abi.Errno) { cb(0, err) })
 }
 
 func (f *fsFile) Seek(d *Desc, off int64, whence int, cb func(int64, abi.Errno)) {

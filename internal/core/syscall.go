@@ -65,13 +65,9 @@ func (k *Kernel) onWorkerMessage(t *Task, w *browser.Worker, v browser.Value) {
 	}
 }
 
-// abs resolves a process-relative path against the task's cwd.
-func (t *Task) abs(p string) string {
-	if len(p) > 0 && p[0] == '/' {
-		return fs.Clean(p)
-	}
-	return fs.Clean(t.cwd + "/" + p)
-}
+// abs resolves a process-relative path against the task's cwd,
+// preserving trailing-slash semantics (fs.Abs).
+func (t *Task) abs(p string) string { return fs.Abs(t.cwd, p) }
 
 // ---------------------------------------------------------------------------
 // Transport-independent operations.
@@ -132,8 +128,9 @@ func (k *Kernel) doDup2(t *Task, oldfd, newfd int) abi.Errno {
 }
 
 func (k *Kernel) doChdir(t *Task, p string, cb func(abi.Errno)) {
-	ap := t.abs(p)
-	k.FS.Stat(ap, func(st abi.Stat, err abi.Errno) {
+	// Store the walker-resolved canonical path, not a lexical cleaning:
+	// with symlinks in play the two can name different directories.
+	k.FS.Resolve(t.abs(p), func(rp string, st abi.Stat, err abi.Errno) {
 		if err != abi.OK {
 			cb(err)
 			return
@@ -142,7 +139,7 @@ func (k *Kernel) doChdir(t *Task, p string, cb func(abi.Errno)) {
 			cb(abi.ENOTDIR)
 			return
 		}
-		t.cwd = ap
+		t.cwd = rp
 		cb(abi.OK)
 	})
 }

@@ -22,6 +22,13 @@ type splicer interface {
 	Splice(d *Desc, max int, cb func([][]byte, abi.Errno))
 }
 
+// vectoredReader is implemented by files whose storage can gather
+// directly into segments (fs-backed files via FileHandle.Preadv), so a
+// readv needs no kernel-side coalescing buffer.
+type vectoredReader interface {
+	Readv(d *Desc, total int, cb func([][]byte, abi.Errno))
+}
+
 // writeMoved writes one kernel-owned buffer to a file, transferring
 // ownership when the file supports it (the zero-copy pipe path) and
 // copying via the scalar Write otherwise.
@@ -41,6 +48,10 @@ func writeMoved(d *Desc, buf []byte, cb func(int, abi.Errno)) {
 func readGather(d *Desc, total int, cb func([][]byte, abi.Errno)) {
 	if sp, ok := d.file.(splicer); ok {
 		sp.Splice(d, total, cb)
+		return
+	}
+	if vr, ok := d.file.(vectoredReader); ok {
+		vr.Readv(d, total, cb)
 		return
 	}
 	d.file.Read(d, total, func(data []byte, err abi.Errno) {

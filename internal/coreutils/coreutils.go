@@ -26,8 +26,9 @@ import (
 func Names() []string {
 	return []string{
 		"cat", "cp", "curl", "echo", "env", "false", "grep", "head",
-		"ls", "mkdir", "printf", "pwd", "rm", "rmdir", "seq", "sha1sum",
-		"sleep", "sort", "stat", "tail", "tee", "touch", "true", "wc", "xargs",
+		"ln", "ls", "mkdir", "printf", "pwd", "readlink", "rm", "rmdir",
+		"seq", "sha1sum", "sleep", "sort", "stat", "tail", "tee", "touch",
+		"true", "wc", "xargs",
 	}
 }
 
@@ -40,7 +41,9 @@ func init() {
 	posix.Register(&posix.Program{Name: "false", Main: func(posix.Proc) int { return 1 }})
 	posix.Register(&posix.Program{Name: "grep", Main: grepMain})
 	posix.Register(&posix.Program{Name: "head", Main: headMain})
+	posix.Register(&posix.Program{Name: "ln", Main: lnMain})
 	posix.Register(&posix.Program{Name: "ls", Main: lsMain})
+	posix.Register(&posix.Program{Name: "readlink", Main: readlinkMain})
 	posix.Register(&posix.Program{Name: "mkdir", Main: mkdirMain})
 	posix.Register(&posix.Program{Name: "printf", Main: printfMain})
 	posix.Register(&posix.Program{Name: "pwd", Main: pwdMain})
@@ -484,6 +487,45 @@ func mkdirAll(p posix.Proc, dir string) abi.Errno {
 		}
 	}
 	return abi.OK
+}
+
+// --- ln / readlink ---------------------------------------------------------
+
+// lnMain supports symbolic links only (-s), the form the kernel's namei
+// walker resolves; hard links are not part of the BrowserFS model.
+func lnMain(p posix.Proc) int {
+	flags, operands := parseFlags(p.Args()[1:])
+	if !flags['s'] {
+		return fail(p, "only symbolic links are supported (use -s)")
+	}
+	if len(operands) != 2 {
+		return fail(p, "usage: ln -s TARGET LINK")
+	}
+	target, link := operands[0], operands[1]
+	if st, err := p.Stat(link); err == abi.OK && st.IsDir() {
+		link = strings.TrimSuffix(link, "/") + "/" + posix.Basename(target)
+	}
+	if err := p.Symlink(target, link); err != abi.OK {
+		return fail(p, "%s: %v", link, err)
+	}
+	return 0
+}
+
+func readlinkMain(p posix.Proc) int {
+	_, operands := parseFlags(p.Args()[1:])
+	if len(operands) == 0 {
+		return fail(p, "usage: readlink LINK...")
+	}
+	rc := 0
+	for _, link := range operands {
+		target, err := p.Readlink(link)
+		if err != abi.OK {
+			rc = fail(p, "%s: %v", link, err)
+			continue
+		}
+		posix.Fprintf(p, abi.Stdout, "%s\n", target)
+	}
+	return rc
 }
 
 func rmdirMain(p posix.Proc) int {

@@ -1,0 +1,104 @@
+package fs
+
+import (
+	"strings"
+
+	"repro/internal/abi"
+)
+
+// The dentry cache is the naming layer's translation tier: it decouples
+// path resolution from backend storage the way the Virtual Block
+// Interface decouples virtual from physical blocks. Two tiers:
+//
+//   - per-component dentries: canonical path -> lstat result, including
+//     negative entries (ENOENT) and memoized symlink targets, so a warm
+//     walk never calls a backend;
+//   - whole-walk entries: (flags, cleaned path) -> final walk result, so
+//     a warm stat/open of a hot path is a single map hit.
+//
+// Every mutating operation invalidates the affected dentries and clears
+// the whole-walk tier (it is cheap to rebuild from warm dentries). The
+// cache holds no bytes — file contents live in the page cache.
+
+// dentry is one cached name-resolution result for a canonical path.
+type dentry struct {
+	st        abi.Stat
+	err       abi.Errno // OK, or the cacheable negative result (ENOENT)
+	target    string    // symlink target, memoized on first Readlink
+	hasTarget bool
+	synthetic bool // directory synthesized for a nested mount point
+}
+
+// maxDentries bounds the per-component tier. Overflow clears the whole
+// tier (crude, deterministic, and rare — a TeX Live walk touches a few
+// thousand names).
+const maxDentries = 16384
+
+type dcache struct {
+	entries map[string]*dentry
+	walks   map[string]walkEnt // only err==OK results
+
+	// Counters for the cache-hit-rate experiments (EXPERIMENTS.md).
+	hits, misses, negHits int64
+	walkHits              int64
+}
+
+func newDcache() *dcache {
+	return &dcache{entries: map[string]*dentry{}, walks: map[string]walkEnt{}}
+}
+
+func (c *dcache) get(p string) (*dentry, bool) {
+	d, ok := c.entries[p]
+	if ok {
+		if d.err == abi.OK {
+			c.hits++
+		} else {
+			c.negHits++
+		}
+	} else {
+		c.misses++
+	}
+	return d, ok
+}
+
+func (c *dcache) put(p string, d *dentry) {
+	if len(c.entries) >= maxDentries {
+		clear(c.entries)
+	}
+	c.entries[p] = d
+}
+
+func (c *dcache) putWalk(key string, e walkEnt) {
+	if len(c.walks) >= maxDentries {
+		clear(c.walks)
+	}
+	c.walks[key] = e
+}
+
+// drop forgets one path. Whole-walk entries are not cleared: a walk hit
+// is validated against its endpoint dentry, so dropping the dentry
+// suffices to stale any walk that ends here — and symlink-traversing
+// walks (whose validity depends on other names) are never cached.
+func (c *dcache) drop(p string) {
+	delete(c.entries, p)
+}
+
+// dropTree forgets a path and everything under it (rename/rmdir of a
+// directory moves or deletes the whole subtree).
+func (c *dcache) dropTree(p string) {
+	delete(c.entries, p)
+	prefix := p
+	if prefix != "/" {
+		prefix += "/"
+	}
+	for k := range c.entries {
+		if strings.HasPrefix(k, prefix) {
+			delete(c.entries, k)
+		}
+	}
+}
+
+func (c *dcache) flush() {
+	clear(c.entries)
+	clear(c.walks)
+}

@@ -1,5 +1,18 @@
 // Package fs reimplements the file-system layer Browsix builds on: Doppio's
-// BrowserFS plus the Browsix extensions described in §3.6 of the paper.
+// BrowserFS plus the Browsix extensions described in §3.6 of the paper,
+// grown into a real VFS core:
+//
+//   - a per-component namei walker (symlinks — intermediate and trailing —
+//     `..`, trailing slashes, and mount crossings resolved one component
+//     at a time, depth-limited),
+//   - a dentry/attribute cache with negative entries, invalidated on every
+//     mutating operation, so repeated stat/open of hot paths never re-hit
+//     a backend,
+//   - a page cache with sequential readahead fronting the network and
+//     read-only backends (httpfs, zipfs, overlay lower layers),
+//   - vectored file handles (Preadv/Pwritev), so the iovec frames the ring
+//     transport carries through the kernel reach storage without
+//     coalescing copies.
 //
 // Like BrowserFS, the API is callback-based (continuation-passing style):
 // the kernel runs on the browser's main thread and can never block, so
@@ -33,6 +46,14 @@ type FileHandle interface {
 	Pread(off int64, n int, cb func([]byte, abi.Errno))
 	// Pwrite writes data at off, returning bytes written.
 	Pwrite(off int64, data []byte, cb func(int, abi.Errno))
+	// Preadv reads up to sum(lens) bytes at off, returning the data as
+	// one or more segments. Segment boundaries need not match lens —
+	// callers scatter the stream themselves — but the total never
+	// exceeds sum(lens). A nil result at EOF is not an error.
+	Preadv(off int64, lens []int, cb func([][]byte, abi.Errno))
+	// Pwritev writes the buffers back to back starting at off, without
+	// requiring the caller to coalesce them, returning bytes written.
+	Pwritev(off int64, bufs [][]byte, cb func(int, abi.Errno))
 	// Stat describes the open file.
 	Stat(cb func(abi.Stat, abi.Errno))
 	// Truncate sets the file size.
@@ -66,29 +87,89 @@ type mount struct {
 	backend Backend
 }
 
-// FileSystem is the kernel's BrowserFS instance: a mount table over
-// backends, with symlink resolution at the top level.
+// FileSystem is the kernel's VFS: a mount table over backends, a namei
+// walker, and the dentry/page caches.
 type FileSystem struct {
 	mounts []mount // sorted by descending prefix length
 	now    func() int64
+
+	dc             *dcache
+	pc             *pageCache
+	cachesOn       bool
+	readaheadPages int
 }
 
 // NewFileSystem creates a file system whose root is the given backend.
-// now supplies virtual time for mtimes.
+// now supplies virtual time for mtimes. Caching is on by default.
 func NewFileSystem(root Backend, now func() int64) *FileSystem {
-	f := &FileSystem{now: now}
+	f := &FileSystem{
+		now:            now,
+		dc:             newDcache(),
+		pc:             newPageCache(),
+		cachesOn:       true,
+		readaheadPages: DefaultReadaheadPages,
+	}
 	f.mounts = []mount{{prefix: "/", backend: root}}
 	return f
 }
 
+// SetCaching enables or disables the dentry and page caches (the
+// cache-off configuration of the differential tests and ablations).
+// Toggling flushes everything.
+func (f *FileSystem) SetCaching(on bool) {
+	f.cachesOn = on
+	f.FlushCaches()
+}
+
+// SetReadahead sets the sequential readahead window in pages (0 disables
+// readahead; the page cache itself stays on).
+func (f *FileSystem) SetReadahead(pages int) { f.readaheadPages = pages }
+
+// FlushCaches drops every cached dentry and page (cold-cache runs).
+func (f *FileSystem) FlushCaches() {
+	f.dc.flush()
+	f.pc.flush()
+}
+
+// CacheStats reports cache effectiveness counters for the hit-rate
+// experiments (EXPERIMENTS.md).
+type CacheStats struct {
+	DentryHits    int64 // per-component positive hits
+	DentryMisses  int64 // per-component misses (backend consulted)
+	NegativeHits  int64 // per-component negative (ENOENT) hits
+	WalkHits      int64 // whole-walk fast-path hits
+	PageHits      int64 // page-cache read hits
+	PageMisses    int64 // page-cache read misses (backend consulted)
+	ReadaheadOps  int64 // completed readahead backend reads
+	PageBytes     int64 // bytes currently cached
+	DentryEntries int   // dentries currently cached
+}
+
+// CacheStats returns a snapshot of the cache counters.
+func (f *FileSystem) CacheStats() CacheStats {
+	return CacheStats{
+		DentryHits:    f.dc.hits,
+		DentryMisses:  f.dc.misses,
+		NegativeHits:  f.dc.negHits,
+		WalkHits:      f.dc.walkHits,
+		PageHits:      f.pc.hits,
+		PageMisses:    f.pc.misses,
+		ReadaheadOps:  f.pc.readaheads,
+		PageBytes:     f.pc.bytes,
+		DentryEntries: len(f.dc.entries),
+	}
+}
+
 // Mount attaches a backend at prefix (an absolute, existing-or-not path).
 // Longest-prefix wins at resolution, like BrowserFS's MountableFileSystem.
+// Mounting changes what every path resolves to, so the caches flush.
 func (f *FileSystem) Mount(prefix string, b Backend) {
 	prefix = Clean(prefix)
 	f.mounts = append(f.mounts, mount{prefix: prefix, backend: b})
 	sort.SliceStable(f.mounts, func(i, j int) bool {
 		return len(f.mounts[i].prefix) > len(f.mounts[j].prefix)
 	})
+	f.FlushCaches()
 }
 
 // Mounts lists mount points (diagnostics, and the terminal's `mount`).
@@ -100,7 +181,19 @@ func (f *FileSystem) Mounts() []string {
 	return out
 }
 
-// Clean normalizes an absolute path.
+// MountPrefixes lists just the mount-point paths, longest first.
+func (f *FileSystem) MountPrefixes() []string {
+	out := make([]string, len(f.mounts))
+	for i, m := range f.mounts {
+		out[i] = m.prefix
+	}
+	return out
+}
+
+// Clean normalizes an absolute path: it forces a leading slash and
+// collapses ".", "..", and repeated slashes. ".." components that would
+// escape the root are clamped at "/" (trailing-slash semantics are
+// handled by the walker, which sees the raw path).
 func Clean(p string) string {
 	if p == "" {
 		return "/"
@@ -111,8 +204,26 @@ func Clean(p string) string {
 	return path.Clean(p)
 }
 
-// resolve finds the backend owning p and p's path within it.
-func (f *FileSystem) resolve(p string) (Backend, string) {
+// Abs resolves a possibly-relative path against cwd, normalizing
+// slashes and "." while preserving both ".." components (the walker
+// resolves them against symlink *targets*, which a lexical Clean cannot)
+// and a trailing slash (the walker gives it its POSIX directory
+// meaning). Kernel and host syscall layers share this so the transports
+// cannot diverge.
+func Abs(cwd, p string) string {
+	joined := p
+	if len(p) == 0 || p[0] != '/' {
+		joined = cwd + "/" + p
+	}
+	ap := "/" + strings.Join(splitPath(joined), "/")
+	if hadTrailingSlash(p) && ap != "/" {
+		ap += "/" // keep the directory requirement ("p/" and "p/.")
+	}
+	return ap
+}
+
+// resolveMount finds the backend owning p and p's path within it.
+func (f *FileSystem) resolveMount(p string) (Backend, string) {
 	p = Clean(p)
 	for _, m := range f.mounts {
 		if p == m.prefix {
@@ -127,95 +238,197 @@ func (f *FileSystem) resolve(p string) (Backend, string) {
 		}
 	}
 	// Unreachable: the root mount matches everything.
-	return f.mounts[len(f.mounts)-1].backend, p
+	last := f.mounts[len(f.mounts)-1]
+	return last.backend, p
 }
 
-const maxSymlinks = 8
+// ---------------------------------------------------------------------------
+// Cache invalidation. Every mutating operation lands here.
+// ---------------------------------------------------------------------------
 
-// followPath resolves trailing symlinks (up to maxSymlinks), then calls
-// done with the final absolute path. Symlinks in intermediate components
-// are not resolved (BrowserFS-level fidelity; the paper's workloads do not
-// need them).
-func (f *FileSystem) followPath(p string, depth int, done func(string, abi.Errno)) {
-	if depth > maxSymlinks {
-		done("", abi.ELOOP)
-		return
-	}
-	b, rel := f.resolve(p)
-	b.Lstat(rel, func(st abi.Stat, err abi.Errno) {
-		if err != abi.OK || !st.IsSymlink() {
-			done(Clean(p), abi.OK) // missing files resolve to themselves
-			return
-		}
-		b.Readlink(rel, func(target string, err abi.Errno) {
-			if err != abi.OK {
-				done("", err)
-				return
-			}
-			if !strings.HasPrefix(target, "/") {
-				target = path.Join(path.Dir(Clean(p)), target)
-			}
-			f.followPath(target, depth+1, done)
-		})
-	})
+// invalidatePath drops the dentry, walk, and page caches for one path
+// (content or attributes changed).
+func (f *FileSystem) invalidatePath(p string) {
+	f.dc.drop(p)
+	f.pc.drop(p)
 }
+
+// invalidateEntry drops a path and its parent directory (creation or
+// removal changes the parent's mtime and the child's existence).
+func (f *FileSystem) invalidateEntry(p, parent string) {
+	f.dc.drop(p)
+	f.dc.drop(parent)
+	f.pc.drop(p)
+}
+
+// invalidateTree drops a path, its parent, and everything below the path
+// (directory rename/removal).
+func (f *FileSystem) invalidateTree(p, parent string) {
+	f.dc.dropTree(p)
+	f.dc.drop(parent)
+	f.pc.dropTree(p)
+}
+
+// ---------------------------------------------------------------------------
+// VFS operations. Every path-taking operation resolves through the namei
+// walker; results and attributes come from the caches when warm.
+// ---------------------------------------------------------------------------
 
 // Stat stats a path, following symlinks.
 func (f *FileSystem) Stat(p string, cb func(abi.Stat, abi.Errno)) {
-	f.followPath(p, 0, func(rp string, err abi.Errno) {
-		if err != abi.OK {
-			cb(abi.Stat{}, err)
+	f.walk(p, walkOpts{follow: true}, func(e walkEnt) {
+		if e.err != abi.OK {
+			cb(abi.Stat{}, e.err)
 			return
 		}
-		b, rel := f.resolve(rp)
-		b.Stat(rel, cb)
+		cb(e.st, abi.OK)
+	})
+}
+
+// Resolve walks p (following symlinks) and reports the canonical,
+// symlink-free absolute path of the result along with its attributes —
+// what chdir must store so later relative lookups agree with what was
+// validated.
+func (f *FileSystem) Resolve(p string, cb func(string, abi.Stat, abi.Errno)) {
+	f.walk(p, walkOpts{follow: true}, func(e walkEnt) {
+		if e.err != abi.OK {
+			cb("", abi.Stat{}, e.err)
+			return
+		}
+		cb(e.path, e.st, abi.OK)
 	})
 }
 
 // Lstat stats a path without following a trailing symlink.
 func (f *FileSystem) Lstat(p string, cb func(abi.Stat, abi.Errno)) {
-	b, rel := f.resolve(p)
-	b.Lstat(rel, cb)
-}
-
-// Open opens (and with O_CREAT possibly creates) a file.
-func (f *FileSystem) Open(p string, flags int, mode uint32, cb func(FileHandle, abi.Errno)) {
-	f.followPath(p, 0, func(rp string, err abi.Errno) {
-		if err != abi.OK {
-			cb(nil, err)
+	f.walk(p, walkOpts{}, func(e walkEnt) {
+		if e.err != abi.OK {
+			cb(abi.Stat{}, e.err)
 			return
 		}
-		b, rel := f.resolve(rp)
-		b.Open(rel, flags, mode, cb)
+		cb(e.st, abi.OK)
 	})
 }
 
-// Readdir lists a directory.
-func (f *FileSystem) Readdir(p string, cb func([]abi.Dirent, abi.Errno)) {
-	f.followPath(p, 0, func(rp string, err abi.Errno) {
+// Open opens (and with O_CREAT possibly creates) a file. Read-only opens
+// on cacheable backends return page-cached handles whose backend handle
+// is opened lazily; write-capable handles invalidate the caches as they
+// mutate.
+func (f *FileSystem) Open(p string, flags int, mode uint32, cb func(FileHandle, abi.Errno)) {
+	wantsWrite := flags&abi.O_ACCMODE != abi.O_RDONLY || flags&(abi.O_CREAT|abi.O_TRUNC) != 0
+	f.walk(p, walkOpts{follow: true}, func(e walkEnt) {
+		switch {
+		case e.err == abi.OK:
+			if flags&abi.O_DIRECTORY != 0 && !e.st.IsDir() {
+				cb(nil, abi.ENOTDIR)
+				return
+			}
+			if e.st.IsRegular() && !wantsWrite && f.cachesOn && cacheableBackend(e.backend) {
+				b, rel := e.backend, e.rel
+				ph := &pagedHandle{
+					fs:   f,
+					path: e.path,
+					st:   e.st,
+					gen:  f.pc.gen(e.path),
+					open: func(icb func(FileHandle, abi.Errno)) { b.Open(rel, flags, mode, icb) },
+				}
+				if b.ReadOnly() {
+					// Nothing can unlink beneath a read-only backend, so
+					// the backend open is safely deferred to the first
+					// page miss — a fully cached hot file is reopened
+					// with zero backend calls.
+					cb(ph, abi.OK)
+					return
+				}
+				// Mutable backend (overlay): open eagerly so the handle
+				// keeps working if the path is unlinked afterwards.
+				ph.ensureInner(func(_ FileHandle, err abi.Errno) {
+					if err != abi.OK {
+						cb(nil, err)
+						return
+					}
+					cb(ph, abi.OK)
+				})
+				return
+			}
+			if wantsWrite {
+				f.invalidatePath(e.path)
+			}
+			f.openAt(e, flags, mode, wantsWrite, cb)
+		case e.err == abi.ENOENT && e.canCreate && flags&abi.O_CREAT != 0:
+			if hadTrailingSlash(p) {
+				// open("missing/", O_CREAT): only a directory could
+				// satisfy the trailing slash; open cannot create one.
+				cb(nil, abi.EISDIR)
+				return
+			}
+			f.invalidateEntry(e.path, e.parent)
+			f.openAt(e, flags, mode, true, cb)
+		default:
+			cb(nil, e.err)
+		}
+	})
+}
+
+// openAt opens e's path on its backend and wraps the handle so writes
+// keep invalidating the caches for the canonical path. Mutating opens
+// (create/truncate/write) invalidate again on completion — the open may
+// have been asynchronous, and a concurrent lookup could have re-cached
+// pre-mutation state mid-flight.
+func (f *FileSystem) openAt(e walkEnt, flags int, mode uint32, mutates bool, cb func(FileHandle, abi.Errno)) {
+	e.backend.Open(e.rel, flags, mode, func(h FileHandle, err abi.Errno) {
+		if mutates {
+			f.invalidateEntry(e.path, e.parent)
+		}
 		if err != abi.OK {
 			cb(nil, err)
 			return
 		}
-		b, rel := f.resolve(rp)
-		b.Readdir(rel, func(ents []abi.Dirent, err abi.Errno) {
+		cb(&invalHandle{FileHandle: h, fs: f, path: e.path}, abi.OK)
+	})
+}
+
+// Readdir lists a directory, synthesizing entries for mount points at or
+// below it — `ls /` shows /usr even when the only thing under /usr is a
+// mount three levels down and no backend has the directory.
+func (f *FileSystem) Readdir(p string, cb func([]abi.Dirent, abi.Errno)) {
+	f.walk(p, walkOpts{follow: true}, func(e walkEnt) {
+		if e.err != abi.OK {
+			cb(nil, e.err)
+			return
+		}
+		if !e.st.IsDir() {
+			cb(nil, abi.ENOTDIR)
+			return
+		}
+		dir := e.path
+		e.backend.Readdir(e.rel, func(ents []abi.Dirent, err abi.Errno) {
 			if err != abi.OK {
-				cb(nil, err)
-				return
+				// A synthetic mount ancestor lists nothing but nested
+				// mounts; real backend failures (EIO...) still surface.
+				if (err != abi.ENOENT && err != abi.ENOTDIR) || !f.mountAncestor(dir) {
+					cb(nil, err)
+					return
+				}
+				ents = nil
 			}
-			// Synthesize entries for mount points living directly
-			// under this directory.
-			dir := Clean(rp)
-			seen := map[string]bool{}
-			for _, e := range ents {
-				seen[e.Name] = true
+			dirSlash := dir
+			if dirSlash != "/" {
+				dirSlash += "/"
+			}
+			seen := make(map[string]bool, len(ents))
+			for _, d := range ents {
+				seen[d.Name] = true
 			}
 			for _, m := range f.mounts {
-				if m.prefix == "/" || path.Dir(m.prefix) != dir {
+				if m.prefix == "/" || !strings.HasPrefix(m.prefix, dirSlash) {
 					continue
 				}
-				name := path.Base(m.prefix)
-				if !seen[name] {
+				name := m.prefix[len(dirSlash):]
+				if i := strings.IndexByte(name, '/'); i >= 0 {
+					name = name[:i]
+				}
+				if name != "" && !seen[name] {
 					ents = append(ents, abi.Dirent{Name: name, Type: abi.DT_DIR})
 					seen[name] = true
 				}
@@ -228,8 +441,30 @@ func (f *FileSystem) Readdir(p string, cb func([]abi.Dirent, abi.Errno)) {
 
 // Mkdir creates a directory.
 func (f *FileSystem) Mkdir(p string, mode uint32, cb func(abi.Errno)) {
-	b, rel := f.resolve(p)
-	b.Mkdir(rel, mode, cb)
+	f.walk(p, walkOpts{}, func(e walkEnt) {
+		switch {
+		case e.err == abi.OK && e.synthetic:
+			// The directory exists only as a synthesized mount-point
+			// ancestor: create it for real in the owning backend, so
+			// entries can be created beneath it (MkdirAll depends on
+			// this).
+			f.invalidateEntry(e.path, e.parent)
+			e.backend.Mkdir(e.rel, mode, func(err abi.Errno) {
+				f.invalidateEntry(e.path, e.parent)
+				cb(err)
+			})
+		case e.err == abi.OK:
+			cb(abi.EEXIST)
+		case e.err == abi.ENOENT && e.canCreate:
+			f.invalidateEntry(e.path, e.parent)
+			e.backend.Mkdir(e.rel, mode, func(err abi.Errno) {
+				f.invalidateEntry(e.path, e.parent)
+				cb(err)
+			})
+		default:
+			cb(e.err)
+		}
+	})
 }
 
 // MkdirAll creates a directory and any missing parents.
@@ -259,50 +494,139 @@ func (f *FileSystem) MkdirAll(p string, mode uint32, cb func(abi.Errno)) {
 }
 
 // Rmdir removes an empty directory.
+//
+// Like every mutating operation below, the caches are invalidated both
+// before dispatch and again in the completion callback: a backend may
+// complete asynchronously (overlay copy-up over the network), and a
+// concurrent lookup mid-flight would otherwise re-cache pre-mutation
+// state that nothing invalidates afterwards.
 func (f *FileSystem) Rmdir(p string, cb func(abi.Errno)) {
-	b, rel := f.resolve(p)
-	b.Rmdir(rel, cb)
+	f.walk(p, walkOpts{}, func(e walkEnt) {
+		if e.err != abi.OK {
+			cb(e.err)
+			return
+		}
+		f.invalidateTree(e.path, e.parent)
+		e.backend.Rmdir(e.rel, func(err abi.Errno) {
+			f.invalidateTree(e.path, e.parent)
+			cb(err)
+		})
+	})
 }
 
 // Unlink removes a file or symlink.
 func (f *FileSystem) Unlink(p string, cb func(abi.Errno)) {
-	b, rel := f.resolve(p)
-	b.Unlink(rel, cb)
+	if hadTrailingSlash(p) {
+		// unlink("p/") can never name a file.
+		f.walk(p, walkOpts{}, func(e walkEnt) {
+			if e.err != abi.OK {
+				cb(e.err)
+				return
+			}
+			cb(abi.EISDIR)
+		})
+		return
+	}
+	f.walk(p, walkOpts{}, func(e walkEnt) {
+		if e.err != abi.OK {
+			cb(e.err)
+			return
+		}
+		f.invalidateEntry(e.path, e.parent)
+		e.backend.Unlink(e.rel, func(err abi.Errno) {
+			f.invalidateEntry(e.path, e.parent)
+			cb(err)
+		})
+	})
 }
 
 // Rename moves a file within a single backend; cross-backend moves return
 // EXDEV, as on Unix.
 func (f *FileSystem) Rename(oldp, newp string, cb func(abi.Errno)) {
-	ob, orel := f.resolve(oldp)
-	nb, nrel := f.resolve(newp)
-	if ob != nb {
-		cb(abi.EXDEV)
-		return
-	}
-	ob.Rename(orel, nrel, cb)
+	f.walk(oldp, walkOpts{}, func(oe walkEnt) {
+		if oe.err != abi.OK {
+			cb(oe.err)
+			return
+		}
+		f.walk(newp, walkOpts{}, func(ne walkEnt) {
+			if ne.err != abi.OK && !ne.canCreate {
+				cb(ne.err)
+				return
+			}
+			if oe.backend != ne.backend {
+				cb(abi.EXDEV)
+				return
+			}
+			// Only a directory rename moves a subtree; file renames
+			// need (and pay for) per-entry invalidation only. A dir on
+			// either end (e.g. file replacing an empty dir) still takes
+			// the tree path: entries below it may be cached.
+			invalidate := func() {
+				if oe.st.IsDir() || (ne.err == abi.OK && ne.st.IsDir()) {
+					f.invalidateTree(oe.path, oe.parent)
+					f.invalidateTree(ne.path, ne.parent)
+				} else {
+					f.invalidateEntry(oe.path, oe.parent)
+					f.invalidateEntry(ne.path, ne.parent)
+				}
+			}
+			invalidate()
+			oe.backend.Rename(oe.rel, ne.rel, func(err abi.Errno) {
+				invalidate()
+				cb(err)
+			})
+		})
+	})
 }
 
 // Readlink reads a symlink target.
 func (f *FileSystem) Readlink(p string, cb func(string, abi.Errno)) {
-	b, rel := f.resolve(p)
-	b.Readlink(rel, cb)
+	f.walk(p, walkOpts{}, func(e walkEnt) {
+		if e.err != abi.OK {
+			cb("", e.err)
+			return
+		}
+		if !e.st.IsSymlink() {
+			cb("", abi.EINVAL)
+			return
+		}
+		e.backend.Readlink(e.rel, cb)
+	})
 }
 
 // Symlink creates a symlink at linkp pointing to target.
 func (f *FileSystem) Symlink(target, linkp string, cb func(abi.Errno)) {
-	b, rel := f.resolve(linkp)
-	b.Symlink(target, rel, cb)
+	f.walk(linkp, walkOpts{}, func(e walkEnt) {
+		if e.err == abi.OK {
+			// Exists in the merged view (possibly only in an overlay's
+			// lower layer, which the backend alone would not notice).
+			cb(abi.EEXIST)
+			return
+		}
+		if !e.canCreate {
+			cb(e.err)
+			return
+		}
+		f.invalidateEntry(e.path, e.parent)
+		e.backend.Symlink(target, e.rel, func(err abi.Errno) {
+			f.invalidateEntry(e.path, e.parent)
+			cb(err)
+		})
+	})
 }
 
 // Utimes sets access/modification times.
 func (f *FileSystem) Utimes(p string, atime, mtime int64, cb func(abi.Errno)) {
-	f.followPath(p, 0, func(rp string, err abi.Errno) {
-		if err != abi.OK {
-			cb(err)
+	f.walk(p, walkOpts{follow: true}, func(e walkEnt) {
+		if e.err != abi.OK {
+			cb(e.err)
 			return
 		}
-		b, rel := f.resolve(rp)
-		b.Utimes(rel, atime, mtime, cb)
+		f.invalidatePath(e.path)
+		e.backend.Utimes(e.rel, atime, mtime, func(err abi.Errno) {
+			f.invalidatePath(e.path)
+			cb(err)
+		})
 	})
 }
 
@@ -346,3 +670,61 @@ func (f *FileSystem) WriteFile(p string, data []byte, mode uint32, cb func(abi.E
 		})
 	})
 }
+
+// ---------------------------------------------------------------------------
+// invalHandle: a write-capable handle that keeps the caches honest.
+// ---------------------------------------------------------------------------
+
+// invalHandle wraps a backend handle so every mutation drops the cached
+// dentry (attributes) and pages for the canonical path, even writes on
+// descriptors that were opened read-only.
+type invalHandle struct {
+	FileHandle
+	fs   *FileSystem
+	path string
+}
+
+func (h *invalHandle) Pwrite(off int64, data []byte, cb func(int, abi.Errno)) {
+	h.fs.invalidatePath(h.path)
+	h.FileHandle.Pwrite(off, data, func(n int, err abi.Errno) {
+		h.fs.invalidatePath(h.path)
+		cb(n, err)
+	})
+}
+
+func (h *invalHandle) Pwritev(off int64, bufs [][]byte, cb func(int, abi.Errno)) {
+	h.fs.invalidatePath(h.path)
+	h.FileHandle.Pwritev(off, bufs, func(n int, err abi.Errno) {
+		h.fs.invalidatePath(h.path)
+		cb(n, err)
+	})
+}
+
+func (h *invalHandle) Truncate(size int64, cb func(abi.Errno)) {
+	h.fs.invalidatePath(h.path)
+	h.FileHandle.Truncate(size, func(err abi.Errno) {
+		h.fs.invalidatePath(h.path)
+		cb(err)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Vectored fallbacks for backends whose natural representation is scalar.
+// ---------------------------------------------------------------------------
+
+// genericPreadv implements Preadv as one coalesced Pread (the fallback
+// for handles with no cheaper representation).
+func genericPreadv(h FileHandle, off int64, lens []int, cb func([][]byte, abi.Errno)) {
+	total := 0
+	for _, n := range lens {
+		total += n
+	}
+	h.Pread(off, total, func(data []byte, err abi.Errno) {
+		if err != abi.OK || len(data) == 0 {
+			cb(nil, err)
+			return
+		}
+		cb([][]byte{data}, abi.OK)
+	})
+}
+

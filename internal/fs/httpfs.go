@@ -225,6 +225,37 @@ func (h *httpHandle) Pwrite(int64, []byte, func(int, abi.Errno)) {
 	panic("fs: pwrite on read-only http handle")
 }
 
+// Preadv implements FileHandle: the body is already resident, so each
+// requested length is sliced out in one pass. Segments are copies — the
+// cached body is shared by every handle on this file (and the backend
+// cache itself), so aliasing it out to callers would let a buggy caller
+// corrupt the cache.
+func (h *httpHandle) Preadv(off int64, lens []int, cb func([][]byte, abi.Errno)) {
+	var segs [][]byte
+	pos := off
+	for _, n := range lens {
+		if pos >= int64(len(h.data)) {
+			break
+		}
+		if n <= 0 {
+			continue // zero-length iovecs are legal mid-list
+		}
+		end := pos + int64(n)
+		if end > int64(len(h.data)) {
+			end = int64(len(h.data))
+		}
+		seg := make([]byte, end-pos)
+		copy(seg, h.data[pos:end])
+		segs = append(segs, seg)
+		pos = end
+	}
+	cb(segs, abi.OK)
+}
+
+func (h *httpHandle) Pwritev(int64, [][]byte, func(int, abi.Errno)) {
+	panic("fs: pwritev on read-only http handle")
+}
+
 func (h *httpHandle) Stat(cb func(abi.Stat, abi.Errno)) {
 	cb(abi.Stat{Mode: abi.S_IFREG | 0o444, Size: int64(len(h.data)), Nlink: 1}, abi.OK)
 }

@@ -110,6 +110,38 @@ func (q *quotaHandle) Pwrite(off int64, data []byte, cb func(int, abi.Errno)) {
 	})
 }
 
+// Pwritev enforces the quota on the summed growth before delegating, so
+// a vectored write cannot sneak past the limit buffer by buffer.
+func (q *quotaHandle) Pwritev(off int64, bufs [][]byte, cb func(int, abi.Errno)) {
+	q.FileHandle.Stat(func(st abi.Stat, err abi.Errno) {
+		if err != abi.OK {
+			cb(0, err)
+			return
+		}
+		var total int64
+		for _, b := range bufs {
+			total += int64(len(b))
+		}
+		growth := off + total - st.Size
+		if growth < 0 {
+			growth = 0
+		}
+		if q.fs.used+growth > q.fs.quota {
+			cb(0, abi.ENOSPC)
+			return
+		}
+		q.FileHandle.Pwritev(off, bufs, func(n int, err abi.Errno) {
+			if err == abi.OK {
+				actual := off + int64(n) - st.Size
+				if actual > 0 {
+					q.fs.used += actual
+				}
+			}
+			cb(n, err)
+		})
+	})
+}
+
 func (q *quotaHandle) Truncate(size int64, cb func(abi.Errno)) {
 	q.FileHandle.Stat(func(st abi.Stat, err abi.Errno) {
 		if err != abi.OK {

@@ -374,6 +374,42 @@ func (h *memHandle) Pwrite(off int64, data []byte, cb func(int, abi.Errno)) {
 	cb(len(data), abi.OK)
 }
 
+// Preadv implements FileHandle: one bounds check, one copy, returned as
+// a single segment (callers scatter it).
+func (h *memHandle) Preadv(off int64, lens []int, cb func([][]byte, abi.Errno)) {
+	genericPreadv(h, off, lens, cb)
+}
+
+// Pwritev implements FileHandle: the file grows once, then each buffer
+// lands directly in the node's data — no coalescing copy.
+func (h *memHandle) Pwritev(off int64, bufs [][]byte, cb func(int, abi.Errno)) {
+	if h.fs.ro {
+		cb(0, abi.EROFS)
+		return
+	}
+	if h.n.isDir() {
+		cb(0, abi.EISDIR)
+		return
+	}
+	var total int64
+	for _, b := range bufs {
+		total += int64(len(b))
+	}
+	end := off + total
+	if end > int64(len(h.n.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.n.data)
+		h.n.data = grown
+	}
+	pos := off
+	for _, b := range bufs {
+		copy(h.n.data[pos:], b)
+		pos += int64(len(b))
+	}
+	h.n.mtime = h.fs.now()
+	cb(int(total), abi.OK)
+}
+
 // Stat implements FileHandle.
 func (h *memHandle) Stat(cb func(abi.Stat, abi.Errno)) { cb(h.n.stat(), abi.OK) }
 

@@ -1,0 +1,444 @@
+package fs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+)
+
+// Walker tests: per-component resolution, `..` escapes, trailing
+// slashes, intermediate symlinks, and mount crossings.
+
+// buildWalkerFS stages a tree exercising every walker feature:
+//
+//	/dir/file            regular
+//	/dir/sub/deep        regular
+//	/dir/rel -> file     relative symlink
+//	/sdir -> /dir        symlink used as an intermediate component
+//	/abs -> /dir/file    absolute symlink to a file
+//	/esc -> ../../dir/file  `..`-escaping relative target (clamps at /)
+//	/dir/sub/up -> ..    relative symlink climbing out of its directory
+//	/l1 -> /l2, /l2 -> /l1  loop
+func buildWalkerFS(t *testing.T) *FileSystem {
+	t.Helper()
+	f := newFS()
+	mustMkdirAll(t, f, "/dir/sub")
+	mustWrite(t, f, "/dir/file", "payload")
+	mustWrite(t, f, "/dir/sub/deep", "deep")
+	link := func(target, linkp string) {
+		var err abi.Errno = -1
+		f.Symlink(target, linkp, func(e abi.Errno) { err = e })
+		if err != abi.OK {
+			t.Fatalf("symlink %s -> %s: %v", linkp, target, err)
+		}
+	}
+	link("file", "/dir/rel")
+	link("/dir", "/sdir")
+	link("/dir/sub", "/sdir2")
+	link("/dir/file", "/abs")
+	link("../../dir/file", "/esc")
+	link("..", "/dir/sub/up")
+	link("/l2", "/l1")
+	link("/l1", "/l2")
+	return f
+}
+
+func TestWalkerStatTable(t *testing.T) {
+	f := buildWalkerFS(t)
+	cases := []struct {
+		path    string
+		want    abi.Errno
+		wantDir bool // when OK: expect a directory
+	}{
+		// Plain resolution.
+		{"/dir/file", abi.OK, false},
+		{"/dir", abi.OK, true},
+		{"/dir/sub/deep", abi.OK, false},
+		// `..` and `.` collapse, clamping at the root.
+		{"/..", abi.OK, true},
+		{"/../..", abi.OK, true},
+		{"/../dir/file", abi.OK, false},
+		{"/dir/../dir/./file", abi.OK, false},
+		{"/dir/sub/../../dir/file", abi.OK, false},
+		// Trailing slashes require directories ("p/." is the same).
+		{"/dir/", abi.OK, true},
+		{"/dir/file/", abi.ENOTDIR, false},
+		{"/dir/sub/", abi.OK, true},
+		{"/missing/", abi.ENOENT, false},
+		{"/dir/.", abi.OK, true},
+		{"/dir/file/.", abi.ENOTDIR, false},
+		{"/.", abi.OK, true},
+		// Symlinks in intermediate components.
+		{"/sdir/file", abi.OK, false},
+		{"/sdir/sub/deep", abi.OK, false},
+		{"/sdir/", abi.OK, true},
+		// Relative, absolute, and `..`-escaping targets.
+		{"/dir/rel", abi.OK, false},
+		{"/abs", abi.OK, false},
+		{"/esc", abi.OK, false},
+		// A symlink that climbs out of its directory mid-path.
+		{"/dir/sub/up/file", abi.OK, false},
+		{"/dir/sub/up/sub/deep", abi.OK, false},
+		// ".." after a symlink resolves against the *target* (/dir/sub),
+		// not the link's name — lexical collapse would yield "/file".
+		{"/sdir2/../file", abi.OK, false},
+		{"/sdir2/../sub/deep", abi.OK, false},
+		{"/sdir2/..", abi.OK, true},
+		// Loops and walks through non-directories.
+		{"/l1", abi.ELOOP, false},
+		{"/l1/file", abi.ELOOP, false},
+		{"/dir/file/x", abi.ENOTDIR, false},
+		{"/missing/x", abi.ENOENT, false},
+	}
+	for _, c := range cases {
+		var st abi.Stat
+		var err abi.Errno = -1
+		f.Stat(c.path, func(s abi.Stat, e abi.Errno) { st, err = s, e })
+		if err != c.want {
+			t.Errorf("Stat(%q) = %v, want %v", c.path, err, c.want)
+			continue
+		}
+		if err == abi.OK && st.IsDir() != c.wantDir {
+			t.Errorf("Stat(%q).IsDir() = %v, want %v", c.path, st.IsDir(), c.wantDir)
+		}
+	}
+}
+
+func TestWalkerIntermediateSymlinkRead(t *testing.T) {
+	f := buildWalkerFS(t)
+	// The old scheme only followed *trailing* symlinks; reading through
+	// an intermediate one must now work.
+	if got := mustRead(t, f, "/sdir/sub/deep"); got != "deep" {
+		t.Fatalf("read through intermediate symlink: %q", got)
+	}
+	if got := mustRead(t, f, "/dir/sub/up/file"); got != "payload" {
+		t.Fatalf("read through ..-symlink: %q", got)
+	}
+	if got := mustRead(t, f, "/esc"); got != "payload" {
+		t.Fatalf("read through root-escaping target: %q", got)
+	}
+	// POSIX resolves "link/.." against the link target: /sdir2 -> /dir/sub,
+	// so /sdir2/../file is /dir/file. A lexical Clean would read /file.
+	mustWrite(t, f, "/file", "WRONG: lexical dotdot")
+	if got := mustRead(t, f, "/sdir2/../file"); got != "payload" {
+		t.Fatalf("..-after-symlink resolved lexically: %q", got)
+	}
+}
+
+// faultyBackend injects an error on every operation touching a chosen
+// path (models a broken network/zip backend).
+type faultyBackend struct {
+	Backend
+	bad string
+	err abi.Errno
+}
+
+func (fb *faultyBackend) Lstat(p string, cb func(abi.Stat, abi.Errno)) {
+	if p == fb.bad {
+		cb(abi.Stat{}, fb.err)
+		return
+	}
+	fb.Backend.Lstat(p, cb)
+}
+
+func (fb *faultyBackend) Readdir(p string, cb func([]abi.Dirent, abi.Errno)) {
+	if p == fb.bad {
+		cb(nil, fb.err)
+		return
+	}
+	fb.Backend.Readdir(p, cb)
+}
+
+func TestMountSynthesisDoesNotMaskBackendErrors(t *testing.T) {
+	// /usr is an ancestor of a mount, but the root backend fails with
+	// EIO there — the walker must surface the failure, not fabricate a
+	// healthy directory.
+	img := NewMemFS(now)
+	faulty := &faultyBackend{Backend: img, bad: "/usr", err: abi.EIO}
+	f := NewFileSystem(faulty, func() int64 { return clock })
+	f.Mount("/usr/share/texlive", NewMemFS(now))
+	var err abi.Errno
+	f.Stat("/usr", func(_ abi.Stat, e abi.Errno) { err = e })
+	if err != abi.EIO {
+		t.Fatalf("stat of EIO path = %v, want EIO", err)
+	}
+	f.Stat("/usr/share", func(_ abi.Stat, e abi.Errno) { err = e })
+	if err != abi.EIO {
+		t.Fatalf("walk through EIO component = %v, want EIO", err)
+	}
+	// A genuinely missing ancestor still synthesizes.
+	f2 := NewFileSystem(NewMemFS(now), func() int64 { return clock })
+	f2.Mount("/opt/data", NewMemFS(now))
+	var st abi.Stat
+	f2.Stat("/opt", func(s abi.Stat, e abi.Errno) { st, err = s, e })
+	if err != abi.OK || !st.IsDir() {
+		t.Fatalf("synthetic ancestor: %v dir=%v", err, st.IsDir())
+	}
+}
+
+func TestResolveReturnsCanonicalPath(t *testing.T) {
+	// Resolve reports the symlink-free path chdir must store: resolving
+	// "link/../x" against the link *target* can name a directory that
+	// the lexical cleaning ("/a/b") does not even contain.
+	f := buildWalkerFS(t)
+	cases := []struct{ in, want string }{
+		{"/dir", "/dir"},
+		{"/sdir", "/dir"},
+		{"/sdir/sub", "/dir/sub"},
+		{"/sdir2/..", "/dir"},
+		{"/dir/sub/up", "/dir"},
+		{"/dir/../dir/sub/", "/dir/sub"},
+	}
+	for _, c := range cases {
+		var got string
+		var err abi.Errno = -1
+		f.Resolve(c.in, func(p string, _ abi.Stat, e abi.Errno) { got, err = p, e })
+		if err != abi.OK || got != c.want {
+			t.Errorf("Resolve(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestDotDotPathNotStaleAfterIntermediateRemoval(t *testing.T) {
+	// "/a/../b" must stop resolving once /a is gone, cache or no cache:
+	// ".."-containing walks are never whole-walk cached because their
+	// validity depends on intermediate components.
+	f := newFS()
+	mustMkdirAll(t, f, "/a")
+	mustWrite(t, f, "/b", "data")
+	var err abi.Errno = -1
+	f.Stat("/a/../b", func(_ abi.Stat, e abi.Errno) { err = e })
+	if err != abi.OK {
+		t.Fatalf("stat via ..: %v", err)
+	}
+	f.Rmdir("/a", func(e abi.Errno) { err = e })
+	if err != abi.OK {
+		t.Fatalf("rmdir: %v", err)
+	}
+	f.Stat("/a/../b", func(_ abi.Stat, e abi.Errno) { err = e })
+	if err != abi.ENOENT {
+		t.Fatalf("stat via removed intermediate = %v, want ENOENT", err)
+	}
+	// /b itself is of course still there.
+	if got := mustRead(t, f, "/b"); got != "data" {
+		t.Fatalf("/b content: %q", got)
+	}
+}
+
+func TestAbsPreservesDotDotAndTrailingSlash(t *testing.T) {
+	cases := []struct{ cwd, p, want string }{
+		{"/data", "f", "/data/f"},
+		{"/data", "/x/y", "/x/y"},
+		{"/data", "sub/../f", "/data/sub/../f"}, // ".." survives for the walker
+		{"/data", "..", "/data/.."},
+		{"/data", "d/", "/data/d/"},
+		{"/data", "d/.", "/data/d/"}, // "p/." keeps the dir requirement
+		{"/data", "./f", "/data/f"},
+		{"/", "..", "/.."},
+		{"/data", "", "/data"},
+		{"/data", ".", "/data"},
+	}
+	for _, c := range cases {
+		if got := Abs(c.cwd, c.p); got != c.want {
+			t.Errorf("Abs(%q, %q) = %q, want %q", c.cwd, c.p, got, c.want)
+		}
+	}
+	// End to end: the preserved ".." resolves against a symlink target.
+	f := buildWalkerFS(t)
+	if got := mustRead(t, f, Abs("/", "sdir2/../file")); got != "payload" {
+		t.Fatalf("Abs + walker ..-after-symlink: %q", got)
+	}
+}
+
+func TestLookupErrorIsNotCreatable(t *testing.T) {
+	// An EIO on the final component must surface as EIO, never as "the
+	// destination is free" — rename/symlink must not proceed onto a
+	// path whose state could not be determined.
+	img := NewMemFS(now)
+	f := NewFileSystem(&faultyBackend{Backend: img, bad: "/x", err: abi.EIO}, func() int64 { return clock })
+	mustWrite(t, f, "/ok", "data")
+	var err abi.Errno
+	f.Rename("/ok", "/x", func(e abi.Errno) { err = e })
+	if err != abi.EIO {
+		t.Fatalf("rename onto EIO path = %v, want EIO", err)
+	}
+	f.Symlink("/ok", "/x", func(e abi.Errno) { err = e })
+	if err != abi.EIO {
+		t.Fatalf("symlink onto EIO path = %v, want EIO", err)
+	}
+	f.Open("/x", abi.O_WRONLY|abi.O_CREAT, 0o644, func(_ FileHandle, e abi.Errno) { err = e })
+	if err != abi.EIO {
+		t.Fatalf("create onto EIO path = %v, want EIO", err)
+	}
+	if got := mustRead(t, f, "/ok"); got != "data" {
+		t.Fatalf("source disturbed: %q", got)
+	}
+}
+
+func TestWalkerTrailingSlashOps(t *testing.T) {
+	f := buildWalkerFS(t)
+	expect := func(ctx string, got, want abi.Errno) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s = %v, want %v", ctx, got, want)
+		}
+	}
+	var err abi.Errno
+	// open("file/") can never succeed; open("dir/") opens the directory.
+	f.Open("/dir/file/", abi.O_RDONLY, 0, func(_ FileHandle, e abi.Errno) { err = e })
+	expect(`open("/dir/file/")`, err, abi.ENOTDIR)
+	f.Open("/dir/", abi.O_RDONLY, 0, func(_ FileHandle, e abi.Errno) { err = e })
+	expect(`open("/dir/")`, err, abi.OK)
+	// O_CREAT cannot create a directory.
+	f.Open("/newfile/", abi.O_WRONLY|abi.O_CREAT, 0o644, func(_ FileHandle, e abi.Errno) { err = e })
+	expect(`open("/newfile/", O_CREAT)`, err, abi.EISDIR)
+	f.Stat("/newfile", func(_ abi.Stat, e abi.Errno) { err = e })
+	expect("no side effect of refused create", err, abi.ENOENT)
+	// mkdir("d/") is fine; rmdir("d/") too.
+	f.Mkdir("/nd/", 0o755, func(e abi.Errno) { err = e })
+	expect(`mkdir("/nd/")`, err, abi.OK)
+	f.Rmdir("/nd/", func(e abi.Errno) { err = e })
+	expect(`rmdir("/nd/")`, err, abi.OK)
+	// unlink("p/") never names a file.
+	f.Unlink("/dir/file/", func(e abi.Errno) { err = e })
+	expect(`unlink("/dir/file/")`, err, abi.ENOTDIR)
+	f.Unlink("/dir/", func(e abi.Errno) { err = e })
+	expect(`unlink("/dir/")`, err, abi.EISDIR)
+	f.Unlink("/missing/", func(e abi.Errno) { err = e })
+	expect(`unlink("/missing/")`, err, abi.ENOENT)
+	// A trailing slash on a symlink follows it (POSIX "p/" ≡ "p/.").
+	var st abi.Stat
+	f.Lstat("/sdir/", func(s abi.Stat, e abi.Errno) { st, err = s, e })
+	if err != abi.OK || !st.IsDir() {
+		t.Errorf(`lstat("/sdir/") = %v dir=%v, want directory`, err, st.IsDir())
+	}
+}
+
+func TestWalkerMountCrossing(t *testing.T) {
+	f := newFS()
+	sub := NewMemFS(now)
+	mustMkdirAll(t, f, "/mnt")
+	f.Mount("/mnt/vol", sub)
+	mustWrite(t, f, "/mnt/vol/data.txt", "on the mount")
+	// Cross the mount through a symlink in an intermediate component.
+	var err abi.Errno
+	f.Symlink("/mnt/vol", "/vol", func(e abi.Errno) { err = e })
+	if err != abi.OK {
+		t.Fatalf("symlink: %v", err)
+	}
+	if got := mustRead(t, f, "/vol/data.txt"); got != "on the mount" {
+		t.Fatalf("read across mount via symlink: %q", got)
+	}
+	// The file must live in the mounted backend.
+	sub.Stat("/data.txt", func(_ abi.Stat, e abi.Errno) { err = e })
+	if err != abi.OK {
+		t.Fatal("file not routed to mounted backend")
+	}
+	// `..` inside the mount climbs back into the parent namespace.
+	mustWrite(t, f, "/mnt/here", "outside")
+	if got := mustRead(t, f, "/mnt/vol/../here"); got != "outside" {
+		t.Fatalf("..-climb out of mount: %q", got)
+	}
+}
+
+// TestNestedMountSynthesis is the regression test for mount points nested
+// under directories no backend provides: every prefix reported by
+// Mounts() must be reachable — stat-able and visible in its parent's
+// readdir — from the root.
+func TestNestedMountSynthesis(t *testing.T) {
+	f := newFS()
+	f.Mount("/usr/share/texlive", NewMemFS(now))
+	f.Mount("/opt/data", NewMemFS(now))
+	mustWrite(t, f, "/rootfile", "x")
+
+	readdirNames := func(p string) []string {
+		var names []string
+		var err abi.Errno = -1
+		f.Readdir(p, func(ents []abi.Dirent, e abi.Errno) {
+			err = e
+			for _, d := range ents {
+				names = append(names, d.Name)
+			}
+		})
+		if err != abi.OK {
+			t.Fatalf("readdir(%s): %v", p, err)
+		}
+		return names
+	}
+	has := func(names []string, want string) bool {
+		for _, n := range names {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+
+	// `ls /` shows all mounts even though the root backend has neither
+	// /usr nor /opt.
+	root := readdirNames("/")
+	for _, want := range []string{"usr", "opt", "rootfile"} {
+		if !has(root, want) {
+			t.Errorf("readdir(/) = %v, missing %q", root, want)
+		}
+	}
+	if !has(readdirNames("/usr"), "share") {
+		t.Error("readdir(/usr) missing share")
+	}
+	if !has(readdirNames("/usr/share"), "texlive") {
+		t.Error("readdir(/usr/share) missing texlive")
+	}
+
+	// Regression against Mounts(): walk every prefix component by
+	// component through Stat and the parent's Readdir.
+	for _, prefix := range f.MountPrefixes() {
+		if prefix == "/" {
+			continue
+		}
+		var st abi.Stat
+		var err abi.Errno = -1
+		f.Stat(prefix, func(s abi.Stat, e abi.Errno) { st, err = s, e })
+		if err != abi.OK || !st.IsDir() {
+			t.Errorf("mount prefix %s: stat = %v dir=%v", prefix, err, st.IsDir())
+		}
+		parts := strings.Split(strings.TrimPrefix(prefix, "/"), "/")
+		cur := "/"
+		for _, part := range parts {
+			if !has(readdirNames(cur), part) {
+				t.Errorf("readdir(%s) missing %q on the way to mount %s", cur, part, prefix)
+			}
+			if cur == "/" {
+				cur += part
+			} else {
+				cur += "/" + part
+			}
+		}
+	}
+
+	// Synthetic ancestors are directories of the namespace, not of any
+	// backend: files cannot be created in them directly...
+	var werr abi.Errno
+	f.WriteFile("/usr/stray", []byte("x"), 0o644, func(e abi.Errno) { werr = e })
+	if werr != abi.ENOENT {
+		t.Errorf("create under synthetic dir = %v, want ENOENT", werr)
+	}
+	// ...but Mkdir materializes them for real, so MkdirAll (and then
+	// file creation) beneath a nested mount's ancestors works.
+	var merr abi.Errno = -1
+	f.MkdirAll("/usr/lib", 0o755, func(e abi.Errno) { merr = e })
+	if merr != abi.OK {
+		t.Fatalf("MkdirAll beneath synthetic ancestor: %v", merr)
+	}
+	mustWrite(t, f, "/usr/lib/libc.so", "elf")
+	if got := mustRead(t, f, "/usr/lib/libc.so"); got != "elf" {
+		t.Fatalf("file under materialized dir: %q", got)
+	}
+	// The mount is still reachable after /usr became a real directory.
+	var st abi.Stat
+	var serr abi.Errno = -1
+	f.Stat("/usr/share/texlive", func(s abi.Stat, e abi.Errno) { st, serr = s, e })
+	if serr != abi.OK || !st.IsDir() {
+		t.Fatalf("mount after ancestor materialized: %v dir=%v", serr, st.IsDir())
+	}
+}

@@ -46,6 +46,11 @@ func (o *OverlayFS) Name() string { return "overlayfs(" + o.upper.Name() + "+" +
 // ReadOnly implements Backend.
 func (o *OverlayFS) ReadOnly() bool { return false }
 
+// PageCacheable opts the overlay into the VFS page cache: reads often
+// come from a slow lower layer (httpfs), and every write goes through the
+// VFS invalidation hooks.
+func (o *OverlayFS) PageCacheable() bool { return true }
+
 // lock serializes operations: fn runs when the lock is free and must call
 // release exactly once when its (possibly async) work completes.
 func (o *OverlayFS) lock(fn func(release func())) {
@@ -115,7 +120,10 @@ func (o *OverlayFS) ensureUpperDirs(p string, cb func(abi.Errno)) {
 }
 
 // copyUp copies a lower-layer file into the upper layer (lazily: only
-// called when a write requires it).
+// called when a write requires it). The transfer is vectored end to end:
+// the lower handle gathers page-sized segments in one Preadv, and the
+// upper handle lands them with one Pwritev — no coalescing copy between
+// the layers.
 func (o *OverlayFS) copyUp(p string, cb func(abi.Errno)) {
 	o.lower.Open(p, abi.O_RDONLY, 0, func(lh FileHandle, err abi.Errno) {
 		if err != abi.OK {
@@ -128,7 +136,15 @@ func (o *OverlayFS) copyUp(p string, cb func(abi.Errno)) {
 				cb(err)
 				return
 			}
-			lh.Pread(0, int(st.Size), func(data []byte, err abi.Errno) {
+			lens := make([]int, 0, st.Size/PageSize+1)
+			for left := st.Size; left > 0; left -= PageSize {
+				n := left
+				if n > PageSize {
+					n = PageSize
+				}
+				lens = append(lens, int(n))
+			}
+			lh.Preadv(0, lens, func(segs [][]byte, err abi.Errno) {
 				lh.Close(func(abi.Errno) {})
 				if err != abi.OK {
 					cb(err)
@@ -144,7 +160,7 @@ func (o *OverlayFS) copyUp(p string, cb func(abi.Errno)) {
 							cb(err)
 							return
 						}
-						uh.Pwrite(0, data, func(n int, err abi.Errno) {
+						uh.Pwritev(0, segs, func(n int, err abi.Errno) {
 							uh.Close(func(abi.Errno) {})
 							cb(err)
 						})
@@ -361,18 +377,27 @@ func (o *OverlayFS) Rename(oldp, newp string, cb func(abi.Errno)) {
 			return
 		}
 		finish := func() {
-			o.upper.Rename(oldp, newp, func(err abi.Errno) {
-				if err == abi.OK {
-					o.lower.Stat(oldp, func(_ abi.Stat, lerr abi.Errno) {
-						if lerr == abi.OK {
-							o.deleted[oldp] = true
-						}
-						delete(o.deleted, newp)
-						done(abi.OK)
-					})
+			// The destination's ancestors may exist only in the lower
+			// layer (or nowhere in upper): materialize them before the
+			// upper-layer rename.
+			o.ensureUpperDirs(newp, func(err abi.Errno) {
+				if err != abi.OK {
+					done(err)
 					return
 				}
-				done(err)
+				o.upper.Rename(oldp, newp, func(err abi.Errno) {
+					if err == abi.OK {
+						o.lower.Stat(oldp, func(_ abi.Stat, lerr abi.Errno) {
+							if lerr == abi.OK {
+								o.deleted[oldp] = true
+							}
+							delete(o.deleted, newp)
+							done(abi.OK)
+						})
+						return
+					}
+					done(err)
+				})
 			})
 		}
 		o.upper.Stat(oldp, func(_ abi.Stat, uerr abi.Errno) {

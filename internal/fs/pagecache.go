@@ -1,0 +1,389 @@
+package fs
+
+import (
+	"strings"
+
+	"repro/internal/abi"
+)
+
+// The page cache fronts slow backends (httpfs, zipfs, overlay lower
+// layers): file contents are cached in PageSize granules keyed by
+// canonical path, with sequential readahead. Opening a read-only file on
+// a cacheable backend returns a pagedHandle whose backend handle is
+// opened *lazily* — a fully cached file is re-opened and re-read without
+// a single backend call.
+//
+// Invalidation rides the same hooks as the dentry cache: any mutating
+// operation on a path drops its pages.
+
+// PageSize is the page-cache granule.
+const PageSize = 16 * 1024
+
+// maxPageCacheBytes bounds cached content; overflow clears the cache
+// (crude, deterministic — the workloads fit comfortably).
+const maxPageCacheBytes = 64 << 20
+
+// DefaultReadaheadPages is the sequential readahead window.
+const DefaultReadaheadPages = 4
+
+type filePages struct {
+	pages map[int64][]byte // page index -> content (short page = EOF page)
+	bytes int64
+}
+
+type pageCache struct {
+	files map[string]*filePages
+	bytes int64
+
+	// gens tracks an invalidation generation per path. A pagedHandle
+	// captures the generation at open; once a write (or copy-up, or
+	// unlink+recreate) bumps it, the stale handle bypasses the cache
+	// and reads through its own backend handle — the handle keeps
+	// POSIX fd semantics, and it can never plant pages for the file
+	// the path *now* names. epoch is folded into every generation so
+	// that clearing the map (size bound) stales ALL outstanding
+	// handles instead of reviving previously-staled ones.
+	gens  map[string]uint64
+	epoch uint64
+
+	hits, misses, readaheads int64
+}
+
+func newPageCache() *pageCache {
+	return &pageCache{files: map[string]*filePages{}, gens: map[string]uint64{}}
+}
+
+func (c *pageCache) gen(p string) uint64 { return c.epoch<<32 | c.gens[p] }
+
+func (c *pageCache) file(p string) *filePages {
+	fp := c.files[p]
+	if fp == nil {
+		fp = &filePages{pages: map[int64][]byte{}}
+		c.files[p] = fp
+	}
+	return fp
+}
+
+func (c *pageCache) store(p string, pageIdx int64, data []byte) {
+	if c.bytes+int64(len(data)) > maxPageCacheBytes {
+		clear(c.files)
+		c.bytes = 0
+	}
+	fp := c.file(p)
+	if old, ok := fp.pages[pageIdx]; ok {
+		fp.bytes -= int64(len(old))
+		c.bytes -= int64(len(old))
+	}
+	fp.pages[pageIdx] = data
+	fp.bytes += int64(len(data))
+	c.bytes += int64(len(data))
+}
+
+func (c *pageCache) drop(p string) {
+	if fp, ok := c.files[p]; ok {
+		c.bytes -= fp.bytes
+		delete(c.files, p)
+	}
+	if len(c.gens) >= maxDentries {
+		clear(c.gens)
+		c.epoch++ // every outstanding handle goes stale, none revive
+	}
+	c.gens[p]++
+}
+
+func (c *pageCache) dropTree(p string) {
+	c.drop(p)
+	prefix := p
+	if prefix != "/" {
+		prefix += "/"
+	}
+	for k, fp := range c.files {
+		if strings.HasPrefix(k, prefix) {
+			c.bytes -= fp.bytes
+			delete(c.files, k)
+			c.gens[k]++
+		}
+	}
+}
+
+// flush drops all cached pages and advances the epoch: handles opened
+// before the flush (possibly against a backend a new Mount has since
+// shadowed) go permanently stale and bypass the cache.
+func (c *pageCache) flush() {
+	clear(c.files)
+	c.bytes = 0
+	c.epoch++
+}
+
+// pageCacheable lets a backend opt in to (or out of) page caching; the
+// default is caching read-only backends only. OverlayFS opts in: its
+// reads may come from a slow lower layer, and its writes all pass through
+// the VFS invalidation hooks.
+type pageCacheable interface {
+	PageCacheable() bool
+}
+
+func cacheableBackend(b Backend) bool {
+	if pc, ok := b.(pageCacheable); ok {
+		return pc.PageCacheable()
+	}
+	return b.ReadOnly()
+}
+
+// pagedHandle is a read-only FileHandle served from the page cache. The
+// backend handle behind it is opened on first miss and memoized; size and
+// stat are snapshots from open time (the handle is read-only, and writers
+// going through the VFS invalidate the pages, not the open snapshot).
+type pagedHandle struct {
+	fs   *FileSystem
+	path string // canonical VFS path (page-cache key)
+	st   abi.Stat
+	gen  uint64                               // page-cache generation at open
+	open func(cb func(FileHandle, abi.Errno)) // lazy backend open
+
+	inner   FileHandle
+	lastEnd int64 // end offset of the previous read (sequential detector)
+	raBusy  bool  // one readahead in flight per handle
+}
+
+// current reports whether the handle may use the page cache: a bumped
+// generation means the path was mutated (or renamed over) since open,
+// and this handle may be bound to a different file than the path names.
+func (h *pagedHandle) current() bool { return h.fs.pc.gen(h.path) == h.gen }
+
+func (h *pagedHandle) ensureInner(cb func(FileHandle, abi.Errno)) {
+	if h.inner != nil {
+		cb(h.inner, abi.OK)
+		return
+	}
+	h.open(func(fh FileHandle, err abi.Errno) {
+		if err == abi.OK {
+			h.inner = fh
+		}
+		cb(fh, err)
+	})
+}
+
+// cachedRange assembles [off, end) from cached pages; ok is false on any
+// missing page. A short page marks EOF: assembly stops there.
+func (h *pagedHandle) cachedRange(off, end int64) ([]byte, bool) {
+	fp := h.fs.pc.files[h.path]
+	if fp == nil {
+		return nil, false
+	}
+	out := make([]byte, 0, end-off)
+	for pos := off; pos < end; {
+		idx := pos / PageSize
+		page, okp := fp.pages[idx]
+		if !okp {
+			return nil, false
+		}
+		pstart := idx * PageSize
+		lo := pos - pstart
+		if lo >= int64(len(page)) {
+			break // EOF inside this page
+		}
+		hi := end - pstart
+		if hi > int64(len(page)) {
+			hi = int64(len(page))
+		}
+		out = append(out, page[lo:hi]...)
+		if int64(len(page)) < PageSize && pstart+int64(len(page)) < end {
+			break // short page = end of file
+		}
+		pos = pstart + hi
+	}
+	return out, true
+}
+
+// storeRange splits backend data read at page-aligned start into pages.
+func (h *pagedHandle) storeRange(start int64, data []byte) {
+	for o := int64(0); o < int64(len(data)); o += PageSize {
+		end := o + PageSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		page := make([]byte, end-o)
+		copy(page, data[o:end])
+		h.fs.pc.store(h.path, (start+o)/PageSize, page)
+	}
+}
+
+// Pread implements FileHandle: serve from pages, fill on miss with one
+// page-aligned backend read, then kick sequential readahead. EOF comes
+// from short backend reads (reflected as short cached pages), never from
+// the open-time size snapshot — the file may have grown since.
+func (h *pagedHandle) Pread(off int64, n int, cb func([]byte, abi.Errno)) {
+	if off < 0 || n <= 0 {
+		cb(nil, abi.OK)
+		return
+	}
+	if !h.current() {
+		// Stale handle: read straight through its own backend handle.
+		h.ensureInner(func(fh FileHandle, err abi.Errno) {
+			if err != abi.OK {
+				cb(nil, err)
+				return
+			}
+			fh.Pread(off, n, cb)
+		})
+		return
+	}
+	end := off + int64(n)
+	sequential := off == h.lastEnd
+	if data, ok := h.cachedRange(off, end); ok {
+		h.fs.pc.hits++
+		h.lastEnd = off + int64(len(data))
+		if sequential {
+			h.readahead(end)
+		}
+		cb(data, abi.OK)
+		return
+	}
+	h.fs.pc.misses++
+	astart := (off / PageSize) * PageSize
+	aend := ((end + PageSize - 1) / PageSize) * PageSize
+	h.ensureInner(func(fh FileHandle, err abi.Errno) {
+		if err != abi.OK {
+			cb(nil, err)
+			return
+		}
+		fh.Pread(astart, int(aend-astart), func(data []byte, err abi.Errno) {
+			if err != abi.OK {
+				cb(nil, err)
+				return
+			}
+			if h.current() { // the path may have been mutated mid-read
+				h.storeRange(astart, data)
+			}
+			lo := off - astart
+			if lo > int64(len(data)) {
+				lo = int64(len(data))
+			}
+			hi := end - astart
+			if hi > int64(len(data)) {
+				hi = int64(len(data))
+			}
+			out := make([]byte, hi-lo)
+			copy(out, data[lo:hi])
+			h.lastEnd = off + int64(len(out))
+			if sequential {
+				h.readahead(end)
+			}
+			cb(out, abi.OK)
+		})
+	})
+}
+
+// readahead prefetches the next window of pages after end. Completion is
+// fire-and-forget: the pages land in the cache whenever the backend
+// delivers them.
+func (h *pagedHandle) readahead(end int64) {
+	window := int64(h.fs.readaheadPages)
+	if window <= 0 || h.raBusy || end >= h.st.Size || !h.current() {
+		return
+	}
+	start := ((end + PageSize - 1) / PageSize) * PageSize
+	fp := h.fs.pc.file(h.path)
+	for start < h.st.Size {
+		if _, ok := fp.pages[start/PageSize]; !ok {
+			break
+		}
+		start += PageSize
+	}
+	if start >= h.st.Size {
+		return
+	}
+	raEnd := start + window*PageSize
+	if raEnd > h.st.Size {
+		raEnd = h.st.Size
+	}
+	h.raBusy = true
+	h.ensureInner(func(fh FileHandle, err abi.Errno) {
+		if err != abi.OK {
+			h.raBusy = false
+			return
+		}
+		fh.Pread(start, int(raEnd-start), func(data []byte, err abi.Errno) {
+			h.raBusy = false
+			if err != abi.OK || !h.current() {
+				return
+			}
+			h.fs.pc.readaheads++
+			h.storeRange(start, data)
+		})
+	})
+}
+
+// Preadv implements FileHandle: one cache-assembled (or backend) read,
+// returned as a single segment — callers scatter it themselves.
+func (h *pagedHandle) Preadv(off int64, lens []int, cb func([][]byte, abi.Errno)) {
+	genericPreadv(h, off, lens, cb)
+}
+
+// Pwrite implements FileHandle. The handle is read-only in practice, but
+// the old layer delegated stray writes to the backend; keep that, and
+// drop the pages first so the cache can never serve stale bytes.
+func (h *pagedHandle) Pwrite(off int64, data []byte, cb func(int, abi.Errno)) {
+	h.fs.invalidatePath(h.path)
+	h.ensureInner(func(fh FileHandle, err abi.Errno) {
+		if err != abi.OK {
+			cb(0, err)
+			return
+		}
+		fh.Pwrite(off, data, func(n int, err abi.Errno) {
+			h.fs.invalidatePath(h.path)
+			cb(n, err)
+		})
+	})
+}
+
+// Pwritev implements FileHandle.
+func (h *pagedHandle) Pwritev(off int64, bufs [][]byte, cb func(int, abi.Errno)) {
+	h.fs.invalidatePath(h.path)
+	h.ensureInner(func(fh FileHandle, err abi.Errno) {
+		if err != abi.OK {
+			cb(0, err)
+			return
+		}
+		fh.Pwritev(off, bufs, func(n int, err abi.Errno) {
+			h.fs.invalidatePath(h.path)
+			cb(n, err)
+		})
+	})
+}
+
+// Stat implements FileHandle: the open-time snapshot (read-only handle).
+func (h *pagedHandle) Stat(cb func(abi.Stat, abi.Errno)) {
+	if h.inner != nil {
+		h.inner.Stat(cb)
+		return
+	}
+	cb(h.st, abi.OK)
+}
+
+// Truncate implements FileHandle (delegates; invalidates around it).
+func (h *pagedHandle) Truncate(size int64, cb func(abi.Errno)) {
+	h.fs.invalidatePath(h.path)
+	h.ensureInner(func(fh FileHandle, err abi.Errno) {
+		if err != abi.OK {
+			cb(err)
+			return
+		}
+		fh.Truncate(size, func(err abi.Errno) {
+			h.fs.invalidatePath(h.path)
+			cb(err)
+		})
+	})
+}
+
+// Close implements FileHandle.
+func (h *pagedHandle) Close(cb func(abi.Errno)) {
+	if h.inner != nil {
+		inner := h.inner
+		h.inner = nil
+		inner.Close(cb)
+		return
+	}
+	cb(abi.OK)
+}

@@ -109,12 +109,9 @@ func (h *HostProc) charge(bytes int64) {
 	h.sim.Charge(h.cost.DirectSyscallNs + bytes/8)
 }
 
-func (h *HostProc) abs(p string) string {
-	if len(p) > 0 && p[0] == '/' {
-		return fs.Clean(p)
-	}
-	return fs.Clean(h.cwd + "/" + p)
-}
+// abs resolves a process-relative path against the cwd, preserving
+// trailing-slash semantics (fs.Abs).
+func (h *HostProc) abs(p string) string { return fs.Abs(h.cwd, p) }
 
 // Host file-system operations complete synchronously (host images are
 // in-memory); completeErr guards that assumption.
@@ -447,14 +444,21 @@ func (h *HostProc) Getdents(fd int) ([]abi.Dirent, abi.Errno) {
 }
 
 func (h *HostProc) Chdir(path string) abi.Errno {
-	st, err := h.Stat(path)
+	h.charge(0)
+	var rp string
+	var st abi.Stat
+	var err abi.Errno = -9999
+	h.fsys.Resolve(h.abs(path), func(p string, s abi.Stat, e abi.Errno) { rp, st, err = p, s, e })
+	if err == -9999 {
+		panic("rt: host chdir did not complete synchronously")
+	}
 	if err != abi.OK {
 		return err
 	}
 	if !st.IsDir() {
 		return abi.ENOTDIR
 	}
-	h.cwd = h.abs(path)
+	h.cwd = rp // walker-resolved canonical path
 	return abi.OK
 }
 

@@ -11,9 +11,11 @@ import (
 
 // Differential proof for the shell case studies: the asynchronous
 // transport, the scalar synchronous transport, and the ring transport run
-// the same pipelines to byte-identical results. The sync instances stage
-// the coreutils on a synchronous runtime (wasm) so every utility syscall
-// travels the path under test.
+// the same pipelines to byte-identical results — and for each transport,
+// the VFS caches (dentry + page cache behind the namei walker) change
+// nothing observable: cache-on and cache-off runs are byte-identical too.
+// The sync instances stage the coreutils on a synchronous runtime (wasm)
+// so every utility syscall travels the path under test.
 
 // installWasmCoreutils restages /usr/bin with sync-runtime builds.
 func installWasmCoreutils(t *testing.T, in *browsix.Instance) {
@@ -41,6 +43,12 @@ func TestShellCaseStudiesIdenticalAcrossTransports(t *testing.T) {
 		"echo hello vectored world | tee /out.txt | wc -w",
 		"ls /usr/bin",
 		"env",
+		// Symlinks through the per-component walker: a relative target
+		// resolved against its directory, then read back through it.
+		"ln -s fruit.txt /data/link",
+		"readlink /data/link",
+		"cat /data/link",
+		"ls /data",
 	}
 	type result struct {
 		stdouts []string
@@ -48,10 +56,11 @@ func TestShellCaseStudiesIdenticalAcrossTransports(t *testing.T) {
 		out     string
 		ring    int64
 	}
-	run := func(name string, sync bool, disableRing bool) result {
+	run := func(name string, sync, disableRing, caches bool) result {
 		in := browsix.Boot(browsix.Config{})
 		browsix.InstallBase(in)
 		in.Kernel.DisableRing = disableRing
+		in.FS.SetCaching(caches)
 		if sync {
 			installWasmCoreutils(t, in)
 		}
@@ -78,9 +87,9 @@ func TestShellCaseStudiesIdenticalAcrossTransports(t *testing.T) {
 		return r
 	}
 
-	async := run("async", false, false)
-	scalar := run("sync-scalar", true, true)
-	ring := run("sync-ring", true, false)
+	async := run("async", false, false, true)
+	scalar := run("sync-scalar", true, true, true)
+	ring := run("sync-ring", true, false, true)
 
 	if scalar.ring != 0 {
 		t.Errorf("scalar instance used the ring (%d calls)", scalar.ring)
@@ -104,5 +113,34 @@ func TestShellCaseStudiesIdenticalAcrossTransports(t *testing.T) {
 	}
 	if async.apples != "apple\napple pie\n" {
 		t.Errorf("apples.txt content %q", async.apples)
+	}
+	if got := async.stdouts[7]; got != "fruit.txt\n" {
+		t.Errorf("readlink output %q", got)
+	}
+	if got := async.stdouts[8]; got != "banana\napple\ncherry\napple pie\n" {
+		t.Errorf("cat-through-symlink output %q", got)
+	}
+
+	// Cache-off runs for every transport: the VFS caches must be purely
+	// an optimization — bytes identical everywhere.
+	for _, cold := range []struct {
+		name        string
+		sync        bool
+		disableRing bool
+		warm        result
+	}{
+		{"async-nocache", false, false, async},
+		{"sync-scalar-nocache", true, true, scalar},
+		{"sync-ring-nocache", true, false, ring},
+	} {
+		got := run(cold.name, cold.sync, cold.disableRing, false)
+		for i, cmd := range cmds {
+			if got.stdouts[i] != cold.warm.stdouts[i] {
+				t.Errorf("%s %q: cache-off %q != cache-on %q", cold.name, cmd, got.stdouts[i], cold.warm.stdouts[i])
+			}
+		}
+		if got.apples != cold.warm.apples || got.out != cold.warm.out {
+			t.Errorf("%s: file contents diverged between cache modes", cold.name)
+		}
 	}
 }
