@@ -1,26 +1,46 @@
 // Package browsix is the public API of this Browsix reproduction: a
 // deterministic, in-process simulation of the paper's system — a Unix
 // kernel running on the browser main thread, processes on Web Workers,
-// and the web-application-facing APIs of §4.1 (Boot, kernel.system,
-// socket notifications, and an XMLHttpRequest-like interface to
-// in-browser servers).
+// and the web-application-facing APIs of §4.1 grown into an idiomatic Go
+// surface.
 //
-// Quickstart:
+// Two pillars:
 //
-//	inst := browsix.Boot(browsix.Config{})
-//	browsix.InstallBase(inst)                       // coreutils + /bin/sh
-//	inst.WriteFile("/greeting.txt", []byte("hello from browsix\n"))
-//	res := inst.RunCommand("cat /greeting.txt")
-//	fmt.Print(string(res.Stdout))
+//   - Process handles. Start(Spec) launches a program with argv,
+//     environment, working directory, and standard input, and returns a
+//     *Process whose Wait, Signal, and live Stdout/Stderr streams drive
+//     the simulation on demand:
 //
-// Time inside the instance is virtual and fully deterministic; RunCommand
-// and the other *Sync helpers drive the simulation until the operation
-// completes. See EXPERIMENTS.md for how virtual time is calibrated to the
+//     inst := browsix.Boot(browsix.Config{})
+//     browsix.InstallBase(inst)
+//     p, _ := inst.Start(browsix.Spec{
+//     Argv:  []string{"/bin/sh", "-c", "cat /greeting.txt | wc -c"},
+//     Stdin: strings.NewReader(""),
+//     })
+//     out, _ := io.ReadAll(p.Stdout())
+//     code, _ := p.Wait()
+//
+//   - A Go-native file system facade. Instance.FS() returns a view
+//     implementing io/fs.FS, fs.ReadDirFS, fs.StatFS, fs.ReadFileFS and
+//     fs.GlobFS over the kernel's VFS (memfs, zipfs, httpfs, overlay —
+//     whatever is mounted), plus write-side extensions (WriteFile,
+//     MkdirAll, Remove, Rename, Symlink):
+//
+//     inst.FS().WriteFile("greeting.txt", []byte("hello\n"), 0o644)
+//     data, _ := fs.ReadFile(inst.FS(), "greeting.txt")
+//
+// Every synchronous helper posts its work to the simulated browser main
+// thread (where the kernel lives) and drives the simulation until the
+// operation completes, so plain straight-line Go code interacts with the
+// CPS kernel underneath. Time inside the instance is virtual and fully
+// deterministic; see EXPERIMENTS.md for how it is calibrated to the
 // paper's measurements.
+//
+// The pre-redesign helpers (RunCommand, System, Instance.WriteFile, ...)
+// remain as thin deprecated shims over Start and FS().
 package browsix
 
 import (
-	"fmt"
 	"strings"
 
 	"repro/internal/abi"
@@ -28,7 +48,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/coreutils"
 	"repro/internal/fs"
-	"repro/internal/httpx"
 	"repro/internal/netsim"
 	"repro/internal/rt"
 	"repro/internal/sched"
@@ -52,8 +71,10 @@ type Instance struct {
 	Sim     *sched.Sim
 	Browser *browser.System
 	Kernel  *core.Kernel
-	FS      *fs.FileSystem
-	Net     *netsim.Net
+	// VFS is the kernel-side mount table (CPS API). Web applications
+	// should prefer the synchronous io/fs facade returned by FS().
+	VFS *fs.FileSystem
+	Net *netsim.Net
 }
 
 // Boot creates a browser page with a Browsix kernel, an empty in-memory
@@ -78,7 +99,7 @@ func Boot(cfg Config) *Instance {
 		Sim:     sim,
 		Browser: sys,
 		Kernel:  k,
-		FS:      fsys,
+		VFS:     fsys,
 		Net:     netsim.New(sim),
 	}
 }
@@ -98,13 +119,53 @@ func (in *Instance) RunUntil(cond func() bool) bool { return in.Sim.RunUntil(con
 // Now returns current virtual time in nanoseconds (max across contexts).
 func (in *Instance) Now() int64 { return in.Sim.Now() }
 
+// drive is the one synchronous-helper primitive: it posts fn to the
+// browser main thread and runs the simulation until fn reports
+// completion via the done callback it is handed. Every *Sync convenience
+// in the package funnels through it, so main-thread scheduling is
+// uniform. It reports false when the simulation quiesced without fn
+// completing (a deadlock).
+func (in *Instance) drive(fn func(done func())) bool {
+	finished := false
+	in.Main(func() { fn(func() { finished = true }) })
+	return in.Sim.RunUntil(func() bool { return finished })
+}
+
+// Kill sends a signal to a process (the LaTeX editor's cancel button).
+// It may be called from host code or from inside a Main event.
+func (in *Instance) Kill(pid, sig int) Errno {
+	if in.Sim.Cur() != nil {
+		// Already inside a simulator event (a Main callback, an
+		// OnListen notification, ...): call straight into the kernel.
+		// Nesting a drive() here would re-enter the scheduler and
+		// clear the enclosing event's context.
+		return in.Kernel.Kill(pid, sig)
+	}
+	var out Errno = -1
+	if !in.drive(func(done func()) {
+		out = in.Kernel.Kill(pid, sig)
+		done()
+	}) {
+		return abi.ESRCH
+	}
+	return out
+}
+
+// OnListen registers a socket notification (§4.1): cb fires when a
+// process starts listening on port.
+func (in *Instance) OnListen(port int, cb func(port int)) {
+	in.Main(func() { in.Kernel.OnPortListen(port, cb) })
+}
+
 // ---------------------------------------------------------------------------
-// Process control (Figure 4's kernel.system plus conveniences).
+// Deprecated process helpers, re-layered over Start (see process.go).
 // ---------------------------------------------------------------------------
 
 // System invokes a command line with streaming stdout/stderr callbacks and
 // an exit callback — the API of Figure 4. It must run on the main thread;
-// call it inside Main() or use RunCommand for the synchronous form.
+// call it inside Main() or use Start/RunCommand for the synchronous forms.
+//
+// Deprecated: use Start, which carries env, cwd, and stdin.
 func (in *Instance) System(cmdline string, onExit func(pid, code int), onStdout, onStderr func([]byte)) {
 	in.Kernel.System(cmdline, onExit, onStdout, onStderr)
 }
@@ -119,73 +180,78 @@ type CommandResult struct {
 }
 
 // RunCommand runs a command line to completion, driving the simulation.
+// Launch failures surface as exit code 127, like system(3).
+//
+// Deprecated: use Start(Spec) and Process.Wait, which report launch
+// errors and deadlocks as errors instead of panicking. This shim keeps
+// the historical panic-on-deadlock behaviour.
 func (in *Instance) RunCommand(cmdline string) CommandResult {
 	var res CommandResult
-	done := false
 	start := in.Browser.Main.Now()
-	in.Main(func() {
-		in.Kernel.System(cmdline,
-			func(pid, code int) {
-				res.Pid, res.Code = pid, code
-				res.Elapsed = in.Browser.Main.Now() - start
-				done = true
-			},
-			func(b []byte) { res.Stdout = append(res.Stdout, b...) },
-			func(b []byte) { res.Stderr = append(res.Stderr, b...) })
-	})
-	if !in.Sim.RunUntil(func() bool { return done }) {
-		panic(fmt.Sprintf("browsix: RunCommand(%q) deadlocked; blocked ctxs: %v",
-			cmdline, in.Sim.BlockedCtxs()))
+	p, err := in.Start(Spec{Argv: core.SplitCmdline(cmdline)})
+	if err != nil {
+		if dl, ok := err.(*ErrDeadlock); ok {
+			panic("browsix: RunCommand(" + cmdline + ") deadlocked; blocked ctxs: " + dl.ctxList())
+		}
+		res.Code = 127
+		res.Elapsed = in.Browser.Main.Now() - start
+		return res
 	}
-	in.Sim.Run() // drain output pumps
+	code, werr := p.Wait()
+	if dl, ok := werr.(*ErrDeadlock); ok {
+		panic("browsix: RunCommand(" + cmdline + ") deadlocked; blocked ctxs: " + dl.ctxList())
+	}
+	res.Pid, res.Code = p.Pid, code
+	res.Stdout = p.stdout.take()
+	res.Stderr = p.stderr.take()
+	res.Elapsed = in.Browser.Main.Now() - start
 	return res
 }
 
-// Kill sends a signal to a process (the LaTeX editor's cancel button).
-func (in *Instance) Kill(pid, sig int) Errno { return in.Kernel.Kill(pid, sig) }
-
-// OnListen registers a socket notification (§4.1): cb fires when a
-// process starts listening on port.
-func (in *Instance) OnListen(port int, cb func(port int)) {
-	in.Main(func() { in.Kernel.OnPortListen(port, cb) })
-}
-
 // ---------------------------------------------------------------------------
-// File-system conveniences (driving the CPS kernel FS synchronously).
+// Deprecated file-system conveniences, re-layered over the FS() facade.
 // ---------------------------------------------------------------------------
 
 // WriteFile stages a file, creating parent directories.
+//
+// Deprecated: use FS().WriteFile (or MkdirAll + WriteFile) for io/fs
+// semantics and error values.
 func (in *Instance) WriteFile(path string, data []byte) Errno {
 	var out Errno = -1
-	dir := posixDir(path)
-	in.FS.MkdirAll(dir, 0o755, func(err Errno) {
-		if err != abi.OK {
-			out = err
-			return
-		}
-		in.FS.WriteFile(path, data, 0o644, func(err Errno) { out = err })
+	in.drive(func(done func()) {
+		in.VFS.MkdirAll(posixDir(path), 0o755, func(err Errno) {
+			if err != abi.OK {
+				out = err
+				done()
+				return
+			}
+			in.VFS.WriteFile(path, data, 0o644, func(err Errno) { out = err; done() })
+		})
 	})
-	in.Sim.RunUntil(func() bool { return out != -1 })
 	return out
 }
 
 // ReadFile slurps a file (driving any lazy network fetch it needs).
+//
+// Deprecated: use FS().ReadFile.
 func (in *Instance) ReadFile(path string) ([]byte, Errno) {
 	var data []byte
 	var out Errno = -1
-	in.Main(func() {
-		in.FS.ReadFile(path, func(b []byte, err Errno) { data, out = b, err })
+	in.drive(func(done func()) {
+		in.VFS.ReadFile(path, func(b []byte, err Errno) { data, out = b, err; done() })
 	})
-	in.Sim.RunUntil(func() bool { return out != -1 })
 	return data, out
 }
 
 // Stat stats a path.
+//
+// Deprecated: use FS().Stat.
 func (in *Instance) Stat(path string) (abi.Stat, Errno) {
 	var st abi.Stat
 	var out Errno = -1
-	in.FS.Stat(path, func(s abi.Stat, err Errno) { st, out = s, err })
-	in.Sim.RunUntil(func() bool { return out != -1 })
+	in.drive(func(done func()) {
+		in.VFS.Stat(path, func(s abi.Stat, err Errno) { st, out = s, err; done() })
+	})
 	return st, out
 }
 
@@ -198,110 +264,6 @@ func posixDir(p string) string {
 }
 
 // ---------------------------------------------------------------------------
-// The XMLHttpRequest-like API (§4.1): HTTP to in-Browsix servers over
-// kernel-side sockets.
-// ---------------------------------------------------------------------------
-
-// HTTPResponse is the result of Fetch/FetchSync.
-type HTTPResponse struct {
-	Status int
-	Header map[string]string
-	Body   []byte
-}
-
-// Fetch sends an HTTP request to an in-Browsix socket server listening on
-// port, invoking cb with the parsed response (or a 0 status on failure).
-// It encapsulates connecting a Browsix socket, serializing the request,
-// and parsing the (possibly chunked) response — §4.1.
-func (in *Instance) Fetch(method string, port int, path string, body []byte, cb func(HTTPResponse)) {
-	in.Main(func() {
-		in.Kernel.Connect(port, func(conn *core.KernelConn, err Errno) {
-			if err != abi.OK {
-				cb(HTTPResponse{Status: 0})
-				return
-			}
-			raw := httpx.WriteRequest(&httpx.Request{Method: method, Path: path, Body: body})
-			conn.Write(raw, func(_ int, werr Errno) {
-				if werr != abi.OK {
-					conn.Close()
-					cb(HTTPResponse{Status: 0})
-					return
-				}
-				in.readHTTPResponse(conn, cb)
-			})
-		})
-	})
-}
-
-// readHTTPResponse accumulates the whole response then parses it (the
-// kernel side is CPS; parse over the buffered bytes).
-func (in *Instance) readHTTPResponse(conn *core.KernelConn, cb func(HTTPResponse)) {
-	var buf []byte
-	var loop func()
-	loop = func() {
-		conn.Read(16*1024, func(b []byte, err Errno) {
-			if err != abi.OK || len(b) == 0 {
-				conn.Close()
-				off := 0
-				resp, perr := httpx.ReadResponse(func(n int) ([]byte, Errno) {
-					if off >= len(buf) {
-						return nil, abi.OK
-					}
-					end := off + n
-					if end > len(buf) {
-						end = len(buf)
-					}
-					out := buf[off:end]
-					off = end
-					return out, abi.OK
-				})
-				if perr != abi.OK {
-					cb(HTTPResponse{Status: 0})
-					return
-				}
-				cb(HTTPResponse{Status: resp.Status, Header: resp.Header, Body: resp.Body})
-				return
-			}
-			buf = append(buf, b...)
-			loop()
-		})
-	}
-	loop()
-}
-
-// FetchSync is Fetch driving the simulation to completion.
-func (in *Instance) FetchSync(method string, port int, path string, body []byte) HTTPResponse {
-	var resp HTTPResponse
-	done := false
-	in.Fetch(method, port, path, body, func(r HTTPResponse) { resp = r; done = true })
-	if !in.Sim.RunUntil(func() bool { return done }) {
-		panic("browsix: FetchSync deadlocked")
-	}
-	return resp
-}
-
-// FetchRemote sends the same logical request to a netsim remote host —
-// the cloud path of the meme generator's dynamic routing.
-func (in *Instance) FetchRemote(host, method, path string, body []byte, cb func(HTTPResponse)) {
-	in.Main(func() {
-		in.Net.Fetch(host, netsim.Request{Method: method, Path: path, Body: body}, func(r netsim.Response) {
-			cb(HTTPResponse{Status: r.Status, Header: r.Header, Body: r.Body})
-		})
-	})
-}
-
-// FetchRemoteSync drives FetchRemote to completion.
-func (in *Instance) FetchRemoteSync(host, method, path string, body []byte) HTTPResponse {
-	var resp HTTPResponse
-	done := false
-	in.FetchRemote(host, method, path, body, func(r HTTPResponse) { resp = r; done = true })
-	if !in.Sim.RunUntil(func() bool { return done }) {
-		panic("browsix: FetchRemoteSync deadlocked")
-	}
-	return resp
-}
-
-// ---------------------------------------------------------------------------
 // Image staging.
 // ---------------------------------------------------------------------------
 
@@ -309,15 +271,10 @@ func (in *Instance) FetchRemoteSync(host, method, path string, body []byte) HTTP
 // §5.1.2 in /usr/bin, the dash shell (Emterpreter runtime, as compiled in
 // the paper) at /bin/sh and /bin/dash, plus the usual directory skeleton.
 func InstallBase(in *Instance) {
-	mkdir := func(p string) {
-		in.FS.MkdirAll(p, 0o755, func(err Errno) {
-			if err != abi.OK {
-				panic("browsix: install " + p + ": " + err.String())
-			}
-		})
-	}
-	for _, d := range []string{"/bin", "/usr/bin", "/tmp", "/etc", "/home"} {
-		mkdir(d)
+	for _, d := range []string{"bin", "usr/bin", "tmp", "etc", "home"} {
+		if err := in.FS().MkdirAll(d, 0o755); err != nil {
+			panic("browsix: install /" + d + ": " + err.Error())
+		}
 	}
 	image := map[string][]byte{}
 	for _, name := range coreutils.Names() {
@@ -330,11 +287,10 @@ func InstallBase(in *Instance) {
 	rt.InstallExecutable(image, "/bin/sh", "sh", rt.EmAsyncKind)
 	rt.InstallExecutable(image, "/bin/dash", "dash", rt.EmAsyncKind)
 	image["/etc/motd"] = []byte("Browsix (Go reproduction) — Unix in your browser\n")
+	fsv := in.FS()
 	for p, data := range image {
-		var done Errno = -1
-		in.FS.WriteFile(p, data, 0o755, func(err Errno) { done = err })
-		if done != abi.OK {
-			panic("browsix: staging " + p + " failed: " + done.String())
+		if err := fsv.WriteFile(strings.TrimPrefix(p, "/"), data, 0o755); err != nil {
+			panic("browsix: staging " + p + " failed: " + err.Error())
 		}
 	}
 	_ = shell.Main // ensure the shell package is linked (programs register via init)

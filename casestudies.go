@@ -3,8 +3,6 @@ package browsix
 import (
 	"strings"
 
-	"repro/internal/abi"
-	"repro/internal/core"
 	"repro/internal/fs"
 	"repro/internal/meme"
 	"repro/internal/netsim"
@@ -62,7 +60,7 @@ func InstallTexProject(in *Instance, cfg tex.TreeConfig, mode TexMode, docTex, d
 	}
 	overlay := fs.NewOverlayFS(fs.NewMemFS(clock), httpfs)
 	mustMkdirAll(in, "/usr/local")
-	in.FS.Mount(tex.TexRoot, overlay)
+	in.VFS.Mount(tex.TexRoot, overlay)
 
 	texKind := rt.EmSyncKind
 	if mode == TexAsync {
@@ -82,11 +80,21 @@ func InstallTexProject(in *Instance, cfg tex.TreeConfig, mode TexMode, docTex, d
 	return httpfs
 }
 
-// BuildPDF is the editor's "Build PDF" button: run make in /proj,
-// capturing output; returns exit code and combined log.
+// BuildPDF is the editor's "Build PDF" button: run make in /proj through
+// the process-handle API, capturing output; returns exit code and
+// combined log.
 func (in *Instance) BuildPDF() (int, string) {
-	res := in.RunCommand("/bin/sh -c 'cd /proj && make'")
-	return res.Code, string(res.Stdout) + string(res.Stderr)
+	p, err := in.Start(Spec{Argv: []string{"/usr/bin/make"}, Dir: "/proj"})
+	if err != nil {
+		return 127, err.Error()
+	}
+	code, werr := p.Wait()
+	if werr != nil {
+		return 127, werr.Error()
+	}
+	out := p.stdout.take()
+	errOut := p.stderr.take()
+	return code, string(out) + string(errOut)
 }
 
 // MemeHostName is the remote meme server of §5.2's comparison.
@@ -108,23 +116,18 @@ func InstallMeme(in *Instance, rttNs int64) {
 }
 
 // StartMemeServer launches the in-Browsix server and waits (via the
-// socket-notification API) until it is listening.
+// socket-notification API) until it is listening, returning its pid.
 func (in *Instance) StartMemeServer() int {
 	listening := false
-	var pid int
 	in.OnListen(meme.Port, func(int) { listening = true })
-	in.Main(func() {
-		in.Kernel.System("/usr/bin/meme-server", func(p, code int) {}, nil, nil)
-	})
+	p, err := in.Start(Spec{Argv: []string{"/usr/bin/meme-server"}})
+	if err != nil {
+		panic("browsix: meme server: " + err.Error())
+	}
 	if !in.Sim.RunUntil(func() bool { return listening }) {
 		panic("browsix: meme server never listened")
 	}
-	for _, t := range in.Kernel.Tasks() {
-		if strings.Contains(t.Path, "meme-server") {
-			pid = t.Pid
-		}
-	}
-	return pid
+	return p.Pid
 }
 
 // MemeRoute decides where a generation request goes: the paper's policy
@@ -149,71 +152,86 @@ func (in *Instance) GenerateMeme(route string, body []byte) HTTPResponse {
 // Terminal (§5.1.2).
 // ---------------------------------------------------------------------------
 
-// Terminal drives an interactive dash session, the Browsix terminal case
-// study.
+// Terminal drives an interactive dash session — the Browsix terminal
+// case study, layered on the Start(Spec{Interactive: true}) handle. The
+// shell's output is routed into the terminal's own buffers (Spec sinks),
+// so external reads on the process handle cannot disturb Exec's
+// prompt-tracking.
 type Terminal struct {
-	in      *Instance
-	console *core.Console
-	stdout  []byte
-	stderr  []byte
-	exited  bool
-	Code    int
+	in     *Instance
+	proc   *Process
+	stdout strings.Builder
+	stderr strings.Builder
 }
 
-// NewTerminal starts /bin/dash reading from a console pipe.
+// NewTerminal starts /bin/dash reading from an interactive stdin.
 func (in *Instance) NewTerminal() *Terminal {
 	t := &Terminal{in: in}
-	in.Main(func() {
-		t.console = in.Kernel.SystemInteractive("/bin/dash",
-			func(pid, code int) { t.exited = true; t.Code = code },
-			func(b []byte) { t.stdout = append(t.stdout, b...) },
-			func(b []byte) { t.stderr = append(t.stderr, b...) })
+	p, err := in.Start(Spec{
+		Argv:        []string{"/bin/dash"},
+		Dir:         "/",
+		Interactive: true,
+		Stdout:      &t.stdout,
+		Stderr:      &t.stderr,
 	})
+	if err != nil {
+		panic("browsix: terminal: " + err.Error())
+	}
+	t.proc = p
 	// Wait for the first prompt.
-	in.Sim.RunUntil(func() bool { return strings.Contains(string(t.stderr), "$ ") || t.exited })
+	in.Sim.RunUntil(func() bool { return strings.Contains(t.stderr.String(), "$ ") || p.Exited() })
 	return t
 }
+
+// Process returns the underlying process handle (pid, Signal, Wait).
+// Its output streams are empty: the terminal's sinks receive them.
+func (t *Terminal) Process() *Process { return t.proc }
 
 // Exec types one line into the shell and returns the stdout it produced,
 // running the simulation until the next prompt (or shell exit).
 func (t *Terminal) Exec(line string) string {
-	mark := len(t.stdout)
-	prompts := strings.Count(string(t.stderr), "$ ")
-	t.in.Main(func() { t.console.WriteStdin([]byte(line + "\n")) })
+	mark := t.stdout.Len()
+	prompts := strings.Count(t.stderr.String(), "$ ")
+	t.proc.WriteStdin([]byte(line + "\n"))
 	t.in.Sim.RunUntil(func() bool {
-		return t.exited || strings.Count(string(t.stderr), "$ ") > prompts
+		return t.proc.Exited() || strings.Count(t.stderr.String(), "$ ") > prompts
 	})
-	return string(t.stdout[mark:])
+	return t.stdout.String()[mark:]
 }
 
 // Close ends the session (EOF on stdin) and waits for exit.
 func (t *Terminal) Close() int {
-	t.in.Main(func() { t.console.CloseStdin() })
-	t.in.Sim.RunUntil(func() bool { return t.exited })
-	t.in.Sim.Run()
-	return t.Code
+	t.proc.CloseStdin()
+	code, err := t.proc.Wait()
+	if err != nil {
+		panic(err.Error())
+	}
+	return code
 }
 
 // Exited reports whether the shell has exited.
-func (t *Terminal) Exited() bool { return t.exited }
+func (t *Terminal) Exited() bool { return t.proc.Exited() }
+
+// Code returns the shell's exit code once exited.
+func (t *Terminal) Code() int { return t.proc.ExitCode() }
 
 // ---------------------------------------------------------------------------
 // staging helpers
 // ---------------------------------------------------------------------------
 
 func mustMkdirAll(in *Instance, p string) {
-	in.FS.MkdirAll(p, 0o755, func(err Errno) {
-		if err != abi.OK {
-			panic("browsix: mkdir " + p + ": " + err.String())
-		}
-	})
+	name := strings.TrimPrefix(p, "/")
+	if name == "" {
+		return // "/" always exists
+	}
+	if err := in.FS().MkdirAll(name, 0o755); err != nil {
+		panic("browsix: mkdir " + p + ": " + err.Error())
+	}
 }
 
 func mustWrite(in *Instance, p string, data []byte) {
-	var out Errno = -1
-	in.FS.WriteFile(p, data, 0o644, func(err Errno) { out = err })
-	if out != abi.OK {
-		panic("browsix: write " + p + ": " + out.String())
+	if err := in.FS().WriteFile(strings.TrimPrefix(p, "/"), data, 0o644); err != nil {
+		panic("browsix: write " + p + ": " + err.Error())
 	}
 }
 

@@ -55,14 +55,31 @@ func main() {
 
 	exit := 0
 	run := func(line string) {
-		res := inst.RunCommand(line)
-		os.Stdout.Write(res.Stdout)
-		os.Stderr.Write(res.Stderr)
-		if res.Code != 0 {
-			fmt.Fprintf(os.Stderr, "[exit %d, %.2f virtual ms]\n", res.Code, float64(res.Elapsed)/1e6)
-			exit = res.Code
+		// Process-handle API: host stdout/stderr are live sinks, so
+		// output streams as the guest produces it.
+		start := inst.Now()
+		p, err := inst.Start(browsix.Spec{
+			Argv:   browsix.SplitCmdline(line),
+			Stdout: os.Stdout,
+			Stderr: os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "browsix: %v\n", err)
+			exit = 127
+			return
+		}
+		code, werr := p.Wait()
+		elapsed := float64(inst.Now()-start) / 1e6
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "browsix: %v\n", werr)
+			exit = 1
+			return
+		}
+		if code != 0 {
+			fmt.Fprintf(os.Stderr, "[exit %d, %.2f virtual ms]\n", code, elapsed)
+			exit = code
 		} else {
-			fmt.Fprintf(os.Stderr, "[ok, %.2f virtual ms]\n", float64(res.Elapsed)/1e6)
+			fmt.Fprintf(os.Stderr, "[ok, %.2f virtual ms]\n", elapsed)
 		}
 	}
 
@@ -88,7 +105,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "syscalls: %d async, %d sync (%d via ring, %d batched), %d signals\n",
 			inst.Kernel.AsyncSyscalls, inst.Kernel.SyncSyscalls,
 			inst.Kernel.RingSyscalls, inst.Kernel.RingBatchedCalls, inst.Kernel.SignalsDelivered)
-		fmt.Fprintf(os.Stderr, "mounts: %v\n", inst.FS.Mounts())
+		fmt.Fprintf(os.Stderr, "mounts: %v\n", inst.VFS.Mounts())
 	}
 	os.Exit(exit)
 }

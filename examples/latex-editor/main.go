@@ -39,8 +39,8 @@ func main() {
 	for _, line := range strings.Split(strings.TrimSpace(buildLog), "\n") {
 		fmt.Println("  make |", line)
 	}
-	pdf, err := inst.ReadFile("/proj/main.pdf")
-	if err != abi.OK {
+	pdf, err := inst.FS().ReadFile("proj/main.pdf")
+	if err != nil {
 		log.Fatalf("reading PDF: %v", err)
 	}
 	fmt.Printf("built main.pdf: %d bytes in %.2f virtual s\n", len(pdf), float64(elapsed)/1e9)
@@ -56,32 +56,34 @@ func main() {
 
 	// --- Edit and rebuild ---------------------------------------------
 	fmt.Println("\n[user edits main.tex, rebuilds]")
-	src, _ := inst.ReadFile("/proj/main.tex")
-	inst.WriteFile("/proj/main.tex", append(src, []byte("\nA freshly added paragraph.\n")...))
+	fsys := inst.FS()
+	src, _ := fsys.ReadFile("proj/main.tex")
+	fsys.WriteFile("proj/main.tex", append(src, []byte("\nA freshly added paragraph.\n")...), 0o644)
 	code, _ = inst.BuildPDF()
-	pdf2, _ := inst.ReadFile("/proj/main.pdf")
+	pdf2, _ := fsys.ReadFile("proj/main.pdf")
 	fmt.Printf("  exit=%d, PDF grew %d -> %d bytes\n", code, len(pdf), len(pdf2))
 
-	// --- Cancel: SIGKILL the build ------------------------------------
+	// --- Cancel: signal the build's process handle --------------------
 	fmt.Println("\n[user clicks Build, then Cancel]")
-	inst.WriteFile("/proj/main.tex", append(src, []byte("\nAnother edit forces work.\n")...))
-	done := false
-	cancelled := -1
-	inst.Main(func() {
-		inst.Kernel.System("/bin/sh -c 'cd /proj && make'",
-			func(pid, c int) { cancelled = c; done = true }, nil, nil)
-	})
-	var makePid int
+	fsys.WriteFile("proj/main.tex", append(src, []byte("\nAnother edit forces work.\n")...), 0o644)
+	build, err := inst.Start(browsix.Spec{Argv: []string{"/usr/bin/make"}, Dir: "/proj"})
+	if err != nil {
+		log.Fatalf("start build: %v", err)
+	}
+	// Let the build get under way, then cancel it.
 	inst.RunUntil(func() bool {
 		for _, task := range inst.Kernel.Tasks() {
-			if strings.Contains(task.Path, "make") {
-				makePid = task.Pid
+			if strings.Contains(task.Path, "pdflatex") {
 				return true
 			}
 		}
-		return done
+		return build.Exited()
 	})
-	inst.Main(func() { inst.Kill(makePid, abi.SIGKILL) })
-	inst.RunUntil(func() bool { return done })
+	if !build.Exited() {
+		if serr := build.Signal(abi.SIGKILL); serr != nil {
+			log.Fatalf("cancel: %v", serr)
+		}
+	}
+	cancelled, _ := build.Wait()
 	fmt.Printf("  build cancelled, exit code %d (128+SIGKILL)\n", cancelled)
 }

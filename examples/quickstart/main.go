@@ -1,14 +1,15 @@
-// Quickstart: boot a Browsix instance, stage a file, run a Unix pipeline
-// through the in-browser kernel, and read the results back — the minimum
-// end-to-end trip through the public API.
+// Quickstart: boot a Browsix instance, stage a file through the io/fs
+// facade, run a Unix pipeline via a process handle, and read the results
+// back — the minimum end-to-end trip through the public API.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"strings"
 
 	browsix "repro"
-	"repro/internal/abi"
 )
 
 func main() {
@@ -18,24 +19,47 @@ func main() {
 	// and dash (Emscripten/Emterpreter runtime) on the PATH.
 	browsix.InstallBase(inst)
 
-	// Stage some input through the web-app file API.
-	if err := inst.WriteFile("/data/fruit.txt",
-		[]byte("banana\napple\ncherry\napple pie\n")); err != abi.OK {
+	// Stage some input through the Go-native file-system facade: an
+	// io/fs.FS (plus write extensions) over the kernel's VFS.
+	fsys := inst.FS()
+	if err := fsys.MkdirAll("data", 0o755); err != nil {
+		log.Fatalf("mkdir: %v", err)
+	}
+	if err := fsys.WriteFile("data/fruit.txt",
+		[]byte("banana\napple\ncherry\napple pie\n"), 0o644); err != nil {
 		log.Fatalf("staging: %v", err)
 	}
 
 	// The paper's flagship interaction (§5.1.2): compose processes with
-	// pipes, through a real shell, all "in the browser".
-	res := inst.RunCommand("cat /data/fruit.txt | grep apple | sort | tee /data/apples.txt | wc -l")
-	if res.Code != 0 {
-		log.Fatalf("pipeline failed (%d): %s", res.Code, res.Stderr)
+	// pipes, through a real shell, all "in the browser". Start returns a
+	// live process handle; its stdout stream and Wait drive the
+	// deterministic simulation on demand.
+	start := inst.Now()
+	p, err := inst.Start(browsix.Spec{
+		Argv:  []string{"/bin/sh", "-c", "cat /data/fruit.txt | grep apple | sort | tee /data/apples.txt | wc -l"},
+		Stdin: strings.NewReader(""), // explicit empty stdin
+	})
+	if err != nil {
+		log.Fatalf("start: %v", err)
 	}
-	fmt.Printf("pipeline stdout: %s", res.Stdout)
+	out, _ := io.ReadAll(p.Stdout())
+	code, err := p.Wait()
+	if err != nil {
+		log.Fatalf("wait: %v", err)
+	}
+	if code != 0 {
+		errOut, _ := io.ReadAll(p.Stderr())
+		log.Fatalf("pipeline failed (%d): %s", code, errOut)
+	}
+	fmt.Printf("pipeline stdout: %s", out)
 	fmt.Printf("pipeline took %.2f virtual ms across %d processes\n",
-		float64(res.Elapsed)/1e6, 5)
+		float64(inst.Now()-start)/1e6, 5)
 
-	out, _ := inst.ReadFile("/data/apples.txt")
-	fmt.Printf("apples.txt:\n%s", out)
+	// Read results back with plain io/fs calls.
+	apples, _ := fsys.ReadFile("data/apples.txt")
+	fmt.Printf("apples.txt:\n%s", apples)
+	matches, _ := fsys.Glob("data/*.txt")
+	fmt.Printf("staged files: %v\n", matches)
 
 	// Processes, signals, syscalls — the kernel keeps score.
 	fmt.Printf("async syscalls handled: %d\n", inst.Kernel.AsyncSyscalls)

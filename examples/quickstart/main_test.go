@@ -1,36 +1,63 @@
 package main
 
 import (
+	"errors"
+	"io"
+	"io/fs"
 	"strings"
 	"testing"
 
 	browsix "repro"
-	"repro/internal/abi"
 )
 
 // Smoke test replicating the quickstart flow (boot → InstallBase → stage
-// a file → shell pipeline → read results back) with assertions, so the
-// example's end-to-end path is exercised by `go test`.
+// through the io/fs facade → Start a shell pipeline → read results back)
+// with assertions, so the example's end-to-end path is exercised by
+// `go test`.
 func TestQuickstartFlow(t *testing.T) {
 	inst := browsix.Boot(browsix.Config{})
 	browsix.InstallBase(inst)
 
-	if err := inst.WriteFile("/data/fruit.txt",
-		[]byte("banana\napple\ncherry\napple pie\n")); err != abi.OK {
+	fsys := inst.FS()
+	if err := fsys.MkdirAll("data", 0o755); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	if err := fsys.WriteFile("data/fruit.txt",
+		[]byte("banana\napple\ncherry\napple pie\n"), 0o644); err != nil {
 		t.Fatalf("staging: %v", err)
 	}
 
-	res := inst.RunCommand("cat /data/fruit.txt | grep apple | sort | tee /data/apples.txt | wc -l")
-	if res.Code != 0 {
-		t.Fatalf("pipeline exited %d: %s", res.Code, res.Stderr)
+	p, err := inst.Start(browsix.Spec{
+		Argv:  []string{"/bin/sh", "-c", "cat /data/fruit.txt | grep apple | sort | tee /data/apples.txt | wc -l"},
+		Stdin: strings.NewReader(""),
+	})
+	if err != nil {
+		t.Fatalf("start: %v", err)
 	}
-	if got := strings.TrimSpace(string(res.Stdout)); got != "2" {
+	out, rerr := io.ReadAll(p.Stdout())
+	if rerr != nil {
+		t.Fatalf("stdout: %v", rerr)
+	}
+	code, werr := p.Wait()
+	if werr != nil || code != 0 {
+		t.Fatalf("pipeline exited %d (%v)", code, werr)
+	}
+	if got := strings.TrimSpace(string(out)); got != "2" {
 		t.Fatalf("wc -l printed %q, want 2", got)
 	}
 
-	out, err := inst.ReadFile("/data/apples.txt")
-	if err != abi.OK || string(out) != "apple\napple pie\n" {
-		t.Fatalf("apples.txt = %q (%v)", out, err)
+	apples, err := fsys.ReadFile("data/apples.txt")
+	if err != nil || string(apples) != "apple\napple pie\n" {
+		t.Fatalf("apples.txt = %q (%v)", apples, err)
+	}
+
+	// The facade is a real io/fs.FS: stdlib helpers work against it.
+	matches, err := fs.Glob(fsys, "data/*.txt")
+	if err != nil || len(matches) != 2 {
+		t.Fatalf("glob = %v (%v)", matches, err)
+	}
+	if _, err := fsys.ReadFile("data/missing.txt"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file: %v", err)
 	}
 
 	if inst.Kernel.AsyncSyscalls == 0 {

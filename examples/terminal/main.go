@@ -15,10 +15,13 @@ import (
 func main() {
 	inst := browsix.Boot(browsix.Config{})
 	browsix.InstallBase(inst)
-	inst.WriteFile("/home/notes.txt", []byte("apple\nbanana\napple pie\ncherry\n"))
+	inst.FS().WriteFile("home/notes.txt", []byte("apple\nbanana\napple pie\ncherry\n"), 0o644)
 
+	// The terminal is an interactive process handle underneath:
+	// Start(Spec{Interactive: true}) keeps stdin open and Exec types
+	// into it line by line.
 	term := inst.NewTerminal()
-	fmt.Println("browsix terminal — dash running as a Browsix process")
+	fmt.Printf("browsix terminal — dash running as Browsix pid %d\n", term.Process().Pid)
 
 	session := []string{
 		"echo hello from dash",

@@ -484,7 +484,7 @@ func (k *Kernel) doSignalAction(t *Task, sig int, action int) abi.Errno {
 }
 
 // ---------------------------------------------------------------------------
-// The web-application API (§4.1, Figure 4): kernel.system().
+// The web-application API (§4.1, Figure 4): process launch.
 // ---------------------------------------------------------------------------
 
 // Console exposes the stdin pipe of an interactively-launched process
@@ -502,42 +502,68 @@ func (c *Console) WriteStdin(data []byte) {
 	c.stdin.Write(c.desc, data, func(int, abi.Errno) {})
 }
 
+// WriteStdinCB is WriteStdin with a completion callback, fired once every
+// byte is buffered in the pipe — the backpressure point the public API's
+// stdin pump paces itself against.
+func (c *Console) WriteStdinCB(data []byte, cb func(int, abi.Errno)) {
+	c.stdin.Write(c.desc, data, cb)
+}
+
 // CloseStdin delivers EOF.
 func (c *Console) CloseStdin() {
 	c.stdin.Close(func(abi.Errno) {})
 }
 
-// System launches a command line as a Browsix process with fresh stdout
-// and stderr pipes pumped to the supplied callbacks, invoking onExit with
-// the process's pid and exit code when it finishes — the API in Figure 4.
-// Command lines containing shell metacharacters run under /bin/sh -c.
-func (k *Kernel) System(cmdline string, onExit func(pid, code int), onStdout, onStderr func([]byte)) {
-	k.system(cmdline, nil, onExit, onStdout, onStderr)
+// ProcSpec describes a process launch through the web-application API:
+// the kernel-level counterpart of the public Start(Spec) surface. Unlike
+// the legacy kernel.system entry points, it carries the full POSIX launch
+// context — argv, environment, working directory, and a live stdin.
+type ProcSpec struct {
+	// Argv is the argument vector; Argv[0] is resolved against the
+	// environment's PATH when it contains no slash.
+	Argv []string
+	// Env is the child environment; nil selects the default environment.
+	Env []string
+	// Dir is the working directory; "" means "/".
+	Dir string
+	// KeepStdin keeps standard input open: the Console returned by
+	// StartProcess writes to it. When false the child sees immediate EOF.
+	KeepStdin bool
+	// OnStart reports the spawn outcome: the child pid, or the errno that
+	// prevented the launch (in which case no other callback ever fires).
+	OnStart func(pid int, err abi.Errno)
+	// OnExit fires when the process exits, with its pid and exit code
+	// (128+signal for signal deaths).
+	OnExit func(pid, code int)
+	// OnStdout/OnStderr stream output as it is produced; a final call
+	// with an empty slice signals EOF on that stream.
+	OnStdout, OnStderr func([]byte)
 }
 
-// SystemInteractive is System with standard input kept open; the returned
-// Console writes to it. It backs the terminal case study (§5.1.2).
-func (k *Kernel) SystemInteractive(cmdline string, onExit func(pid, code int), onStdout, onStderr func([]byte)) *Console {
-	c := &Console{k: k}
-	k.system(cmdline, c, onExit, onStdout, onStderr)
-	return c
-}
-
-func (k *Kernel) system(cmdline string, console *Console, onExit func(pid, code int), onStdout, onStderr func([]byte)) {
-	var argv []string
-	if strings.ContainsAny(cmdline, "|&;<>$`()*?\"'") {
-		argv = []string{"/bin/sh", "-c", cmdline}
-	} else {
-		argv = strings.Fields(cmdline)
+// StartProcess launches a process per spec with fresh stdout/stderr pipes
+// pumped to the supplied callbacks. It generalizes Figure 4's
+// kernel.system: env, cwd, and an open stdin travel through the same
+// spawn path every transport shares.
+func (k *Kernel) StartProcess(spec ProcSpec) *Console {
+	console := &Console{k: k}
+	if len(spec.Argv) == 0 {
+		if spec.OnStart != nil {
+			spec.OnStart(0, abi.ENOENT)
+		}
+		return console
 	}
-	if len(argv) == 0 {
-		onExit(0, 127)
-		return
+	env := spec.Env
+	if env == nil {
+		env = defaultEnv()
+	}
+	dir := spec.Dir
+	if dir == "" {
+		dir = "/"
 	}
 
 	stdinR, stdinW := NewPipePair()
-	if console != nil {
-		console.stdin = stdinW
+	console.stdin = stdinW
+	if spec.KeepStdin {
 		console.desc = NewDesc(stdinW, abi.O_WRONLY, "pipe:console")
 	} else {
 		stdinW.Close(func(abi.Errno) {}) // empty stdin: immediate EOF
@@ -550,47 +576,119 @@ func (k *Kernel) system(cmdline string, console *Console, onExit func(pid, code 
 		1: NewDesc(outW, abi.O_WRONLY, "pipe:stdout"),
 		2: NewDesc(errW, abi.O_WRONLY, "pipe:stderr"),
 	}
-	k.pumpPipe(outR, onStdout)
-	k.pumpPipe(errR, onStderr)
+	k.pumpPipe(outR, spec.OnStdout)
+	k.pumpPipe(errR, spec.OnStderr)
 
-	k.lookPath(argv[0], func(path string) {
-		k.Spawn(nil, SpawnSpec{Path: path, Args: argv, Env: defaultEnv(), Cwd: "/", Files: files}, func(pid int, err abi.Errno) {
+	argv := spec.Argv
+	k.lookPath(argv[0], env, func(path string) {
+		k.Spawn(nil, SpawnSpec{Path: path, Args: argv, Env: env, Cwd: fs.Clean(dir), Files: files}, func(pid int, err abi.Errno) {
 			// Drop the kernel's references so the child holds the only
 			// ones; EOF propagates when it exits.
 			for _, d := range files {
 				d.Unref(func(abi.Errno) {})
 			}
 			if err != abi.OK {
-				onExit(0, 127)
+				if spec.OnStart != nil {
+					spec.OnStart(0, err)
+				}
 				return
 			}
-			if console != nil {
-				console.Pid = pid
-			}
+			console.Pid = pid
 			t := k.tasks[pid]
 			t.onExit = append(t.onExit, func(status int) {
 				code := abi.WEXITSTATUS(status)
 				if abi.WIFSIGNALED(status) {
 					code = 128 + abi.WTERMSIG(status)
 				}
-				onExit(pid, code)
+				if spec.OnExit != nil {
+					spec.OnExit(pid, code)
+				}
 			})
+			if spec.OnStart != nil {
+				spec.OnStart(pid, abi.OK)
+			}
 		})
+	})
+	return console
+}
+
+// SplitCmdline turns a command line into the argv StartProcess expects:
+// lines containing shell metacharacters run under /bin/sh -c, anything
+// else is split on whitespace.
+func SplitCmdline(cmdline string) []string {
+	if strings.ContainsAny(cmdline, "|&;<>$`()*?\"'") {
+		return []string{"/bin/sh", "-c", cmdline}
+	}
+	return strings.Fields(cmdline)
+}
+
+// System launches a command line as a Browsix process with streaming
+// stdout/stderr callbacks — the API in Figure 4, now a thin wrapper over
+// StartProcess.
+//
+// Deprecated: use StartProcess (or the public browsix.Instance.Start),
+// which carries env, cwd, and stdin and reports spawn errors precisely.
+func (k *Kernel) System(cmdline string, onExit func(pid, code int), onStdout, onStderr func([]byte)) {
+	k.system(cmdline, false, onExit, onStdout, onStderr)
+}
+
+// SystemInteractive is System with standard input kept open; the returned
+// Console writes to it. It backs the terminal case study (§5.1.2).
+//
+// Deprecated: use StartProcess with KeepStdin.
+func (k *Kernel) SystemInteractive(cmdline string, onExit func(pid, code int), onStdout, onStderr func([]byte)) *Console {
+	return k.system(cmdline, true, onExit, onStdout, onStderr)
+}
+
+func (k *Kernel) system(cmdline string, keepStdin bool, onExit func(pid, code int), onStdout, onStderr func([]byte)) *Console {
+	drop := func(cb func([]byte)) func([]byte) {
+		if cb == nil {
+			return nil
+		}
+		// Legacy callbacks never saw the empty EOF marker.
+		return func(b []byte) {
+			if len(b) > 0 {
+				cb(b)
+			}
+		}
+	}
+	return k.StartProcess(ProcSpec{
+		Argv:      SplitCmdline(cmdline),
+		KeepStdin: keepStdin,
+		OnStart: func(pid int, err abi.Errno) {
+			if err != abi.OK {
+				onExit(0, 127) // legacy contract: launch failure looks like exit 127
+			}
+		},
+		OnExit:   onExit,
+		OnStdout: drop(onStdout),
+		OnStderr: drop(onStderr),
 	})
 }
 
-// lookPath resolves a bare command name against the default PATH (the
-// shell does its own lookup; this covers direct kernel.system commands).
-func (k *Kernel) lookPath(name string, cb func(path string)) {
+// lookPath resolves a bare command name against the environment's PATH
+// (the shell does its own lookup; this covers direct kernel launches).
+func (k *Kernel) lookPath(name string, env []string, cb func(path string)) {
 	if strings.Contains(name, "/") {
 		cb(name)
 		return
 	}
-	dirs := []string{"/usr/bin", "/bin"}
+	path := "/usr/bin:/bin"
+	for _, kv := range env {
+		if strings.HasPrefix(kv, "PATH=") {
+			path = kv[len("PATH="):]
+			break
+		}
+	}
+	dirs := strings.Split(path, ":")
 	var try func(i int)
 	try = func(i int) {
 		if i >= len(dirs) {
 			cb(name)
+			return
+		}
+		if dirs[i] == "" {
+			try(i + 1)
 			return
 		}
 		cand := dirs[i] + "/" + name
@@ -611,7 +709,8 @@ func defaultEnv() []string {
 }
 
 // pumpPipe streams a kernel-held pipe read end to a callback until EOF,
-// then closes it.
+// then closes it. EOF is signalled by a final cb(nil) call so stream
+// consumers can distinguish "no more output" from "none yet".
 func (k *Kernel) pumpPipe(readEnd File, cb func([]byte)) {
 	d := NewDesc(readEnd, abi.O_RDONLY, "pipe:pump")
 	var loop func()
@@ -619,6 +718,9 @@ func (k *Kernel) pumpPipe(readEnd File, cb func([]byte)) {
 		readEnd.Read(d, 32*1024, func(data []byte, err abi.Errno) {
 			if err != abi.OK || len(data) == 0 {
 				readEnd.Close(func(abi.Errno) {})
+				if cb != nil {
+					cb(nil)
+				}
 				return
 			}
 			if cb != nil {

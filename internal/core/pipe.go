@@ -24,7 +24,7 @@ const PipeCap = 64 * 1024
 // reader — so a shell pipeline's payload is copied once (into the
 // destination heap) instead of at every pipe crossing.
 type Pipe struct {
-	id          int
+	id           int
 	segs         [][]byte // owned buffers, FIFO
 	size         int      // total buffered bytes across segs
 	readWaiters  []pipeRead
@@ -180,6 +180,14 @@ func (p *Pipe) writeOwned(bufs [][]byte, cb func(int, abi.Errno)) {
 
 func (p *Pipe) enqueueWrite(bufs [][]byte, owned bool, cb func(int, abi.Errno)) {
 	if p.readClosed {
+		cb(0, abi.EPIPE)
+		return
+	}
+	if p.writeClosed {
+		// The write side already delivered EOF (CloseWrite); accepting
+		// more data would smuggle bytes past the EOF the reader was
+		// promised. Only kernel-held ends (a Console whose stdin was
+		// closed) can reach this; guest descriptors are gone at close.
 		cb(0, abi.EPIPE)
 		return
 	}

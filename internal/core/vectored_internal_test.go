@@ -19,12 +19,12 @@ func TestVectoredRejectsOutOfRangeIovecs(t *testing.T) {
 	d := NewDesc(w, abi.O_WRONLY, "w")
 
 	bad := [][]abi.Iovec{
-		{{Ptr: 4090, Len: 100}},           // runs past the heap
-		{{Ptr: -8, Len: 16}},              // negative pointer
-		{{Ptr: 0, Len: -1}},               // negative length
-		{{Ptr: 1 << 40, Len: 16}},         // pointer past the heap
-		{{Ptr: 16, Len: 1 << 62}},         // length overflows any sum
-		{{Ptr: (1 << 63) - 9, Len: 16}},   // Ptr+Len wraps negative
+		{{Ptr: 4090, Len: 100}},                  // runs past the heap
+		{{Ptr: -8, Len: 16}},                     // negative pointer
+		{{Ptr: 0, Len: -1}},                      // negative length
+		{{Ptr: 1 << 40, Len: 16}},                // pointer past the heap
+		{{Ptr: 16, Len: 1 << 62}},                // length overflows any sum
+		{{Ptr: (1 << 63) - 9, Len: 16}},          // Ptr+Len wraps negative
 		{{Ptr: 0, Len: 16}, {Ptr: 4096, Len: 1}}, // second iovec bad
 	}
 	for i, iovs := range bad {

@@ -34,17 +34,52 @@ type dentry struct {
 // thousand names).
 const maxDentries = 16384
 
+// maxDirListings bounds the directory-listing tier. Listings are heavier
+// than dentries (whole entry slices), so the budget is smaller.
+const maxDirListings = 2048
+
 type dcache struct {
 	entries map[string]*dentry
 	walks   map[string]walkEnt // only err==OK results
 
+	// dirents caches complete directory listings keyed by canonical
+	// directory path (merged across backends and mount synthesis,
+	// sorted). Invalidated through the same drop/dropTree hooks as the
+	// dentries: every mutating VFS operation drops the affected child
+	// and its parent, which is exactly the listing that changed.
+	dirents map[string][]abi.Dirent
+
 	// Counters for the cache-hit-rate experiments (EXPERIMENTS.md).
 	hits, misses, negHits int64
 	walkHits              int64
+	dirHits, dirMisses    int64
 }
 
 func newDcache() *dcache {
-	return &dcache{entries: map[string]*dentry{}, walks: map[string]walkEnt{}}
+	return &dcache{
+		entries: map[string]*dentry{},
+		walks:   map[string]walkEnt{},
+		dirents: map[string][]abi.Dirent{},
+	}
+}
+
+// getDir returns a cached listing. The returned slice is shared: callers
+// get a fresh copy from putDir's accessor path in fs.go.
+func (c *dcache) getDir(p string) ([]abi.Dirent, bool) {
+	ents, ok := c.dirents[p]
+	if ok {
+		c.dirHits++
+	} else {
+		c.dirMisses++
+	}
+	return ents, ok
+}
+
+func (c *dcache) putDir(p string, ents []abi.Dirent) {
+	if len(c.dirents) >= maxDirListings {
+		clear(c.dirents)
+	}
+	c.dirents[p] = ents
 }
 
 func (c *dcache) get(p string) (*dentry, bool) {
@@ -78,15 +113,20 @@ func (c *dcache) putWalk(key string, e walkEnt) {
 // drop forgets one path. Whole-walk entries are not cleared: a walk hit
 // is validated against its endpoint dentry, so dropping the dentry
 // suffices to stale any walk that ends here — and symlink-traversing
-// walks (whose validity depends on other names) are never cached.
+// walks (whose validity depends on other names) are never cached. The
+// path's directory listing is dropped too: mutating operations drop both
+// the changed child and its parent, which covers the listing that gained
+// or lost an entry.
 func (c *dcache) drop(p string) {
 	delete(c.entries, p)
+	delete(c.dirents, p)
 }
 
 // dropTree forgets a path and everything under it (rename/rmdir of a
 // directory moves or deletes the whole subtree).
 func (c *dcache) dropTree(p string) {
 	delete(c.entries, p)
+	delete(c.dirents, p)
 	prefix := p
 	if prefix != "/" {
 		prefix += "/"
@@ -96,9 +136,15 @@ func (c *dcache) dropTree(p string) {
 			delete(c.entries, k)
 		}
 	}
+	for k := range c.dirents {
+		if strings.HasPrefix(k, prefix) {
+			delete(c.dirents, k)
+		}
+	}
 }
 
 func (c *dcache) flush() {
 	clear(c.entries)
 	clear(c.walks)
+	clear(c.dirents)
 }

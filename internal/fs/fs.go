@@ -138,6 +138,8 @@ type CacheStats struct {
 	DentryMisses  int64 // per-component misses (backend consulted)
 	NegativeHits  int64 // per-component negative (ENOENT) hits
 	WalkHits      int64 // whole-walk fast-path hits
+	ReaddirHits   int64 // cached directory-listing hits
+	ReaddirMisses int64 // directory listings built from backends
 	PageHits      int64 // page-cache read hits
 	PageMisses    int64 // page-cache read misses (backend consulted)
 	ReadaheadOps  int64 // completed readahead backend reads
@@ -152,6 +154,8 @@ func (f *FileSystem) CacheStats() CacheStats {
 		DentryMisses:  f.dc.misses,
 		NegativeHits:  f.dc.negHits,
 		WalkHits:      f.dc.walkHits,
+		ReaddirHits:   f.dc.dirHits,
+		ReaddirMisses: f.dc.dirMisses,
 		PageHits:      f.pc.hits,
 		PageMisses:    f.pc.misses,
 		ReadaheadOps:  f.pc.readaheads,
@@ -390,7 +394,11 @@ func (f *FileSystem) openAt(e walkEnt, flags int, mode uint32, mutates bool, cb 
 
 // Readdir lists a directory, synthesizing entries for mount points at or
 // below it — `ls /` shows /usr even when the only thing under /usr is a
-// mount three levels down and no backend has the directory.
+// mount three levels down and no backend has the directory. Complete
+// listings are cached in the dentry layer (keyed by canonical path) and
+// invalidated by the same hooks every mutating operation already runs,
+// so a stat storm's getdents — or fs.Glob on the public facade — never
+// re-hits a backend while the directory is unchanged.
 func (f *FileSystem) Readdir(p string, cb func([]abi.Dirent, abi.Errno)) {
 	f.walk(p, walkOpts{follow: true}, func(e walkEnt) {
 		if e.err != abi.OK {
@@ -402,6 +410,14 @@ func (f *FileSystem) Readdir(p string, cb func([]abi.Dirent, abi.Errno)) {
 			return
 		}
 		dir := e.path
+		if f.cachesOn {
+			if ents, ok := f.dc.getDir(dir); ok {
+				// Hand out a copy: callers may hold the slice across
+				// later invalidations.
+				cb(append([]abi.Dirent(nil), ents...), abi.OK)
+				return
+			}
+		}
 		e.backend.Readdir(e.rel, func(ents []abi.Dirent, err abi.Errno) {
 			if err != abi.OK {
 				// A synthetic mount ancestor lists nothing but nested
@@ -434,6 +450,9 @@ func (f *FileSystem) Readdir(p string, cb func([]abi.Dirent, abi.Errno)) {
 				}
 			}
 			sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+			if f.cachesOn {
+				f.dc.putDir(dir, append([]abi.Dirent(nil), ents...))
+			}
 			cb(ents, abi.OK)
 		})
 	})
@@ -727,4 +746,3 @@ func genericPreadv(h FileHandle, off int64, lens []int, cb func([][]byte, abi.Er
 		cb([][]byte{data}, abi.OK)
 	})
 }
-

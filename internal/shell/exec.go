@@ -21,6 +21,12 @@ type state struct {
 }
 
 func newState(p posix.Proc, name string, params []string) *state {
+	// Plumb the working directory the kernel launched us with into the
+	// environment, as login shells do: $PWD tracks Getcwd from the start
+	// (the public Start(Spec{Dir: ...}) path makes this observable).
+	if cwd, err := p.Getcwd(); err == abi.OK && p.Getenv("PWD") != cwd {
+		p.Setenv("PWD", cwd)
+	}
 	return &state{p: p, vars: map[string]string{}, name: name, params: params}
 }
 
@@ -550,15 +556,35 @@ func (sh *state) builtin(name string) func(args []string) int {
 
 func (sh *state) builtinCd(args []string) int {
 	dir := sh.p.Getenv("HOME")
+	echo := false
 	if len(args) > 0 {
 		dir = args[0]
+		if dir == "-" {
+			// cd -: previous directory, echoed, as POSIX specifies.
+			dir = sh.p.Getenv("OLDPWD")
+			if dir == "" {
+				posix.Fprintf(sh.p, abi.Stderr, "sh: cd: OLDPWD not set\n")
+				return 1
+			}
+			echo = true
+		}
 	}
 	if dir == "" {
 		dir = "/"
 	}
+	old, _ := sh.p.Getcwd()
 	if err := sh.p.Chdir(dir); err != abi.OK {
 		posix.Fprintf(sh.p, abi.Stderr, "sh: cd: %s: %v\n", dir, err)
 		return 1
+	}
+	// Keep the environment's view of the working directory current for
+	// children ($PWD) and for cd - ($OLDPWD).
+	sh.p.Setenv("OLDPWD", old)
+	if cwd, err := sh.p.Getcwd(); err == abi.OK {
+		sh.p.Setenv("PWD", cwd)
+		if echo {
+			posix.WriteString(sh.p, abi.Stdout, cwd+"\n")
+		}
 	}
 	return 0
 }

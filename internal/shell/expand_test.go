@@ -15,9 +15,10 @@ type expandProc struct {
 	env []string
 }
 
-func (e *expandProc) Getpid() int            { return 42 }
-func (e *expandProc) Getenv(k string) string { return posix.Getenv(e.env, k) }
-func (e *expandProc) Setenv(k, v string)     { e.env = posix.SetEnv(e.env, k, v) }
+func (e *expandProc) Getpid() int                 { return 42 }
+func (e *expandProc) Getenv(k string) string      { return posix.Getenv(e.env, k) }
+func (e *expandProc) Setenv(k, v string)          { e.env = posix.SetEnv(e.env, k, v) }
+func (e *expandProc) Getcwd() (string, abi.Errno) { return "/", abi.OK }
 
 func newExpandState() *state {
 	sh := newState(&expandProc{env: []string{"HOME=/home", "PATH=/usr/bin"}}, "sh", []string{"one", "two"})

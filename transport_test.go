@@ -60,7 +60,7 @@ func TestShellCaseStudiesIdenticalAcrossTransports(t *testing.T) {
 		in := browsix.Boot(browsix.Config{})
 		browsix.InstallBase(in)
 		in.Kernel.DisableRing = disableRing
-		in.FS.SetCaching(caches)
+		in.VFS.SetCaching(caches)
 		if sync {
 			installWasmCoreutils(t, in)
 		}
