@@ -242,6 +242,13 @@ type Dirent struct {
 	Ino  uint64
 }
 
+// DirentChunk is the maximum entries one getdents call returns: large
+// directories stream through continuation calls against the descriptor's
+// cursor instead of materializing the whole listing per call. Sized so a
+// chunk of worst-case names packs into the runtimes' 64 KiB getdents
+// buffer.
+const DirentChunk = 128
+
 // DirentTypeFromMode maps a stat mode to a dirent type.
 func DirentTypeFromMode(mode uint32) int {
 	switch mode & S_IFMT {
@@ -315,6 +322,7 @@ const (
 	SYS_symlink
 	SYS_readv
 	SYS_writev
+	SYS_fsync
 	SYS_max // sentinel
 )
 
@@ -335,7 +343,7 @@ func SyscallName(n int) string {
 		SYS_getcwd: "getcwd", SYS_chdir: "chdir", SYS_socket: "socket",
 		SYS_bind: "bind", SYS_listen: "listen", SYS_accept: "accept",
 		SYS_connect: "connect", SYS_getsockname: "getsockname", SYS_symlink: "symlink",
-		SYS_readv: "readv", SYS_writev: "writev",
+		SYS_readv: "readv", SYS_writev: "writev", SYS_fsync: "fsync",
 	}
 	if n > 0 && n < len(names) && names[n] != "" {
 		return names[n]

@@ -203,6 +203,31 @@ func (r Ring) PushReply(seq uint32, ret int64, errno Errno) bool {
 	return true
 }
 
+// Reply is one completed call of a batch — the unit of the batched-reply
+// framing. When the kernel drains a doorbell it collects every completion
+// that happened inside the batch dispatch and lands them with a single
+// PushReplies pass followed by one wake, instead of a push (and
+// potentially a wake) per call.
+type Reply struct {
+	Seq   uint32
+	Ret   int64
+	Errno Errno
+}
+
+// PushReplies appends as many reply frames as fit, in order, returning
+// the count pushed. Callers queue the remainder (the kernel's overflow
+// list) and retry after the consumer drains.
+func (r Ring) PushReplies(reps []Reply) int {
+	n := 0
+	for _, rep := range reps {
+		if !r.PushReply(rep.Seq, rep.Ret, rep.Errno) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
 // PopReply removes and decodes the next reply frame.
 func (r Ring) PopReply() (seq uint32, ret int64, errno Errno, ok bool) {
 	if r.Used() < ReplyFrameSize {

@@ -38,8 +38,11 @@ type File interface {
 	Seek(d *Desc, off int64, whence int, cb func(int64, abi.Errno))
 	// Stat describes the object.
 	Stat(cb func(abi.Stat, abi.Errno))
-	// Getdents lists entries if this is a directory.
-	Getdents(cb func([]abi.Dirent, abi.Errno))
+	// Getdents streams directory entries if this is a directory: each
+	// call returns the next chunk (at most abi.DirentChunk entries) from
+	// the descriptor's cursor; an empty result marks the end. Large
+	// directories are never materialized into one reply.
+	Getdents(d *Desc, cb func([]abi.Dirent, abi.Errno))
 	// Truncate resizes if this is a regular file.
 	Truncate(size int64, cb func(abi.Errno))
 	// Close releases the object (called once, when the last descriptor
@@ -203,10 +206,36 @@ func (f *fsFile) Seek(d *Desc, off int64, whence int, cb func(int64, abi.Errno))
 	}
 }
 
-func (f *fsFile) Stat(cb func(abi.Stat, abi.Errno))         { f.h.Stat(cb) }
-func (f *fsFile) Getdents(cb func([]abi.Dirent, abi.Errno)) { cb(nil, abi.ENOTDIR) }
-func (f *fsFile) Truncate(size int64, cb func(abi.Errno))   { f.h.Truncate(size, cb) }
-func (f *fsFile) Close(cb func(abi.Errno))                  { f.h.Close(cb) }
+func (f *fsFile) Stat(cb func(abi.Stat, abi.Errno))                  { f.h.Stat(cb) }
+func (f *fsFile) Getdents(d *Desc, cb func([]abi.Dirent, abi.Errno)) { cb(nil, abi.ENOTDIR) }
+func (f *fsFile) Truncate(size int64, cb func(abi.Errno))            { f.h.Truncate(size, cb) }
+func (f *fsFile) Close(cb func(abi.Errno))                           { f.h.Close(cb) }
+
+// Sync implements the optional fsync extension: the write-back barrier —
+// every buffered write for this file is on the backend before cb fires.
+func (f *fsFile) Sync(cb func(abi.Errno)) {
+	if s, ok := f.h.(fs.Syncer); ok {
+		s.Sync(cb)
+		return
+	}
+	cb(abi.OK)
+}
+
+// syncerFile is the optional File extension behind the fsync syscall.
+type syncerFile interface {
+	Sync(cb func(abi.Errno))
+}
+
+// syncFile runs an fsync barrier on any kernel object: files flush their
+// write-back state; objects with no buffered state (pipes, sockets,
+// directories) succeed immediately, as fsync on them does on Unix.
+func syncFile(f File, cb func(abi.Errno)) {
+	if s, ok := f.(syncerFile); ok {
+		s.Sync(cb)
+		return
+	}
+	cb(abi.OK)
+}
 
 // ---------------------------------------------------------------------------
 // Directories. Opening a directory yields a dirFile whose Getdents lists it
@@ -227,9 +256,41 @@ func (f *dirFile) Pwrite(off int64, b []byte, cb func(int, abi.Errno)) {
 	cb(0, abi.EISDIR)
 }
 func (f *dirFile) Truncate(s int64, cb func(abi.Errno)) { cb(abi.EISDIR) }
+
+// Seek supports rewinddir: SEEK_SET repositions the getdents cursor.
 func (f *dirFile) Seek(d *Desc, off int64, w int, cb func(int64, abi.Errno)) {
-	cb(0, abi.OK)
+	if w == abi.SEEK_SET && off >= 0 {
+		d.off = off
+	}
+	cb(d.off, abi.OK)
 }
-func (f *dirFile) Stat(cb func(abi.Stat, abi.Errno))         { f.fs.Stat(f.path, cb) }
-func (f *dirFile) Getdents(cb func([]abi.Dirent, abi.Errno)) { f.fs.Readdir(f.path, cb) }
-func (f *dirFile) Close(cb func(abi.Errno))                  { cb(abi.OK) }
+func (f *dirFile) Stat(cb func(abi.Stat, abi.Errno)) { f.fs.Stat(f.path, cb) }
+
+// Getdents streams the listing in DirentChunk-sized pieces using the
+// descriptor offset as the entry cursor — a TeX Live directory of 10⁵
+// names costs 10⁵/DirentChunk replies, not one reply of 10⁵ records.
+// The listing itself comes from the VFS readdir cache, so continuation
+// calls against an unchanged directory never re-hit a backend. Entries
+// are index-addressed against the current (sorted) listing; mutations
+// between chunks may skip or repeat names, the POSIX-sanctioned
+// getdents weak ordering.
+func (f *dirFile) Getdents(d *Desc, cb func([]abi.Dirent, abi.Errno)) {
+	f.fs.Readdir(f.path, func(ents []abi.Dirent, err abi.Errno) {
+		if err != abi.OK {
+			cb(nil, err)
+			return
+		}
+		off := int(d.off)
+		if off >= len(ents) {
+			cb(nil, abi.OK)
+			return
+		}
+		end := off + abi.DirentChunk
+		if end > len(ents) {
+			end = len(ents)
+		}
+		d.off = int64(end)
+		cb(ents[off:end], abi.OK)
+	})
+}
+func (f *dirFile) Close(cb func(abi.Errno)) { cb(abi.OK) }

@@ -53,6 +53,12 @@ type Kernel struct {
 	// browsers without the fast path).
 	DisableRing bool
 
+	// DisableFSBatch turns off fs-level batching of drained ring frames:
+	// stat runs dispatch frame by frame (the ablation baseline of
+	// BenchmarkBatchedStatStorm). Results are byte-identical either way;
+	// only the number of cache passes changes.
+	DisableFSBatch bool
+
 	ports         map[int]*Socket
 	portWatchers  map[int][]func(int)
 	nextEphemeral int
@@ -68,6 +74,12 @@ type Kernel struct {
 	// the ring saved.
 	RingSyscalls     int64
 	RingBatchedCalls int64
+	// RingNotifies counts process wakes on the ring transport — a drained
+	// doorbell of N calls costs exactly one. FSBatchedCalls counts frames
+	// resolved through the fs-level batch entry point (stat runs handed
+	// to FS.StatBatch as one batch).
+	RingNotifies   int64
+	FSBatchedCalls int64
 }
 
 // NewKernel boots a kernel over the given browser system and file system.

@@ -404,8 +404,8 @@ func (e *pipeEnd) Seek(d *Desc, off int64, w int, cb func(int64, abi.Errno)) {
 func (e *pipeEnd) Stat(cb func(abi.Stat, abi.Errno)) {
 	cb(abi.Stat{Mode: abi.S_IFIFO | 0o600, Size: int64(e.p.Buffered()), Nlink: 1}, abi.OK)
 }
-func (e *pipeEnd) Getdents(cb func([]abi.Dirent, abi.Errno)) { cb(nil, abi.ENOTDIR) }
-func (e *pipeEnd) Truncate(s int64, cb func(abi.Errno))      { cb(abi.EINVAL) }
+func (e *pipeEnd) Getdents(d *Desc, cb func([]abi.Dirent, abi.Errno)) { cb(nil, abi.ENOTDIR) }
+func (e *pipeEnd) Truncate(s int64, cb func(abi.Errno))               { cb(abi.EINVAL) }
 
 func (e *pipeEnd) Close(cb func(abi.Errno)) {
 	if e.reader {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/abi"
+	"repro/internal/fs"
 )
 
 // Kernel side of the shared-memory ring-buffer syscall transport.
@@ -60,34 +61,141 @@ func (k *Kernel) registerRing(t *Task, reqOff, reqLen, repOff, repLen int64) abi
 	return abi.OK
 }
 
-// drainRing services a doorbell: dispatch every queued call frame, then
-// wake the process once if any replies landed.
+// drainRing services a doorbell: pop every queued call frame first, hand
+// the whole batch to the fs-aware batch dispatcher, then land the
+// completions that happened inside the batch with one batched-reply push
+// and wake the process exactly once. Frame-by-frame dispatch (pop one,
+// dispatch one) is gone: a doorbell carrying a stat storm reaches the
+// file system as a single batch.
 func (k *Kernel) drainRing(t *Task) {
 	r := t.ring
 	if r == nil || t.heap == nil || t.state == taskZombie {
 		return
 	}
-	r.draining = true
-	batch := 0
+	var calls []pendingCall
 	for {
 		seq, trap, args, ok := r.req.PopCall()
 		if !ok {
 			break
 		}
-		batch++
 		k.SyncSyscalls++
 		k.RingSyscalls++
 		k.Sys.Sim.Charge(k.CPU.SyscallNs)
 		k.SyscallCount[abi.SyscallName(trap)]++
-		k.dispatchCall(t, trap, args, func(ret int64, err abi.Errno) {
-			k.ringReply(t, seq, ret, err)
-		})
+		calls = append(calls, pendingCall{seq: seq, trap: trap, args: args})
 	}
-	if batch > 1 {
-		k.RingBatchedCalls += int64(batch - 1)
+	if len(calls) > 1 {
+		k.RingBatchedCalls += int64(len(calls) - 1)
 	}
+	r.draining = true
+	var batched []abi.Reply
+	// inBatch is per-invocation, NOT the shared r.draining flag: a call
+	// from THIS drain that blocks may complete during a later drain of
+	// the same ring (a signal handler's interleaved batch unblocking a
+	// parked read); its reply must go through ringReply then, not into
+	// this drain's already-flushed batch slice.
+	inBatch := true
+	k.dispatchBatch(t, calls, func(seq uint32, ret int64, err abi.Errno) {
+		if inBatch {
+			// Completed inside the batch: collect for one framing pass.
+			batched = append(batched, abi.Reply{Seq: seq, Ret: ret, Errno: err})
+			return
+		}
+		// Late completion (the call blocked): reply-and-wake immediately.
+		k.ringReply(t, seq, ret, err)
+	})
+	inBatch = false
 	r.draining = false
+	if len(batched) > 0 && t.ring == r && t.heap != nil && t.state != taskZombie {
+		// Batched-reply framing: every same-dispatch completion lands in
+		// one PushReplies pass; what does not fit queues in arrival order
+		// behind any existing overflow.
+		n := 0
+		if len(r.overflow) == 0 {
+			n = r.rep.PushReplies(batched)
+		}
+		for _, rep := range batched[n:] {
+			r.overflow = append(r.overflow, ringReply{rep.Seq, rep.Ret, rep.Errno})
+		}
+		r.dirty = true
+	}
 	k.flushRingWake(t)
+}
+
+// pendingCall is one popped, not-yet-dispatched ring call frame.
+type pendingCall struct {
+	seq  uint32
+	trap int
+	args []int64
+}
+
+// batchableTrap reports whether a trap joins an fs metadata batch: the
+// path-lookup calls a stat storm is made of.
+func batchableTrap(trap int) bool {
+	switch trap {
+	case abi.SYS_stat, abi.SYS_lstat, abi.SYS_access:
+		return true
+	}
+	return false
+}
+
+// dispatchBatch executes a batch of call frames. Runs of two or more
+// consecutive fs metadata calls resolve through FS.StatBatch — one pass
+// against the dentry cache for the whole run — and everything else goes
+// through the transport-independent dispatchCall. The scalar transport
+// enters here with batch size 1 (dispatchSync), and the async transport
+// reaches the same FS.StatBatch entry point through FS.Stat/Lstat/
+// Access (batches of one), so all three transports execute identical
+// file-system code.
+func (k *Kernel) dispatchBatch(t *Task, calls []pendingCall, done func(seq uint32, ret int64, err abi.Errno)) {
+	i := 0
+	for i < len(calls) {
+		if !k.DisableFSBatch && batchableTrap(calls[i].trap) {
+			j := i + 1
+			for j < len(calls) && batchableTrap(calls[j].trap) {
+				j++
+			}
+			if j-i > 1 {
+				k.dispatchStatRun(t, calls[i:j], done)
+				i = j
+				continue
+			}
+		}
+		c := calls[i]
+		k.dispatchCall(t, c.trap, c.args, func(ret int64, err abi.Errno) {
+			done(c.seq, ret, err)
+		})
+		i++
+	}
+}
+
+// dispatchStatRun decodes a run of stat/lstat/access frames and resolves
+// them with a single FS.StatBatch call.
+func (k *Kernel) dispatchStatRun(t *Task, run []pendingCall, done func(uint32, int64, abi.Errno)) {
+	arg := func(c pendingCall, i int) int64 {
+		if i < len(c.args) {
+			return c.args[i]
+		}
+		return 0
+	}
+	reqs := make([]fs.StatReq, len(run))
+	for i, c := range run {
+		reqs[i] = fs.StatReq{
+			Path:  t.abs(t.heapStr(arg(c, 0), arg(c, 1))),
+			Lstat: c.trap == abi.SYS_lstat,
+		}
+	}
+	k.FSBatchedCalls += int64(len(run))
+	k.FS.StatBatch(reqs, func(sts []abi.Stat, errs []abi.Errno) {
+		for i, c := range run {
+			if errs[i] == abi.OK && c.trap != abi.SYS_access {
+				var buf [abi.StatSize]byte
+				abi.PackStat(buf[:], sts[i])
+				t.heapWrite(arg(c, 2), buf[:])
+			}
+			done(c.seq, 0, errs[i])
+		}
+	})
 }
 
 // ringReply queues one completion into the reply ring. During a drain
@@ -125,6 +233,7 @@ func (k *Kernel) flushRingWake(t *Task) {
 		return
 	}
 	r.dirty = false
+	k.RingNotifies++
 	t.heap.Store32(t.waitOff, 1)
 	k.Sys.FutexNotify(t.heap, t.waitOff, 1)
 }

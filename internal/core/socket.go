@@ -70,8 +70,8 @@ func (s *Socket) Seek(d *Desc, off int64, w int, cb func(int64, abi.Errno)) {
 func (s *Socket) Stat(cb func(abi.Stat, abi.Errno)) {
 	cb(abi.Stat{Mode: abi.S_IFSOCK | 0o600, Nlink: 1}, abi.OK)
 }
-func (s *Socket) Getdents(cb func([]abi.Dirent, abi.Errno)) { cb(nil, abi.ENOTDIR) }
-func (s *Socket) Truncate(sz int64, cb func(abi.Errno))     { cb(abi.EINVAL) }
+func (s *Socket) Getdents(d *Desc, cb func([]abi.Dirent, abi.Errno)) { cb(nil, abi.ENOTDIR) }
+func (s *Socket) Truncate(sz int64, cb func(abi.Errno))              { cb(abi.EINVAL) }
 
 // Close tears the socket down: a listener stops accepting (pending
 // connects are refused), a connected socket half-closes its peer.

@@ -77,12 +77,16 @@ func (c leCursor) putU64(v uint64) {
 }
 
 // dispatchSync decodes and executes a synchronous system call, completing
-// it through the wake-cell reply protocol.
+// it through the wake-cell reply protocol. It routes through the same
+// batch entry point as the ring transport — with batch size 1 — so the
+// scalar path can never diverge from a drained doorbell's behaviour.
 func (k *Kernel) dispatchSync(t *Task, trap int, a []int64) {
 	if t.heap == nil {
 		return // no personality registered; nothing to wake
 	}
-	k.dispatchCall(t, trap, a, func(ret int64, err abi.Errno) { k.syncReply(t, ret, err) })
+	k.dispatchBatch(t, []pendingCall{{trap: trap, args: a}}, func(_ uint32, ret int64, err abi.Errno) {
+		k.syncReply(t, ret, err)
+	})
 }
 
 // dispatchCall decodes and executes a heap-addressed system call. It is
@@ -198,6 +202,13 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 			return
 		}
 		d.file.Truncate(arg(1), func(err abi.Errno) { done(0, err) })
+	case abi.SYS_fsync:
+		d, err := t.lookFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		syncFile(d.file, func(err abi.Errno) { done(0, err) })
 	case abi.SYS_stat, abi.SYS_lstat:
 		statPtr := arg(2)
 		cb := func(st abi.Stat, err abi.Errno) {
@@ -265,13 +276,19 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 			return
 		}
 		bufPtr, bufLen := arg(1), arg(2)
-		d.file.Getdents(func(ents []abi.Dirent, err abi.Errno) {
+		d.file.Getdents(d, func(ents []abi.Dirent, err abi.Errno) {
 			if err != abi.OK {
 				done(-1, err)
 				return
 			}
 			buf := make([]byte, bufLen)
-			n, _ := abi.PackDirents(buf, ents)
+			n, consumed := abi.PackDirents(buf, ents)
+			if consumed < len(ents) {
+				// The guest's buffer was smaller than the chunk: hand the
+				// unpacked tail back to the directory cursor so the next
+				// getdents continues there.
+				d.off -= int64(len(ents) - consumed)
+			}
 			t.heapWrite(bufPtr, buf[:n])
 			done(int64(n), abi.OK)
 		})

@@ -355,6 +355,13 @@ func (k *Kernel) dispatchAsync(t *Task, name string, a []browser.Value, reply fu
 			return
 		}
 		d.file.Truncate(argInt(1), func(err abi.Errno) { reply(int64(0), errv(err)) })
+	case "fsync":
+		d, err := t.lookFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		syncFile(d.file, func(err abi.Errno) { reply(int64(0), errv(err)) })
 	case "fstat":
 		d, err := t.lookFd(int(argInt(0)))
 		if err != abi.OK {
@@ -406,7 +413,7 @@ func (k *Kernel) dispatchAsync(t *Task, name string, a []browser.Value, reply fu
 			reply(int64(-1), errv(err))
 			return
 		}
-		d.file.Getdents(func(ents []abi.Dirent, err abi.Errno) {
+		d.file.Getdents(d, func(ents []abi.Dirent, err abi.Errno) {
 			arr := make([]browser.Value, len(ents))
 			for i, e := range ents {
 				m := abi.DirentToMap(e)
@@ -520,7 +527,7 @@ func SyscallTable() map[string][]string {
 		"Process Metadata":   {"chdir", "getcwd", "getpid", "getppid"},
 		"Sockets":            {"socket", "bind", "getsockname", "listen", "accept", "connect"},
 		"Directory IO":       {"readdir", "getdents", "rmdir", "mkdir"},
-		"File IO":            {"open", "close", "read", "write", "readv", "writev", "unlink", "llseek", "pread", "pwrite", "dup2", "ftruncate", "rename", "symlink"},
+		"File IO":            {"open", "close", "read", "write", "readv", "writev", "unlink", "llseek", "pread", "pwrite", "dup2", "ftruncate", "fsync", "rename", "symlink"},
 		"File Metadata":      {"access", "fstat", "lstat", "stat", "readlink", "utimes"},
 	}
 }

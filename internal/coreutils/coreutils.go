@@ -398,31 +398,42 @@ func lsMain(p posix.Proc) int {
 			rc = fail(p, "%s: %v", target, err)
 			continue
 		}
-		ents, err := p.Getdents(fd)
+		ents, err := posix.ReadDir(p, fd)
 		p.Close(fd)
 		if err != abi.OK {
 			rc = fail(p, "%s: %v", target, err)
 			continue
 		}
 		sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
-		// Collect one fragment per entry and emit the listing as a
-		// single vectored write.
-		var lines []string
+		var names []string
 		for _, e := range ents {
 			if !all && strings.HasPrefix(e.Name, ".") {
 				continue
 			}
 			p.CPU(2_000)
-			if long {
-				// ls -l stats each entry, like the real utility.
-				est, serr := p.Lstat(strings.TrimSuffix(target, "/") + "/" + e.Name)
-				if serr != abi.OK {
+			names = append(names, e.Name)
+		}
+		// Collect one fragment per entry and emit the listing as a
+		// single vectored write.
+		var lines []string
+		if long {
+			// ls -l stats each entry, like the real utility — as one
+			// batched stat storm (a single doorbell on the ring
+			// transport, one dentry-cache pass in the kernel).
+			paths := make([]string, len(names))
+			for i, name := range names {
+				paths[i] = strings.TrimSuffix(target, "/") + "/" + name
+			}
+			ests, serrs := p.StatBatch(paths, true)
+			for i, name := range names {
+				est := ests[i]
+				if serrs[i] != abi.OK {
 					est = abi.Stat{}
 				}
-				lines = append(lines, formatEntry(true, e.Name, est))
-			} else {
-				lines = append(lines, e.Name)
+				lines = append(lines, formatEntry(true, name, est))
 			}
+		} else {
+			lines = names
 		}
 		posix.WriteLines(p, abi.Stdout, lines)
 	}
@@ -569,7 +580,7 @@ func removePath(p posix.Proc, target string, recursive bool) abi.Errno {
 	if err != abi.OK {
 		return err
 	}
-	ents, err := p.Getdents(fd)
+	ents, err := posix.ReadDir(p, fd)
 	p.Close(fd)
 	if err != abi.OK {
 		return err

@@ -53,6 +53,9 @@ type dcache struct {
 	hits, misses, negHits int64
 	walkHits              int64
 	dirHits, dirMisses    int64
+	// Batch-lookup counters: lookups resolved through getWalkBatch's
+	// single pass, and the number of multi-element batches.
+	batchedLookups, statBatches int64
 }
 
 func newDcache() *dcache {
@@ -101,6 +104,47 @@ func (c *dcache) put(p string, d *dentry) {
 		clear(c.entries)
 	}
 	c.entries[p] = d
+}
+
+// getWalkBatch resolves a batch of whole-walk keys against the cache in
+// one pass — the batch lookup path a drained stat storm (a ring doorbell
+// carrying N stat frames for `ls`/`make` probing many names) resolves
+// through. One traversal of the two tiers serves the whole batch: in a
+// threaded implementation this is one lock acquisition per batch instead
+// of one per name. Each hit is validated against its endpoint dentry
+// exactly like walk()'s single-key fast path, so the batch can never
+// return a result a mutation has staled.
+func (c *dcache) getWalkBatch(keys []string, opts []walkOpts) ([]walkEnt, []bool) {
+	ents := make([]walkEnt, len(keys))
+	ok := make([]bool, len(keys))
+	for i, key := range keys {
+		if key == "" {
+			continue // caller marked the lookup uncacheable
+		}
+		e, present := c.walks[key]
+		if !present {
+			continue
+		}
+		d, dok := c.entries[e.path]
+		if !validWalkHit(d, dok, opts[i]) {
+			continue
+		}
+		c.walkHits++
+		c.batchedLookups++
+		e.st = d.st
+		ents[i], ok[i] = e, true
+	}
+	return ents, ok
+}
+
+// validWalkHit reports whether a cached whole-walk result may be served:
+// its endpoint dentry must be live and compatible with the walk options.
+// Shared by walk()'s single-key fast path and getWalkBatch so the two
+// tiers can never diverge on staleness rules.
+func validWalkHit(d *dentry, present bool, o walkOpts) bool {
+	return present && d.err == abi.OK &&
+		!(o.follow && d.st.IsSymlink()) &&
+		!(o.requireDir && !d.st.IsDir())
 }
 
 func (c *dcache) putWalk(key string, e walkEnt) {

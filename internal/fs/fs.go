@@ -97,6 +97,11 @@ type FileSystem struct {
 	pc             *pageCache
 	cachesOn       bool
 	readaheadPages int
+
+	// writeBack selects the write-back data path (writeback.go);
+	// dirtyBudget bounds the buffered bytes before a forced flush.
+	writeBack   bool
+	dirtyBudget int64
 }
 
 // NewFileSystem creates a file system whose root is the given backend.
@@ -108,6 +113,8 @@ func NewFileSystem(root Backend, now func() int64) *FileSystem {
 		pc:             newPageCache(),
 		cachesOn:       true,
 		readaheadPages: DefaultReadaheadPages,
+		writeBack:      true,
+		dirtyBudget:    maxDirtyBytes,
 	}
 	f.mounts = []mount{{prefix: "/", backend: root}}
 	return f
@@ -126,7 +133,10 @@ func (f *FileSystem) SetCaching(on bool) {
 func (f *FileSystem) SetReadahead(pages int) { f.readaheadPages = pages }
 
 // FlushCaches drops every cached dentry and page (cold-cache runs).
+// Buffered write-back state is flushed to the backends first — dropping
+// it would lose data (flush-on-unmount: Mount routes through here).
 func (f *FileSystem) FlushCaches() {
+	f.flushAllDirtyNow()
 	f.dc.flush()
 	f.pc.flush()
 }
@@ -145,6 +155,17 @@ type CacheStats struct {
 	ReadaheadOps  int64 // completed readahead backend reads
 	PageBytes     int64 // bytes currently cached
 	DentryEntries int   // dentries currently cached
+
+	// Write-back counters (writeback.go).
+	BufferedWrites  int64 // writes absorbed into dirty extents
+	Flushes         int64 // per-path flush operations
+	FlushWrites     int64 // vectored backend writes the flusher issued
+	OverflowFlushes int64 // flushes forced by the dirty budget
+	DirtyBytes      int64 // bytes currently buffered
+
+	// Batched-lookup counters (dcache batch path).
+	BatchedLookups int64 // lookups resolved through StatBatch batches
+	StatBatches    int64 // multi-element StatBatch calls
 }
 
 // CacheStats returns a snapshot of the cache counters.
@@ -161,6 +182,15 @@ func (f *FileSystem) CacheStats() CacheStats {
 		ReadaheadOps:  f.pc.readaheads,
 		PageBytes:     f.pc.bytes,
 		DentryEntries: len(f.dc.entries),
+
+		BufferedWrites:  f.pc.bufferedWrites,
+		Flushes:         f.pc.flushes,
+		FlushWrites:     f.pc.flushWrites,
+		OverflowFlushes: f.pc.overflowFlushes,
+		DirtyBytes:      f.pc.dirtyBytes,
+
+		BatchedLookups: f.dc.batchedLookups,
+		StatBatches:    f.dc.statBatches,
 	}
 }
 
@@ -251,8 +281,12 @@ func (f *FileSystem) resolveMount(p string) (Backend, string) {
 // ---------------------------------------------------------------------------
 
 // invalidatePath drops the dentry, walk, and page caches for one path
-// (content or attributes changed).
+// (content or attributes changed). Buffered write-back state flushes
+// first, through the handle that buffered it: the generation bump below
+// unbinds the name from the file, but the buffered bytes belong to the
+// file and must land in it.
 func (f *FileSystem) invalidatePath(p string) {
+	f.flushDirtyNow(p)
 	f.dc.drop(p)
 	f.pc.drop(p)
 }
@@ -260,6 +294,7 @@ func (f *FileSystem) invalidatePath(p string) {
 // invalidateEntry drops a path and its parent directory (creation or
 // removal changes the parent's mtime and the child's existence).
 func (f *FileSystem) invalidateEntry(p, parent string) {
+	f.flushDirtyNow(p)
 	f.dc.drop(p)
 	f.dc.drop(parent)
 	f.pc.drop(p)
@@ -268,6 +303,7 @@ func (f *FileSystem) invalidateEntry(p, parent string) {
 // invalidateTree drops a path, its parent, and everything below the path
 // (directory rename/removal).
 func (f *FileSystem) invalidateTree(p, parent string) {
+	f.flushDirtyTreeNow(p)
 	f.dc.dropTree(p)
 	f.dc.drop(parent)
 	f.pc.dropTree(p)
@@ -278,14 +314,98 @@ func (f *FileSystem) invalidateTree(p, parent string) {
 // walker; results and attributes come from the caches when warm.
 // ---------------------------------------------------------------------------
 
-// Stat stats a path, following symlinks.
-func (f *FileSystem) Stat(p string, cb func(abi.Stat, abi.Errno)) {
-	f.walk(p, walkOpts{follow: true}, func(e walkEnt) {
-		if e.err != abi.OK {
-			cb(abi.Stat{}, e.err)
+// StatReq is one element of a StatBatch: a path lookup, optionally with
+// lstat (no-trailing-symlink) semantics.
+type StatReq struct {
+	Path  string
+	Lstat bool
+}
+
+// StatBatch resolves a batch of path-metadata lookups. It is the single
+// entry point every transport's stat/lstat/access dispatch routes
+// through: the ring transport hands a whole drained doorbell of stat
+// frames here at once, the scalar and async transports arrive with
+// batch size 1 — so all three stay byte-identical by construction.
+//
+// A multi-element batch first resolves against the dentry cache's batch
+// lookup path (one pass, one lock acquisition's worth of work for the
+// whole storm); only the misses fall back to full walks. Results carry
+// the write-back overlay: a path with buffered dirty extents reports its
+// virtual size and buffered mtime.
+func (f *FileSystem) StatBatch(reqs []StatReq, cb func([]abi.Stat, []abi.Errno)) {
+	if len(reqs) == 1 {
+		// Batch of one — the scalar/async common case: a direct walk,
+		// no batch bookkeeping allocations on the hottest metadata path.
+		r := reqs[0]
+		f.walk(r.Path, walkOpts{follow: !r.Lstat}, func(e walkEnt) {
+			if e.err != abi.OK {
+				cb([]abi.Stat{{}}, []abi.Errno{e.err})
+				return
+			}
+			st := e.st
+			f.patchDirtyStat(e.path, &st)
+			cb([]abi.Stat{st}, []abi.Errno{abi.OK})
+		})
+		return
+	}
+	sts := make([]abi.Stat, len(reqs))
+	errs := make([]abi.Errno, len(reqs))
+	var misses []int
+	if f.cachesOn {
+		f.dc.statBatches++
+		keys := make([]string, len(reqs))
+		opts := make([]walkOpts, len(reqs))
+		for i, r := range reqs {
+			o := walkOpts{follow: !r.Lstat}
+			if hadTrailingSlash(r.Path) {
+				o.follow, o.requireDir = true, true
+			}
+			opts[i] = o
+			if !strings.Contains(r.Path, "..") {
+				// ".."-containing paths are never whole-walk cached
+				// (namei.go); an empty key skips them in the batch pass.
+				keys[i] = walkKey(r.Path, o)
+			}
+		}
+		ents, ok := f.dc.getWalkBatch(keys, opts)
+		for i := range reqs {
+			if ok[i] {
+				sts[i] = ents[i].st
+				f.patchDirtyStat(ents[i].path, &sts[i])
+			} else {
+				misses = append(misses, i)
+			}
+		}
+	} else {
+		misses = make([]int, len(reqs))
+		for i := range reqs {
+			misses[i] = i
+		}
+	}
+	var step func(k int)
+	step = func(k int) {
+		if k >= len(misses) {
+			cb(sts, errs)
 			return
 		}
-		cb(e.st, abi.OK)
+		i := misses[k]
+		f.walk(reqs[i].Path, walkOpts{follow: !reqs[i].Lstat}, func(e walkEnt) {
+			if e.err != abi.OK {
+				errs[i] = e.err
+			} else {
+				sts[i] = e.st
+				f.patchDirtyStat(e.path, &sts[i])
+			}
+			step(k + 1)
+		})
+	}
+	step(0)
+}
+
+// Stat stats a path, following symlinks (a StatBatch of one).
+func (f *FileSystem) Stat(p string, cb func(abi.Stat, abi.Errno)) {
+	f.StatBatch([]StatReq{{Path: p}}, func(sts []abi.Stat, errs []abi.Errno) {
+		cb(sts[0], errs[0])
 	})
 }
 
@@ -303,14 +423,11 @@ func (f *FileSystem) Resolve(p string, cb func(string, abi.Stat, abi.Errno)) {
 	})
 }
 
-// Lstat stats a path without following a trailing symlink.
+// Lstat stats a path without following a trailing symlink (a StatBatch
+// of one).
 func (f *FileSystem) Lstat(p string, cb func(abi.Stat, abi.Errno)) {
-	f.walk(p, walkOpts{}, func(e walkEnt) {
-		if e.err != abi.OK {
-			cb(abi.Stat{}, e.err)
-			return
-		}
-		cb(e.st, abi.OK)
+	f.StatBatch([]StatReq{{Path: p, Lstat: true}}, func(sts []abi.Stat, errs []abi.Errno) {
+		cb(sts[0], errs[0])
 	})
 }
 
@@ -321,64 +438,79 @@ func (f *FileSystem) Lstat(p string, cb func(abi.Stat, abi.Errno)) {
 func (f *FileSystem) Open(p string, flags int, mode uint32, cb func(FileHandle, abi.Errno)) {
 	wantsWrite := flags&abi.O_ACCMODE != abi.O_RDONLY || flags&(abi.O_CREAT|abi.O_TRUNC) != 0
 	f.walk(p, walkOpts{follow: true}, func(e walkEnt) {
-		switch {
-		case e.err == abi.OK:
-			if flags&abi.O_DIRECTORY != 0 && !e.st.IsDir() {
-				cb(nil, abi.ENOTDIR)
+		// Open barrier: buffered write-back state for this path flushes
+		// before any new handle is born, so every new reader (or writer)
+		// observes the flushed bytes — cross-handle read-your-writes.
+		if e.path != "" && f.pc.dirty[e.path] != nil {
+			f.flushPath(e.path, func(abi.Errno) { f.openResolved(e, p, flags, mode, wantsWrite, cb) })
+			return
+		}
+		f.openResolved(e, p, flags, mode, wantsWrite, cb)
+	})
+}
+
+// openResolved continues Open once the walk result is known and any
+// write-back barrier has run.
+func (f *FileSystem) openResolved(e walkEnt, p string, flags int, mode uint32, wantsWrite bool, cb func(FileHandle, abi.Errno)) {
+	switch {
+	case e.err == abi.OK:
+		if flags&abi.O_DIRECTORY != 0 && !e.st.IsDir() {
+			cb(nil, abi.ENOTDIR)
+			return
+		}
+		if e.st.IsRegular() && !wantsWrite && f.cachesOn && cacheableBackend(e.backend) {
+			b, rel := e.backend, e.rel
+			ph := &pagedHandle{
+				fs:   f,
+				path: e.path,
+				st:   e.st,
+				gen:  f.pc.gen(e.path),
+				open: func(icb func(FileHandle, abi.Errno)) { b.Open(rel, flags, mode, icb) },
+			}
+			if b.ReadOnly() {
+				// Nothing can unlink beneath a read-only backend, so
+				// the backend open is safely deferred to the first
+				// page miss — a fully cached hot file is reopened
+				// with zero backend calls.
+				cb(ph, abi.OK)
 				return
 			}
-			if e.st.IsRegular() && !wantsWrite && f.cachesOn && cacheableBackend(e.backend) {
-				b, rel := e.backend, e.rel
-				ph := &pagedHandle{
-					fs:   f,
-					path: e.path,
-					st:   e.st,
-					gen:  f.pc.gen(e.path),
-					open: func(icb func(FileHandle, abi.Errno)) { b.Open(rel, flags, mode, icb) },
-				}
-				if b.ReadOnly() {
-					// Nothing can unlink beneath a read-only backend, so
-					// the backend open is safely deferred to the first
-					// page miss — a fully cached hot file is reopened
-					// with zero backend calls.
-					cb(ph, abi.OK)
+			// Mutable backend (overlay): open eagerly so the handle
+			// keeps working if the path is unlinked afterwards.
+			ph.ensureInner(func(_ FileHandle, err abi.Errno) {
+				if err != abi.OK {
+					cb(nil, err)
 					return
 				}
-				// Mutable backend (overlay): open eagerly so the handle
-				// keeps working if the path is unlinked afterwards.
-				ph.ensureInner(func(_ FileHandle, err abi.Errno) {
-					if err != abi.OK {
-						cb(nil, err)
-						return
-					}
-					cb(ph, abi.OK)
-				})
-				return
-			}
-			if wantsWrite {
-				f.invalidatePath(e.path)
-			}
-			f.openAt(e, flags, mode, wantsWrite, cb)
-		case e.err == abi.ENOENT && e.canCreate && flags&abi.O_CREAT != 0:
-			if hadTrailingSlash(p) {
-				// open("missing/", O_CREAT): only a directory could
-				// satisfy the trailing slash; open cannot create one.
-				cb(nil, abi.EISDIR)
-				return
-			}
-			f.invalidateEntry(e.path, e.parent)
-			f.openAt(e, flags, mode, true, cb)
-		default:
-			cb(nil, e.err)
+				cb(ph, abi.OK)
+			})
+			return
 		}
-	})
+		if wantsWrite {
+			f.invalidatePath(e.path)
+		}
+		f.openAt(e, flags, mode, wantsWrite, cb)
+	case e.err == abi.ENOENT && e.canCreate && flags&abi.O_CREAT != 0:
+		if hadTrailingSlash(p) {
+			// open("missing/", O_CREAT): only a directory could
+			// satisfy the trailing slash; open cannot create one.
+			cb(nil, abi.EISDIR)
+			return
+		}
+		f.invalidateEntry(e.path, e.parent)
+		f.openAt(e, flags, mode, true, cb)
+	default:
+		cb(nil, e.err)
+	}
 }
 
 // openAt opens e's path on its backend and wraps the handle so writes
 // keep invalidating the caches for the canonical path. Mutating opens
 // (create/truncate/write) invalidate again on completion — the open may
 // have been asynchronous, and a concurrent lookup could have re-cached
-// pre-mutation state mid-flight.
+// pre-mutation state mid-flight. With write-back enabled, write-capable
+// handles become writebackHandles: their writes buffer as dirty extents
+// and coalesce into vectored backend flushes (writeback.go).
 func (f *FileSystem) openAt(e walkEnt, flags int, mode uint32, mutates bool, cb func(FileHandle, abi.Errno)) {
 	e.backend.Open(e.rel, flags, mode, func(h FileHandle, err abi.Errno) {
 		if mutates {
@@ -386,6 +518,12 @@ func (f *FileSystem) openAt(e walkEnt, flags int, mode uint32, mutates bool, cb 
 		}
 		if err != abi.OK {
 			cb(nil, err)
+			return
+		}
+		if mutates && f.writeBack && f.cachesOn && writeBackableBackend(e.backend) {
+			// The generation is captured after the invalidation above,
+			// so the fresh handle is current.
+			cb(&writebackHandle{fs: f, path: e.path, gen: f.pc.gen(e.path), inner: h}, abi.OK)
 			return
 		}
 		cb(&invalHandle{FileHandle: h, fs: f, path: e.path}, abi.OK)
@@ -696,11 +834,30 @@ func (f *FileSystem) WriteFile(p string, data []byte, mode uint32, cb func(abi.E
 
 // invalHandle wraps a backend handle so every mutation drops the cached
 // dentry (attributes) and pages for the canonical path, even writes on
-// descriptors that were opened read-only.
+// descriptors that were opened read-only. Reads barrier on buffered
+// write-back state for the path: another handle's completed writes are
+// observable (POSIX read-after-write) even while they are only in the
+// dirty extents.
 type invalHandle struct {
 	FileHandle
 	fs   *FileSystem
 	path string
+}
+
+func (h *invalHandle) Pread(off int64, n int, cb func([]byte, abi.Errno)) {
+	if h.fs.pc.dirty[h.path] != nil {
+		h.fs.flushPath(h.path, func(abi.Errno) { h.FileHandle.Pread(off, n, cb) })
+		return
+	}
+	h.FileHandle.Pread(off, n, cb)
+}
+
+func (h *invalHandle) Preadv(off int64, lens []int, cb func([][]byte, abi.Errno)) {
+	if h.fs.pc.dirty[h.path] != nil {
+		h.fs.flushPath(h.path, func(abi.Errno) { h.FileHandle.Preadv(off, lens, cb) })
+		return
+	}
+	h.FileHandle.Preadv(off, lens, cb)
 }
 
 func (h *invalHandle) Pwrite(off int64, data []byte, cb func(int, abi.Errno)) {

@@ -14,6 +14,17 @@ type Fetcher interface {
 	Fetch(p string, cb func(body []byte, status int))
 }
 
+// RangeFetcher is the optional Fetcher extension for HTTP Range
+// requests: fetch exactly [off, off+n) of a file (status 206 or 200).
+// When the server supports it, httpfs serves reads with byte-range
+// fetches sized to whatever window the page cache asks for (one read's
+// pages, or the readahead window) instead of downloading the whole body
+// — first-byte latency on a large file drops from
+// transfer(size) to transfer(window).
+type RangeFetcher interface {
+	FetchRange(p string, off, n int64, cb func(body []byte, status int))
+}
+
 // HTTPFS is BrowserFS's XmlHttpRequest backend as extended by Browsix
 // (§3.6): a read-only file system backed by an HTTP server. The directory
 // index is loaded once (from an index.json listing); file *contents* are
@@ -31,6 +42,8 @@ type HTTPFS struct {
 	FetchCount int
 	// BytesFetched counts body bytes transferred.
 	BytesFetched int64
+	// RangeFetches counts byte-range fetches (range-capable fetchers).
+	RangeFetches int
 }
 
 // BuildIndex serializes a path->size listing in the index.json format
@@ -42,6 +55,12 @@ func BuildIndex(files map[string]int64) []byte {
 	}
 	return b
 }
+
+// RangeThreshold is the file size above which a range-capable fetcher
+// switches to byte-range fetches: one readahead window's worth of pages.
+// Below it, a single whole-body fetch is cheaper than per-window round
+// trips.
+const RangeThreshold = DefaultReadaheadPages * PageSize
 
 // NewHTTPFS creates an HTTP-backed read-only backend from an index listing
 // (JSON object mapping absolute file paths to sizes).
@@ -121,6 +140,17 @@ func (h *HTTPFS) Open(p string, flags int, mode uint32, cb func(FileHandle, abi.
 	}
 	if body, ok := h.cache[p]; ok {
 		cb(&httpHandle{fs: h, path: p, data: body}, abi.OK)
+		return
+	}
+	if rf, ok := h.fetch.(RangeFetcher); ok && h.index[p] > RangeThreshold {
+		// Range-capable server and a big file: open costs nothing; each
+		// read becomes a byte-range fetch sized to the requested window
+		// (the page cache's miss or readahead span). The VFS page cache
+		// above absorbs re-reads, so httpfs keeps no whole-body copy on
+		// this path. Files at or below the threshold keep the one-fetch
+		// whole-body path — a range round trip per window would cost
+		// more than it saves.
+		cb(&httpRangeHandle{fs: h, path: p, rf: rf, size: h.index[p]}, abi.OK)
 		return
 	}
 	h.fetch.Fetch(p, func(body []byte, status int) {
@@ -265,3 +295,92 @@ func (h *httpHandle) Truncate(int64, func(abi.Errno)) {
 }
 
 func (h *httpHandle) Close(cb func(abi.Errno)) { cb(abi.OK) }
+
+// httpRangeHandle is an open file on a range-capable server: nothing is
+// resident; every read is an HTTP Range request for exactly the bytes
+// the caller (normally the page cache's miss/readahead path) asked for.
+type httpRangeHandle struct {
+	fs   *HTTPFS
+	path string
+	rf   RangeFetcher
+	size int64 // index size snapshot (read-only backend)
+}
+
+func (h *httpRangeHandle) Pread(off int64, n int, cb func([]byte, abi.Errno)) {
+	if off >= h.size || n <= 0 {
+		cb(nil, abi.OK)
+		return
+	}
+	want := int64(n)
+	if off+want > h.size {
+		want = h.size - off
+	}
+	if body, ok := h.fs.cache[h.path]; ok {
+		// A prior 200 fallback cached the whole body: serve windows
+		// from it with no further network traffic.
+		cb(sliceBody(body, off, want), abi.OK)
+		return
+	}
+	h.rf.FetchRange(h.path, off, want, func(body []byte, status int) {
+		switch status {
+		case 206:
+			// Partial content: the body IS the requested range.
+			if int64(len(body)) > want {
+				body = body[:want]
+			}
+			h.fs.FetchCount++
+			h.fs.RangeFetches++
+			h.fs.BytesFetched += int64(len(body))
+			cb(body, abi.OK)
+		case 200:
+			// The server ignored Range and sent the whole file (legal
+			// HTTP). Account the full transfer and cache the body like
+			// the whole-body path, so later windows on this file never
+			// re-download it.
+			h.fs.FetchCount++
+			h.fs.BytesFetched += int64(len(body))
+			h.fs.cache[h.path] = body
+			h.fs.index[h.path] = int64(len(body))
+			cb(sliceBody(body, off, want), abi.OK)
+		default:
+			cb(nil, abi.EIO)
+		}
+	})
+}
+
+// sliceBody copies the window [off, off+want) out of a whole body.
+func sliceBody(body []byte, off, want int64) []byte {
+	if off >= int64(len(body)) {
+		return nil
+	}
+	end := off + want
+	if end > int64(len(body)) {
+		end = int64(len(body))
+	}
+	out := make([]byte, end-off)
+	copy(out, body[off:end])
+	return out
+}
+
+func (h *httpRangeHandle) Pwrite(int64, []byte, func(int, abi.Errno)) {
+	panic("fs: pwrite on read-only http handle")
+}
+
+func (h *httpRangeHandle) Pwritev(int64, [][]byte, func(int, abi.Errno)) {
+	panic("fs: pwritev on read-only http handle")
+}
+
+// Preadv implements FileHandle as one coalesced range fetch.
+func (h *httpRangeHandle) Preadv(off int64, lens []int, cb func([][]byte, abi.Errno)) {
+	genericPreadv(h, off, lens, cb)
+}
+
+func (h *httpRangeHandle) Stat(cb func(abi.Stat, abi.Errno)) {
+	cb(abi.Stat{Mode: abi.S_IFREG | 0o444, Size: h.size, Nlink: 1}, abi.OK)
+}
+
+func (h *httpRangeHandle) Truncate(int64, func(abi.Errno)) {
+	panic("fs: truncate on read-only http handle")
+}
+
+func (h *httpRangeHandle) Close(cb func(abi.Errno)) { cb(abi.OK) }

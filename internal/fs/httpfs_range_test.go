@@ -1,0 +1,234 @@
+package fs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/abi"
+)
+
+// rangeFakeFetcher serves a static tree and records every fetch, both
+// whole-body and ranged.
+type rangeFakeFetcher struct {
+	files  map[string][]byte
+	whole  []string
+	ranges []string // "path:off+n"
+}
+
+func (f *rangeFakeFetcher) Fetch(p string, cb func([]byte, int)) {
+	body, ok := f.files[p]
+	if !ok {
+		cb(nil, 404)
+		return
+	}
+	f.whole = append(f.whole, p)
+	cb(body, 200)
+}
+
+func (f *rangeFakeFetcher) FetchRange(p string, off, n int64, cb func([]byte, int)) {
+	body, ok := f.files[p]
+	if !ok {
+		cb(nil, 404)
+		return
+	}
+	f.ranges = append(f.ranges, fmt.Sprintf("%s:%d+%d", p, off, n))
+	end := off + n
+	if end > int64(len(body)) {
+		end = int64(len(body))
+	}
+	if off >= end {
+		cb(nil, 206)
+		return
+	}
+	cb(body[off:end], 206)
+}
+
+func newRangeHTTPFS(t *testing.T, files map[string][]byte) (*HTTPFS, *rangeFakeFetcher) {
+	t.Helper()
+	idx := map[string]int64{}
+	for p, b := range files {
+		idx[p] = int64(len(b))
+	}
+	ff := &rangeFakeFetcher{files: files}
+	h, err := NewHTTPFS(BuildIndex(idx), ff, func() int64 { return clock })
+	if err != nil {
+		t.Fatalf("NewHTTPFS: %v", err)
+	}
+	return h, ff
+}
+
+// TestHTTPFSRangeFetchesWindow: a big file on a range-capable server is
+// read with byte-range fetches sized to the requested window; the whole
+// body is never transferred.
+func TestHTTPFSRangeFetchesWindow(t *testing.T) {
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	h, ff := newRangeHTTPFS(t, map[string][]byte{"/big.bin": big})
+
+	var fh FileHandle
+	h.Open("/big.bin", abi.O_RDONLY, 0, func(x FileHandle, err abi.Errno) {
+		if err != abi.OK {
+			t.Fatalf("open: %v", err)
+		}
+		fh = x
+	})
+	var got []byte
+	fh.Pread(4096, 8192, func(b []byte, err abi.Errno) {
+		if err != abi.OK {
+			t.Fatalf("pread: %v", err)
+		}
+		got = b
+	})
+	if len(got) != 8192 || got[0] != big[4096] || got[8191] != big[4096+8191] {
+		t.Fatalf("range read returned %d bytes (first/last mismatch)", len(got))
+	}
+	if len(ff.whole) != 0 {
+		t.Fatalf("whole-body fetches for a ranged read: %v", ff.whole)
+	}
+	if len(ff.ranges) != 1 || ff.ranges[0] != "/big.bin:4096+8192" {
+		t.Fatalf("range fetches: %v, want exactly /big.bin:4096+8192", ff.ranges)
+	}
+	if h.BytesFetched != 8192 || h.RangeFetches != 1 {
+		t.Fatalf("BytesFetched=%d RangeFetches=%d", h.BytesFetched, h.RangeFetches)
+	}
+	// Reads past EOF clamp.
+	fh.Pread(1<<20-100, 4096, func(b []byte, err abi.Errno) {
+		if err != abi.OK || len(b) != 100 {
+			t.Fatalf("tail read: %d bytes err=%v", len(b), err)
+		}
+	})
+}
+
+// ignoreRangeFetcher models a server that answers Range requests with
+// 200 + the whole body (legal HTTP).
+type ignoreRangeFetcher struct {
+	rangeFakeFetcher
+	fullFetches int
+}
+
+func (f *ignoreRangeFetcher) FetchRange(p string, off, n int64, cb func([]byte, int)) {
+	body, ok := f.files[p]
+	if !ok {
+		cb(nil, 404)
+		return
+	}
+	f.fullFetches++
+	cb(body, 200)
+}
+
+// TestHTTPFSRangeIgnoredByServer: when the server ignores Range and
+// sends 200 + the full body, the handle serves the right window, caches
+// the body (later windows cost no traffic), and accounts the full
+// transfer.
+func TestHTTPFSRangeIgnoredByServer(t *testing.T) {
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 5)
+	}
+	idx := map[string]int64{"/b": int64(len(big))}
+	ff := &ignoreRangeFetcher{rangeFakeFetcher: rangeFakeFetcher{files: map[string][]byte{"/b": big}}}
+	h, err := NewHTTPFS(BuildIndex(idx), ff, func() int64 { return clock })
+	if err != nil {
+		t.Fatalf("NewHTTPFS: %v", err)
+	}
+	var fh FileHandle
+	h.Open("/b", abi.O_RDONLY, 0, func(x FileHandle, e abi.Errno) {
+		if e != abi.OK {
+			t.Fatalf("open: %v", e)
+		}
+		fh = x
+	})
+	fh.Pread(1000, 64, func(b []byte, e abi.Errno) {
+		if e != abi.OK || len(b) != 64 || b[0] != big[1000] || b[63] != big[1063] {
+			t.Fatalf("window from 200 body wrong: %d bytes err=%v", len(b), e)
+		}
+	})
+	if h.BytesFetched != 1<<20 || h.RangeFetches != 0 {
+		t.Fatalf("200 fallback accounting: bytes=%d rangeFetches=%d", h.BytesFetched, h.RangeFetches)
+	}
+	// Second window: served from the cached body, zero traffic.
+	fh.Pread(1<<19, 64, func(b []byte, e abi.Errno) {
+		if e != abi.OK || len(b) != 64 || b[0] != big[1<<19] {
+			t.Fatalf("cached window wrong")
+		}
+	})
+	if ff.fullFetches != 1 {
+		t.Fatalf("whole body fetched %d times, want 1", ff.fullFetches)
+	}
+}
+
+// TestHTTPFSSmallFileStaysWholeBody: files at or below the threshold
+// keep the one-fetch whole-body path (a range round trip per window
+// would cost more than it saves).
+func TestHTTPFSSmallFileStaysWholeBody(t *testing.T) {
+	h, ff := newRangeHTTPFS(t, map[string][]byte{"/small.txt": []byte("tiny body")})
+	var fh FileHandle
+	h.Open("/small.txt", abi.O_RDONLY, 0, func(x FileHandle, err abi.Errno) {
+		if err != abi.OK {
+			t.Fatalf("open: %v", err)
+		}
+		fh = x
+	})
+	fh.Pread(0, 64, func(b []byte, err abi.Errno) {
+		if err != abi.OK || string(b) != "tiny body" {
+			t.Fatalf("read: %q err=%v", b, err)
+		}
+	})
+	if len(ff.ranges) != 0 || len(ff.whole) != 1 {
+		t.Fatalf("small file used ranges=%v whole=%v", ff.ranges, ff.whole)
+	}
+}
+
+// TestHTTPFSRangeUnderPageCache: mounted behind the VFS page cache, the
+// first pages of a big file cost one miss fetch plus one readahead
+// fetch — a few windows, not the megabyte body. First-byte latency is
+// proportional to the window, not the file.
+func TestHTTPFSRangeUnderPageCache(t *testing.T) {
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 13)
+	}
+	h, ff := newRangeHTTPFS(t, map[string][]byte{"/tree/big.dat": big})
+	f := newFS()
+	mustMkdirAll(t, f, "/mnt")
+	f.Mount("/mnt", h)
+
+	var fh FileHandle
+	f.Open("/mnt/tree/big.dat", abi.O_RDONLY, 0, func(x FileHandle, err abi.Errno) {
+		if err != abi.OK {
+			t.Fatalf("open: %v", err)
+		}
+		fh = x
+	})
+	var got []byte
+	fh.Pread(0, 4096, func(b []byte, err abi.Errno) {
+		if err != abi.OK {
+			t.Fatalf("pread: %v", err)
+		}
+		got = b
+	})
+	if len(got) != 4096 || got[100] != big[100] {
+		t.Fatalf("first page read wrong (%d bytes)", len(got))
+	}
+	// One miss window (a page) + at most one readahead window.
+	maxBytes := int64((1 + DefaultReadaheadPages) * PageSize)
+	if h.BytesFetched > maxBytes {
+		t.Fatalf("first-page read transferred %d bytes, want <= %d (windowed ranges)",
+			h.BytesFetched, maxBytes)
+	}
+	if len(ff.whole) != 0 {
+		t.Fatalf("page-cache read triggered whole-body fetches: %v", ff.whole)
+	}
+	// A second read of the same window is a pure cache hit: no fetches.
+	fetches := h.FetchCount
+	fh.Pread(0, 4096, func(b []byte, err abi.Errno) {
+		if err != abi.OK || len(b) != 4096 {
+			t.Fatalf("cached reread failed")
+		}
+	})
+	if h.FetchCount != fetches {
+		t.Fatalf("cached reread hit the network (%d -> %d)", fetches, h.FetchCount)
+	}
+}

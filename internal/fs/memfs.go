@@ -15,6 +15,11 @@ type MemFS struct {
 	now  func() int64
 	ro   bool
 	name string
+
+	// WriteOps counts backend write calls on handles (Pwrite/Pwritev) —
+	// the denominator of the write-coalescing experiments: N buffered
+	// VFS writes should reach a backend as few WriteOps.
+	WriteOps int64
 }
 
 type memNode struct {
@@ -355,6 +360,7 @@ func (h *memHandle) Pread(off int64, n int, cb func([]byte, abi.Errno)) {
 
 // Pwrite implements FileHandle.
 func (h *memHandle) Pwrite(off int64, data []byte, cb func(int, abi.Errno)) {
+	h.fs.WriteOps++
 	if h.fs.ro {
 		cb(0, abi.EROFS)
 		return
@@ -383,6 +389,7 @@ func (h *memHandle) Preadv(off int64, lens []int, cb func([][]byte, abi.Errno)) 
 // Pwritev implements FileHandle: the file grows once, then each buffer
 // lands directly in the node's data — no coalescing copy.
 func (h *memHandle) Pwritev(off int64, bufs [][]byte, cb func(int, abi.Errno)) {
+	h.fs.WriteOps++
 	if h.fs.ro {
 		cb(0, abi.EROFS)
 		return

@@ -119,10 +119,7 @@ func (f *FileSystem) walk(p string, o walkOpts, cb func(walkEnt)) {
 			// The endpoint may have been replaced since the walk was
 			// cached: a symlink there invalidates a following walk, a
 			// non-directory invalidates a trailing-slash walk.
-			valid := present && d.err == abi.OK &&
-				!(o.follow && d.st.IsSymlink()) &&
-				!(o.requireDir && !d.st.IsDir())
-			if valid {
+			if validWalkHit(d, present, o) {
 				f.dc.walkHits++
 				e.st = d.st
 				cb(e)

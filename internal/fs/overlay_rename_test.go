@@ -1,0 +1,188 @@
+package fs
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+)
+
+// newLowerTree stages a lower-layer tree:
+//
+//	/proj/main.tex
+//	/proj/figs/a.ppm
+//	/proj/figs/deep/b.ppm
+//	/proj/link -> main.tex
+func newLowerTree(t *testing.T) (*OverlayFS, *MemFS, *MemFS) {
+	t.Helper()
+	lower := NewMemFS(now)
+	stage := NewFileSystem(lower, func() int64 { return clock })
+	mustMkdirAll(t, stage, "/proj/figs/deep")
+	mustWrite(t, stage, "/proj/main.tex", "\\documentclass{article}")
+	mustWrite(t, stage, "/proj/figs/a.ppm", "P6 a")
+	mustWrite(t, stage, "/proj/figs/deep/b.ppm", "P6 b")
+	var serr abi.Errno = -1
+	stage.Symlink("main.tex", "/proj/link", func(err abi.Errno) { serr = err })
+	if serr != abi.OK {
+		t.Fatalf("symlink: %v", serr)
+	}
+	lower.SetReadOnly()
+	upper := NewMemFS(now)
+	return NewOverlayFS(upper, lower), upper, lower
+}
+
+// TestOverlayRenameLowerDirTree: renaming a directory tree that lives
+// only in the lower layer works in ONE overlay op — recursive copy-up,
+// one upper rename, subtree whiteout.
+func TestOverlayRenameLowerDirTree(t *testing.T) {
+	o, _, _ := newLowerTree(t)
+	f := NewFileSystem(o, func() int64 { return clock })
+
+	var rerr abi.Errno = -1
+	f.Rename("/proj", "/renamed", func(err abi.Errno) { rerr = err })
+	if rerr != abi.OK {
+		t.Fatalf("rename lower dir tree: %v", rerr)
+	}
+
+	// The old name is gone, at every depth.
+	for _, p := range []string{"/proj", "/proj/main.tex", "/proj/figs", "/proj/figs/deep/b.ppm"} {
+		var got abi.Errno = -1
+		f.Stat(p, func(_ abi.Stat, err abi.Errno) { got = err })
+		if got != abi.ENOENT {
+			t.Errorf("stat %s after rename = %v, want ENOENT", p, got)
+		}
+	}
+
+	// The new tree is complete and readable.
+	if got := mustRead(t, f, "/renamed/main.tex"); got != "\\documentclass{article}" {
+		t.Errorf("main.tex content %q", got)
+	}
+	if got := mustRead(t, f, "/renamed/figs/deep/b.ppm"); got != "P6 b" {
+		t.Errorf("deep file content %q", got)
+	}
+	var target string
+	f.Readlink("/renamed/link", func(s string, err abi.Errno) {
+		if err == abi.OK {
+			target = s
+		}
+	})
+	if target != "main.tex" {
+		t.Errorf("symlink target %q", target)
+	}
+
+	// Readdir of old parent no longer lists it; new parent does.
+	var names []string
+	f.Readdir("/", func(ents []abi.Dirent, err abi.Errno) {
+		for _, e := range ents {
+			names = append(names, e.Name)
+		}
+	})
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	if seen["proj"] || !seen["renamed"] {
+		t.Errorf("root listing after rename: %v", names)
+	}
+
+	// The moved tree is writable (it lives in the upper layer now).
+	mustWrite(t, f, "/renamed/figs/a.ppm", "P6 modified")
+	if got := mustRead(t, f, "/renamed/figs/a.ppm"); got != "P6 modified" {
+		t.Errorf("modified moved file: %q", got)
+	}
+}
+
+// TestOverlayRenameMixedTree: a tree partially copied up already (one
+// file modified in upper) renames with upper content winning.
+func TestOverlayRenameMixedTree(t *testing.T) {
+	o, _, _ := newLowerTree(t)
+	f := NewFileSystem(o, func() int64 { return clock })
+	mustWrite(t, f, "/proj/main.tex", "modified upstairs") // copy-up via VFS
+	mustWrite(t, f, "/proj/new.txt", "created upstairs")
+
+	var rerr abi.Errno = -1
+	f.Rename("/proj", "/moved", func(err abi.Errno) { rerr = err })
+	if rerr != abi.OK {
+		t.Fatalf("rename mixed tree: %v", rerr)
+	}
+	if got := mustRead(t, f, "/moved/main.tex"); got != "modified upstairs" {
+		t.Errorf("upper content lost: %q", got)
+	}
+	if got := mustRead(t, f, "/moved/new.txt"); got != "created upstairs" {
+		t.Errorf("upper-only file lost: %q", got)
+	}
+	if got := mustRead(t, f, "/moved/figs/a.ppm"); got != "P6 a" {
+		t.Errorf("lower content lost: %q", got)
+	}
+}
+
+// TestOverlayRenameDoesNotResurrectDeleted: a lower-layer file deleted
+// before the rename must stay deleted when a new tree is moved onto its
+// parent's name — only whiteouts the moved upper tree shadows may be
+// cleared.
+func TestOverlayRenameDoesNotResurrectDeleted(t *testing.T) {
+	lower := NewMemFS(now)
+	stage := NewFileSystem(lower, func() int64 { return clock })
+	mustMkdirAll(t, stage, "/d")
+	mustWrite(t, stage, "/d/x", "lower x")
+	lower.SetReadOnly()
+	o := NewOverlayFS(NewMemFS(now), lower)
+	f := NewFileSystem(o, func() int64 { return clock })
+
+	var err abi.Errno = -1
+	f.Unlink("/d/x", func(e abi.Errno) { err = e })
+	if err != abi.OK {
+		t.Fatalf("unlink /d/x: %v", err)
+	}
+	f.Rmdir("/d", func(e abi.Errno) { err = e })
+	if err != abi.OK {
+		t.Fatalf("rmdir /d: %v", err)
+	}
+	mustMkdirAll(t, f, "/e")
+	mustWrite(t, f, "/e/y", "upper y")
+	f.Rename("/e", "/d", func(e abi.Errno) { err = e })
+	if err != abi.OK {
+		t.Fatalf("rename /e /d: %v", err)
+	}
+
+	var names []string
+	f.Readdir("/d", func(ents []abi.Dirent, e abi.Errno) {
+		for _, ent := range ents {
+			names = append(names, ent.Name)
+		}
+	})
+	if len(names) != 1 || names[0] != "y" {
+		t.Fatalf("renamed dir lists %v, want [y] — deleted lower file resurrected", names)
+	}
+	var serr abi.Errno = -1
+	f.Stat("/d/x", func(_ abi.Stat, e abi.Errno) { serr = e })
+	if serr != abi.ENOENT {
+		t.Fatalf("stat /d/x = %v, want ENOENT", serr)
+	}
+}
+
+// TestOverlayRenameBackOverWhiteout: renaming a tree away and then
+// moving another tree to the old name clears the subtree whiteouts —
+// the destination's entries must not be hidden by stale deletions.
+func TestOverlayRenameBackOverWhiteout(t *testing.T) {
+	o, _, _ := newLowerTree(t)
+	f := NewFileSystem(o, func() int64 { return clock })
+
+	var rerr abi.Errno = -1
+	f.Rename("/proj", "/tmp-proj", func(err abi.Errno) { rerr = err })
+	if rerr != abi.OK {
+		t.Fatalf("rename away: %v", rerr)
+	}
+	rerr = -1
+	f.Rename("/tmp-proj", "/proj", func(err abi.Errno) { rerr = err })
+	if rerr != abi.OK {
+		t.Fatalf("rename back: %v", rerr)
+	}
+	if got := mustRead(t, f, "/proj/figs/deep/b.ppm"); got != "P6 b" {
+		t.Errorf("round-trip lost deep file: %q", got)
+	}
+	var n int
+	f.Readdir("/proj/figs", func(ents []abi.Dirent, err abi.Errno) { n = len(ents) })
+	if n != 2 { // a.ppm + deep
+		t.Errorf("figs listing has %d entries, want 2", n)
+	}
+}

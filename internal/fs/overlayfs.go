@@ -367,7 +367,12 @@ func (o *OverlayFS) Unlink(p string, cb func(abi.Errno)) {
 	})
 }
 
-// Rename implements Backend (copy-up then rename within the upper layer).
+// Rename implements Backend (copy-up then rename within the upper
+// layer). A directory source is materialized in the upper layer with a
+// recursive copy-up, renamed there in one operation, and the lower
+// subtree it moved away from is hidden by a subtree whiteout — so
+// renaming a lower-layer directory tree is a single overlay op, not a
+// per-file dance.
 func (o *OverlayFS) Rename(oldp, newp string, cb func(abi.Errno)) {
 	oldp, newp = Clean(oldp), Clean(newp)
 	o.lock(func(release func()) {
@@ -386,28 +391,58 @@ func (o *OverlayFS) Rename(oldp, newp string, cb func(abi.Errno)) {
 					return
 				}
 				o.upper.Rename(oldp, newp, func(err abi.Errno) {
-					if err == abi.OK {
-						o.lower.Stat(oldp, func(_ abi.Stat, lerr abi.Errno) {
-							if lerr == abi.OK {
-								o.deleted[oldp] = true
-							}
-							delete(o.deleted, newp)
-							done(abi.OK)
-						})
+					if err != abi.OK {
+						done(err)
 						return
 					}
-					done(err)
+					// Deletions shadowing the destination would hide the
+					// just-moved entries — but only whiteouts the moved
+					// upper tree now covers may be cleared. A whiteout on
+					// a lower-only path under newp (a file deleted before
+					// the rename, never part of the moved tree) must
+					// survive, or the rename resurrects it.
+					var cands []string
+					for dp := range o.deleted {
+						if dp == newp || strings.HasPrefix(dp, newp+"/") {
+							cands = append(cands, dp)
+						}
+					}
+					var step func(i int)
+					step = func(i int) {
+						if i >= len(cands) {
+							o.whiteoutLowerTree(oldp, func() { done(abi.OK) })
+							return
+						}
+						dp := cands[i]
+						o.upper.Lstat(dp, func(_ abi.Stat, uerr abi.Errno) {
+							if uerr == abi.OK {
+								delete(o.deleted, dp)
+							}
+							step(i + 1)
+						})
+					}
+					step(0)
 				})
 			})
 		}
-		o.upper.Stat(oldp, func(_ abi.Stat, uerr abi.Errno) {
-			if uerr == abi.OK {
-				finish()
+		o.Lstat(oldp, func(ost abi.Stat, oerr abi.Errno) {
+			if oerr != abi.OK {
+				done(abi.ENOENT)
 				return
 			}
-			o.lower.Stat(oldp, func(_ abi.Stat, lerr abi.Errno) {
-				if lerr != abi.OK {
-					done(abi.ENOENT)
+			if ost.IsDir() {
+				o.copyUpTree(oldp, func(err abi.Errno) {
+					if err != abi.OK {
+						done(err)
+						return
+					}
+					finish()
+				})
+				return
+			}
+			o.upper.Stat(oldp, func(_ abi.Stat, uerr abi.Errno) {
+				if uerr == abi.OK {
+					finish()
 					return
 				}
 				o.copyUp(oldp, func(err abi.Errno) {
@@ -418,6 +453,115 @@ func (o *OverlayFS) Rename(oldp, newp string, cb func(abi.Errno)) {
 					finish()
 				})
 			})
+		})
+	})
+}
+
+// copyUpTree materializes the merged subtree rooted at directory p
+// entirely in the upper layer: directories created, regular files copied
+// up (vectored, via copyUp), symlinks re-created. The recursive
+// extension of copyUp behind directory renames. Runs under the overlay
+// lock of its caller.
+func (o *OverlayFS) copyUpTree(p string, cb func(abi.Errno)) {
+	o.ensureUpperDirs(p, func(err abi.Errno) {
+		if err != abi.OK {
+			cb(err)
+			return
+		}
+		o.upper.Mkdir(p, 0o755, func(merr abi.Errno) {
+			if merr != abi.OK && merr != abi.EEXIST {
+				cb(merr)
+				return
+			}
+			o.Readdir(p, func(ents []abi.Dirent, rerr abi.Errno) {
+				if rerr != abi.OK {
+					cb(rerr)
+					return
+				}
+				var step func(i int)
+				step = func(i int) {
+					if i >= len(ents) {
+						cb(abi.OK)
+						return
+					}
+					child := Clean(p + "/" + ents[i].Name)
+					next := func(err abi.Errno) {
+						if err != abi.OK {
+							cb(err)
+							return
+						}
+						step(i + 1)
+					}
+					o.Lstat(child, func(st abi.Stat, serr abi.Errno) {
+						switch {
+						case serr != abi.OK:
+							step(i + 1) // vanished mid-walk
+						case st.IsDir():
+							o.copyUpTree(child, next)
+						case st.IsSymlink():
+							o.upper.Lstat(child, func(_ abi.Stat, uerr abi.Errno) {
+								if uerr == abi.OK {
+									step(i + 1)
+									return
+								}
+								o.Readlink(child, func(target string, err abi.Errno) {
+									if err != abi.OK {
+										cb(err)
+										return
+									}
+									o.upper.Symlink(target, child, func(err abi.Errno) {
+										if err == abi.EEXIST {
+											err = abi.OK
+										}
+										next(err)
+									})
+								})
+							})
+						default:
+							o.upper.Stat(child, func(_ abi.Stat, uerr abi.Errno) {
+								if uerr == abi.OK {
+									step(i + 1)
+									return
+								}
+								o.copyUp(child, next)
+							})
+						}
+					})
+				}
+				step(0)
+			})
+		})
+	})
+}
+
+// whiteoutLowerTree records deletions for p and every lower-layer path
+// beneath it — the subtree whiteout that hides a renamed-away source in
+// one pass. Paths absent from the lower layer need no whiteout.
+func (o *OverlayFS) whiteoutLowerTree(p string, cb func()) {
+	o.lower.Lstat(p, func(st abi.Stat, err abi.Errno) {
+		if err != abi.OK {
+			cb()
+			return
+		}
+		o.deleted[p] = true
+		if !st.IsDir() {
+			cb()
+			return
+		}
+		o.lower.Readdir(p, func(ents []abi.Dirent, rerr abi.Errno) {
+			if rerr != abi.OK {
+				cb()
+				return
+			}
+			var step func(i int)
+			step = func(i int) {
+				if i >= len(ents) {
+					cb()
+					return
+				}
+				o.whiteoutLowerTree(Clean(p+"/"+ents[i].Name), func() { step(i + 1) })
+			}
+			step(0)
 		})
 	})
 }

@@ -35,6 +35,12 @@ type pageCache struct {
 	files map[string]*filePages
 	bytes int64
 
+	// dirty holds buffered write-back state per canonical path (see
+	// writeback.go); dirtyBytes is the running total the dirty budget
+	// bounds.
+	dirty      map[string]*dirtyFile
+	dirtyBytes int64
+
 	// gens tracks an invalidation generation per path. A pagedHandle
 	// captures the generation at open; once a write (or copy-up, or
 	// unlink+recreate) bumps it, the stale handle bypasses the cache
@@ -47,10 +53,18 @@ type pageCache struct {
 	epoch uint64
 
 	hits, misses, readaheads int64
+	// Write-back counters: writes absorbed into dirty extents, flush
+	// operations, vectored backend writes the flusher issued, and
+	// budget-overflow flushes.
+	bufferedWrites, flushes, flushWrites, overflowFlushes int64
 }
 
 func newPageCache() *pageCache {
-	return &pageCache{files: map[string]*filePages{}, gens: map[string]uint64{}}
+	return &pageCache{
+		files: map[string]*filePages{},
+		gens:  map[string]uint64{},
+		dirty: map[string]*dirtyFile{},
+	}
 }
 
 func (c *pageCache) gen(p string) uint64 { return c.epoch<<32 | c.gens[p] }
@@ -79,11 +93,19 @@ func (c *pageCache) store(p string, pageIdx int64, data []byte) {
 	c.bytes += int64(len(data))
 }
 
-func (c *pageCache) drop(p string) {
+// dropPages forgets a path's clean pages without bumping its
+// generation: the write-back handle's own buffered writes change the
+// file's content but not the name→file binding, so outstanding handles
+// stay current.
+func (c *pageCache) dropPages(p string) {
 	if fp, ok := c.files[p]; ok {
 		c.bytes -= fp.bytes
 		delete(c.files, p)
 	}
+}
+
+func (c *pageCache) drop(p string) {
+	c.dropPages(p)
 	if len(c.gens) >= maxDentries {
 		clear(c.gens)
 		c.epoch++ // every outstanding handle goes stale, none revive
@@ -213,7 +235,19 @@ func (h *pagedHandle) storeRange(start int64, data []byte) {
 // page-aligned backend read, then kick sequential readahead. EOF comes
 // from short backend reads (reflected as short cached pages), never from
 // the open-time size snapshot — the file may have grown since.
+//
+// A read of a path with buffered write-back state is a barrier: the
+// dirty extents flush first, so cross-handle reads observe completed
+// writes (POSIX read-after-write), whichever handle buffered them.
 func (h *pagedHandle) Pread(off int64, n int, cb func([]byte, abi.Errno)) {
+	if h.fs.pc.dirty[h.path] != nil {
+		h.fs.flushPath(h.path, func(abi.Errno) { h.preadResolved(off, n, cb) })
+		return
+	}
+	h.preadResolved(off, n, cb)
+}
+
+func (h *pagedHandle) preadResolved(off int64, n int, cb func([]byte, abi.Errno)) {
 	if off < 0 || n <= 0 {
 		cb(nil, abi.OK)
 		return

@@ -75,7 +75,7 @@ func listTemplates(p posix.Proc) ([]string, abi.Errno) {
 		return nil, err
 	}
 	defer p.Close(fd)
-	ents, err := p.Getdents(fd)
+	ents, err := posix.ReadDir(p, fd)
 	if err != abi.OK {
 		return nil, err
 	}

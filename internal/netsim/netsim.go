@@ -119,6 +119,17 @@ func FileHost(name string, rtt int64, nsPerByte float64, files map[string][]byte
 			if !ok {
 				return Response{Status: 404, Body: []byte("not found: " + p)}
 			}
+			if rng := req.Header["Range"]; rng != "" {
+				// "bytes=lo-hi" (inclusive), as real static servers
+				// answer 206 Partial Content.
+				lo, hi, ok := parseByteRange(rng, int64(len(body)))
+				if !ok {
+					return Response{Status: 416}
+				}
+				part := body[lo : hi+1]
+				h.Charge(50_000 + int64(len(part))/16)
+				return Response{Status: 206, Body: part}
+			}
 			h.Charge(50_000 + int64(len(body))/16) // static-file server work
 			return Response{Status: 200, Body: body}
 		},
@@ -138,6 +149,39 @@ func (f *FSFetcher) Fetch(p string, cb func([]byte, int)) {
 	f.Net.Fetch(f.HostNm, Request{Method: "GET", Path: f.Prefix + p}, func(r Response) {
 		cb(r.Body, r.Status)
 	})
+}
+
+// FetchRange implements fs.RangeFetcher with a standard HTTP Range
+// header, so httpfs reads become 206 Partial Content transfers sized to
+// the page cache's window instead of whole-body downloads.
+func (f *FSFetcher) FetchRange(p string, off, n int64, cb func([]byte, int)) {
+	req := Request{
+		Method: "GET",
+		Path:   f.Prefix + p,
+		Header: map[string]string{"Range": fmt.Sprintf("bytes=%d-%d", off, off+n-1)},
+	}
+	f.Net.Fetch(f.HostNm, req, func(r Response) {
+		cb(r.Body, r.Status)
+	})
+}
+
+// parseByteRange decodes "bytes=lo-hi" against a body size, returning
+// the clamped inclusive range.
+func parseByteRange(s string, size int64) (lo, hi int64, ok bool) {
+	if !strings.HasPrefix(s, "bytes=") || size == 0 {
+		return 0, 0, false
+	}
+	var l, h int64
+	if _, err := fmt.Sscanf(s[len("bytes="):], "%d-%d", &l, &h); err != nil {
+		return 0, 0, false
+	}
+	if l < 0 || h < l || l >= size {
+		return 0, 0, false
+	}
+	if h >= size {
+		h = size - 1
+	}
+	return l, h, true
 }
 
 // String diagnostics.

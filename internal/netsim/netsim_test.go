@@ -97,6 +97,43 @@ func TestFSFetcherAdapter(t *testing.T) {
 	}
 }
 
+// TestFSFetcherRangeRequest: FetchRange travels as a standard Range
+// header; FileHost answers 206 with just the slice, so the downlink
+// cost (and first-byte latency) scales with the window, not the body.
+func TestFSFetcherRangeRequest(t *testing.T) {
+	body := make([]byte, 100_000)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	sim, browserCtx, net := newNet()
+	net.AddHost(FileHost("texlive", 5_000_000, 2, map[string][]byte{
+		"/tree/big.pfb": body,
+	}))
+	f := &FSFetcher{Net: net, HostNm: "texlive", Prefix: "/tree"}
+	var got []byte
+	var status int
+	sim.Post(browserCtx, 0, func() {
+		f.FetchRange("/big.pfb", 1000, 64, func(b []byte, s int) { got, status = b, s })
+	})
+	sim.Run()
+	if status != 206 || len(got) != 64 {
+		t.Fatalf("range fetch: status=%d len=%d", status, len(got))
+	}
+	for i, b := range got {
+		if b != body[1000+i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	// A range past EOF clamps; a malformed range is 416.
+	sim.Post(browserCtx, 0, func() {
+		f.FetchRange("/big.pfb", 99_990, 64, func(b []byte, s int) { got, status = b, s })
+	})
+	sim.Run()
+	if status != 206 || len(got) != 10 {
+		t.Fatalf("tail range: status=%d len=%d", status, len(got))
+	}
+}
+
 func TestServerCPUChargedToHostNotBrowser(t *testing.T) {
 	sim, browserCtx, net := newNet()
 	h := net.AddHost(&Host{

@@ -40,6 +40,9 @@ type Proc interface {
 	Pwrite(fd int, b []byte, off int64) (int, abi.Errno)
 	Seek(fd int, off int64, whence int) (int64, abi.Errno)
 	Ftruncate(fd int, size int64) abi.Errno
+	// Fsync is the write-back barrier: every buffered write on the fd is
+	// on the backing store when it returns (flush-before-reply).
+	Fsync(fd int) abi.Errno
 	Dup2(oldfd, newfd int) abi.Errno
 
 	// Vectored I/O (readv/writev). Readv reads up to the sum of lens
@@ -54,6 +57,13 @@ type Proc interface {
 	// Metadata.
 	Stat(path string) (abi.Stat, abi.Errno)
 	Lstat(path string) (abi.Stat, abi.Errno)
+	// StatBatch stats many paths with per-path results (lstat selects
+	// no-trailing-symlink semantics for the whole batch). On the Browsix
+	// ring transport the whole batch travels as one doorbell of stat
+	// frames and resolves against the kernel's dentry cache in a single
+	// batch pass — the stat-storm fast path `ls -l` and make-style
+	// probing ride.
+	StatBatch(paths []string, lstat bool) ([]abi.Stat, []abi.Errno)
 	Fstat(fd int) (abi.Stat, abi.Errno)
 	Access(path string, mode int) abi.Errno
 	Readlink(path string) (string, abi.Errno)
@@ -65,6 +75,9 @@ type Proc interface {
 	Unlink(path string) abi.Errno
 	Rename(oldp, newp string) abi.Errno
 	Symlink(target, link string) abi.Errno
+	// Getdents returns the next chunk of directory entries from the fd's
+	// cursor (at most abi.DirentChunk); an empty result marks the end.
+	// Use ReadDir to drain a whole directory.
 	Getdents(fd int) ([]abi.Dirent, abi.Errno)
 	Chdir(path string) abi.Errno
 	Getcwd() (string, abi.Errno)

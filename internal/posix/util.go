@@ -266,6 +266,23 @@ func JoinNul(ss []string) string {
 	return strings.Join(ss, "\x00") + "\x00"
 }
 
+// ReadDir drains a directory fd through getdents continuation calls —
+// the readdir(3) loop over the streaming getdents contract. Each call
+// returns at most abi.DirentChunk entries; an empty chunk marks the end.
+func ReadDir(p Proc, fd int) ([]abi.Dirent, abi.Errno) {
+	var out []abi.Dirent
+	for {
+		ents, err := p.Getdents(fd)
+		if err != abi.OK {
+			return out, err
+		}
+		if len(ents) == 0 {
+			return out, abi.OK
+		}
+		out = append(out, ents...)
+	}
+}
+
 // Basename returns the final path element.
 func Basename(p string) string {
 	if i := strings.LastIndexByte(p, '/'); i >= 0 {

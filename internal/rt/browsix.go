@@ -580,6 +580,14 @@ func (r *workerRT) Ftruncate(fd int, size int64) abi.Errno {
 	return verr(r.asyncCall("ftruncate", int64(fd), size))
 }
 
+func (r *workerRT) Fsync(fd int) abi.Errno {
+	if r.sync {
+		_, err := r.syncCall(abi.SYS_fsync, int64(fd))
+		return err
+	}
+	return verr(r.asyncCall("fsync", int64(fd)))
+}
+
 func (r *workerRT) Dup2(oldfd, newfd int) abi.Errno {
 	if r.sync {
 		_, err := r.syncCall(abi.SYS_dup2, int64(oldfd), int64(newfd))
@@ -615,6 +623,66 @@ func (r *workerRT) Stat(path string) (abi.Stat, abi.Errno) {
 }
 func (r *workerRT) Lstat(path string) (abi.Stat, abi.Errno) {
 	return r.statCall("lstat", abi.SYS_lstat, path)
+}
+
+// StatBatch fans a stat storm out as ring call frames sharing one
+// doorbell: the kernel drains them as a single batch, resolves the run
+// against the dentry cache in one pass, and answers with one notify.
+// Without the ring (scalar or async transport) it degrades to one stat
+// per call, preserving identical results.
+func (r *workerRT) StatBatch(paths []string, lstat bool) ([]abi.Stat, []abi.Errno) {
+	sts := make([]abi.Stat, len(paths))
+	errs := make([]abi.Errno, len(paths))
+	one := func(p string) (abi.Stat, abi.Errno) {
+		if lstat {
+			return r.Lstat(p)
+		}
+		return r.Stat(p)
+	}
+	trap := abi.SYS_stat
+	if lstat {
+		trap = abi.SYS_lstat
+	}
+	if !r.sync || !r.ringOK {
+		for i, p := range paths {
+			sts[i], errs[i] = one(p)
+		}
+		return sts, errs
+	}
+	i := 0
+	for i < len(paths) {
+		// Stage what fits in the scratch region, one sub-batch per
+		// doorbell.
+		var reqs []ringReq
+		var bufs []int64
+		j := i
+		for ; j < len(paths); j++ {
+			if !r.scratchFits(int64(len(paths[j])) + abi.StatSize + 32) {
+				break
+			}
+			p, n := r.putStr(paths[j])
+			sp := r.alloc(abi.StatSize)
+			reqs = append(reqs, ringReq{trap: trap, args: []int64{p, n, sp}})
+			bufs = append(bufs, sp)
+		}
+		if len(reqs) == 0 {
+			// Scratch exhausted by a pathological name: degrade to the
+			// scalar call for this one and continue batching after.
+			sts[i], errs[i] = one(paths[i])
+			i++
+			continue
+		}
+		_, rerrs := r.ringCalls(reqs)
+		hb := r.heap.Bytes()
+		for k := range reqs {
+			errs[i+k] = rerrs[k]
+			if rerrs[k] == abi.OK {
+				sts[i+k] = abi.UnpackStat(hb[bufs[k] : bufs[k]+abi.StatSize])
+			}
+		}
+		i = j
+	}
+	return sts, errs
 }
 
 func (r *workerRT) Fstat(fd int) (abi.Stat, abi.Errno) {

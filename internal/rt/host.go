@@ -327,6 +327,23 @@ func (h *HostProc) Ftruncate(fd int, size int64) abi.Errno {
 	return get()
 }
 
+func (h *HostProc) Fsync(fd int) abi.Errno {
+	f, ok := h.fds[fd]
+	if !ok {
+		return abi.EBADF
+	}
+	h.charge(0)
+	if f.h == nil {
+		return abi.OK // stdio/directories: nothing buffered
+	}
+	if s, ok := f.h.(fs.Syncer); ok {
+		set, get := completeErr()
+		s.Sync(set)
+		return get()
+	}
+	return abi.OK
+}
+
 func (h *HostProc) Dup2(oldfd, newfd int) abi.Errno {
 	f, ok := h.fds[oldfd]
 	if !ok {
@@ -354,6 +371,17 @@ func (h *HostProc) statPath(path string, follow bool) (abi.Stat, abi.Errno) {
 
 func (h *HostProc) Stat(path string) (abi.Stat, abi.Errno)  { return h.statPath(path, true) }
 func (h *HostProc) Lstat(path string) (abi.Stat, abi.Errno) { return h.statPath(path, false) }
+
+// StatBatch on the host is one direct syscall per path — the native
+// baseline has no doorbell to amortize.
+func (h *HostProc) StatBatch(paths []string, lstat bool) ([]abi.Stat, []abi.Errno) {
+	sts := make([]abi.Stat, len(paths))
+	errs := make([]abi.Errno, len(paths))
+	for i, p := range paths {
+		sts[i], errs[i] = h.statPath(p, !lstat)
+	}
+	return sts, errs
+}
 
 func (h *HostProc) Fstat(fd int) (abi.Stat, abi.Errno) {
 	f, ok := h.fds[fd]
@@ -428,6 +456,8 @@ func (h *HostProc) Symlink(target, link string) abi.Errno {
 	return get()
 }
 
+// Getdents streams the listing in DirentChunk-sized pieces from the fd's
+// cursor, matching the Browsix kernel's continuation contract.
 func (h *HostProc) Getdents(fd int) ([]abi.Dirent, abi.Errno) {
 	f, ok := h.fds[fd]
 	if !ok {
@@ -440,7 +470,19 @@ func (h *HostProc) Getdents(fd int) ([]abi.Dirent, abi.Errno) {
 	var out []abi.Dirent
 	var err abi.Errno
 	h.fsys.Readdir(f.dir, func(es []abi.Dirent, e abi.Errno) { out, err = es, e })
-	return out, err
+	if err != abi.OK {
+		return nil, err
+	}
+	off := int(f.off)
+	if off >= len(out) {
+		return nil, abi.OK
+	}
+	end := off + abi.DirentChunk
+	if end > len(out) {
+		end = len(out)
+	}
+	f.off = int64(end)
+	return out[off:end], abi.OK
 }
 
 func (h *HostProc) Chdir(path string) abi.Errno {

@@ -286,7 +286,7 @@ func (sh *state) glob(pattern string) []string {
 			if err != abi.OK {
 				continue
 			}
-			ents, err := p.Getdents(fd)
+			ents, err := posix.ReadDir(p, fd)
 			p.Close(fd)
 			if err != abi.OK {
 				continue
