@@ -57,6 +57,12 @@ import (
 // Errno re-exports the kernel error type for API users.
 type Errno = abi.Errno
 
+// DefaultFlushAge is the write-back age after which a quiet dirty file
+// is flushed in the background (virtual time): long-lived files land on
+// their backends without an fsync, while bursty writers (a LaTeX build's
+// log appends) still coalesce into few backend writes.
+const DefaultFlushAge = int64(500 * 1e6) // 500 virtual ms
+
 // Config controls Boot.
 type Config struct {
 	// Browser selects the cost profile; default Chrome (the only
@@ -94,6 +100,13 @@ func Boot(cfg Config) *Instance {
 	sys := browser.NewSystem(sim, prof)
 	clock := func() int64 { return sim.Now() }
 	fsys := fs.NewFileSystem(fs.NewMemFS(clock), clock)
+	// Age-based background write-back: dirty extents older than the
+	// default age flush on a main-thread virtual timer, so quiet
+	// long-lived files land on their backends without an fsync.
+	fsys.SetFlushTimer(func(d int64, fn func()) {
+		sim.PostDelay(sys.Main.Sched(), d, fn)
+	})
+	fsys.SetFlushAge(DefaultFlushAge)
 	k := core.NewKernel(sys, fsys, rt.Loader(sys))
 	return &Instance{
 		Sim:     sim,

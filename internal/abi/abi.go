@@ -323,6 +323,12 @@ const (
 	SYS_readv
 	SYS_writev
 	SYS_fsync
+	// SYS_readg is read-with-grant: like read, but a warm page-cache hit
+	// is answered with pinned page leases (grant.go) instead of a payload
+	// copy; everything else falls back to the copy path in the same call.
+	SYS_readg
+	// SYS_unlease returns page leases taken by earlier readg grants.
+	SYS_unlease
 	SYS_max // sentinel
 )
 
@@ -344,6 +350,7 @@ func SyscallName(n int) string {
 		SYS_bind: "bind", SYS_listen: "listen", SYS_accept: "accept",
 		SYS_connect: "connect", SYS_getsockname: "getsockname", SYS_symlink: "symlink",
 		SYS_readv: "readv", SYS_writev: "writev", SYS_fsync: "fsync",
+		SYS_readg: "readg", SYS_unlease: "unlease",
 	}
 	if n > 0 && n < len(names) && names[n] != "" {
 		return names[n]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"strings"
 
 	"repro/internal/abi"
@@ -59,6 +60,16 @@ type Kernel struct {
 	// only the number of cache passes changes.
 	DisableFSBatch bool
 
+	// DisableZeroCopy refuses page-pool registration and answers every
+	// readg with the copy path — the ablation baseline of
+	// BenchmarkZeroCopyRead, and the differential tests' way of pinning
+	// the grant and copy paths against each other.
+	DisableZeroCopy bool
+
+	// poolSAB is the page-cache arena wrapped for sharing with workers,
+	// created on the first "pagepool" registration.
+	poolSAB *browser.SAB
+
 	ports         map[int]*Socket
 	portWatchers  map[int][]func(int)
 	nextEphemeral int
@@ -80,6 +91,15 @@ type Kernel struct {
 	// to FS.StatBatch as one batch).
 	RingNotifies   int64
 	FSBatchedCalls int64
+	// Zero-copy read-path statistics. ReadCopiedBytes counts payload
+	// bytes the kernel copied into guest heaps answering reads (the
+	// per-byte work the grant path eliminates); GrantedBytes counts
+	// bytes served by page grants instead; LeaseGrants/LeaseReturns
+	// count the leases themselves.
+	ReadCopiedBytes int64
+	GrantedBytes    int64
+	LeaseGrants     int64
+	LeaseReturns    int64
 }
 
 // NewKernel boots a kernel over the given browser system and file system.
@@ -100,6 +120,38 @@ func NewKernel(sys *browser.System, fsys *fs.FileSystem, loader Loader) *Kernel 
 
 // Task returns a live or zombie task by pid.
 func (k *Kernel) Task(pid int) *Task { return k.tasks[pid] }
+
+// pagePoolSAB wraps the file system's page-cache arena as a
+// SharedArrayBuffer, once; every pool-registering process maps the same
+// view — the "mmap the page cache into the shared heap" of the zero-copy
+// read path.
+func (k *Kernel) pagePoolSAB() *browser.SAB {
+	if k.poolSAB == nil {
+		k.poolSAB = browser.WrapSAB(k.FS.PagePoolBytes())
+	}
+	return k.poolSAB
+}
+
+// releaseTaskLeases returns every page lease a task still holds — the
+// kernel-side reclaim when an image exits (or execs away) without
+// unleasing. Ordered by slot for determinism.
+func (k *Kernel) releaseTaskLeases(t *Task) {
+	if len(t.leases) == 0 {
+		return
+	}
+	slots := make([]int, 0, len(t.leases))
+	for slot := range t.leases {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	for _, slot := range slots {
+		for n := t.leases[slot]; n > 0; n-- {
+			k.FS.UnleasePage(slot)
+			k.LeaseReturns++
+		}
+	}
+	t.leases = nil
+}
 
 // Tasks returns all task pids, sorted (diagnostics, terminal `ps`).
 func (k *Kernel) Tasks() []*Task {
@@ -170,6 +222,8 @@ func (k *Kernel) Spawn(parent *Task, spec SpawnSpec, cb func(int, abi.Errno)) {
 				t.Env = spec.Env
 			}
 			t.heap, t.retOff, t.waitOff, t.ring = nil, 0, 0, nil
+			k.releaseTaskLeases(t)
+			t.pool = false
 			t.sigActions = map[int]sigAction{}
 			old := t.worker
 			defer old.Terminate()
@@ -332,6 +386,7 @@ func (k *Kernel) finishTask(t *Task, status int) {
 	}
 	t.state = taskZombie
 	t.status = status
+	k.releaseTaskLeases(t)
 	for fd := range t.files {
 		t.closeFd(fd, func(abi.Errno) {})
 	}

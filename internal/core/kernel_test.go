@@ -271,7 +271,7 @@ type world struct {
 	fs  *fs.FileSystem
 }
 
-func boot(t *testing.T) *world {
+func boot(t testing.TB) *world {
 	t.Helper()
 	sim := sched.New()
 	sim.MaxSteps = 5_000_000
@@ -292,7 +292,7 @@ func boot(t *testing.T) *world {
 	return w
 }
 
-func (w *world) mkdirAll(t *testing.T, p string) {
+func (w *world) mkdirAll(t testing.TB, p string) {
 	t.Helper()
 	w.fs.MkdirAll(p, 0o755, func(err abi.Errno) {
 		if err != abi.OK {
@@ -301,7 +301,7 @@ func (w *world) mkdirAll(t *testing.T, p string) {
 	})
 }
 
-func (w *world) install(t *testing.T, path, prog string, kind rt.Kind) {
+func (w *world) install(t testing.TB, path, prog string, kind rt.Kind) {
 	t.Helper()
 	// Small artifact size keeps unit-test sims fast; benchmarks use
 	// realistic sizes.
@@ -315,7 +315,7 @@ func (w *world) install(t *testing.T, path, prog string, kind rt.Kind) {
 
 // run launches a command line via kernel.System and drives the simulation
 // until it exits, returning exit code and captured output.
-func (w *world) run(t *testing.T, cmdline string) (int, string, string) {
+func (w *world) run(t testing.TB, cmdline string) (int, string, string) {
 	t.Helper()
 	var stdout, stderr []byte
 	code := -1

@@ -129,34 +129,43 @@ type pendingCall struct {
 	args []int64
 }
 
-// batchableTrap reports whether a trap joins an fs metadata batch: the
-// path-lookup calls a stat storm is made of.
-func batchableTrap(trap int) bool {
-	switch trap {
-	case abi.SYS_stat, abi.SYS_lstat, abi.SYS_access:
+// batchableCall reports whether a frame joins an fs metadata batch: the
+// path-lookup calls a probe storm is made of — stat/lstat/access, plus
+// readlink and *plain read-only* open (shell PATH probing interleaves
+// those with its stats; creating or truncating opens have side effects
+// that must dispatch individually, in order).
+func batchableCall(c pendingCall) bool {
+	switch c.trap {
+	case abi.SYS_stat, abi.SYS_lstat, abi.SYS_access, abi.SYS_readlink:
 		return true
+	case abi.SYS_open:
+		var flags int64
+		if len(c.args) > 2 {
+			flags = c.args[2]
+		}
+		return flags&(abi.O_ACCMODE|abi.O_CREAT|abi.O_TRUNC|abi.O_APPEND) == abi.O_RDONLY
 	}
 	return false
 }
 
 // dispatchBatch executes a batch of call frames. Runs of two or more
-// consecutive fs metadata calls resolve through FS.StatBatch — one pass
+// consecutive fs metadata calls resolve through FS.MetaBatch — one pass
 // against the dentry cache for the whole run — and everything else goes
 // through the transport-independent dispatchCall. The scalar transport
 // enters here with batch size 1 (dispatchSync), and the async transport
-// reaches the same FS.StatBatch entry point through FS.Stat/Lstat/
-// Access (batches of one), so all three transports execute identical
-// file-system code.
+// reaches the same FS.StatBatch/MetaBatch entry point through
+// FS.Stat/Lstat/Access (batches of one), so all three transports execute
+// identical file-system code.
 func (k *Kernel) dispatchBatch(t *Task, calls []pendingCall, done func(seq uint32, ret int64, err abi.Errno)) {
 	i := 0
 	for i < len(calls) {
-		if !k.DisableFSBatch && batchableTrap(calls[i].trap) {
+		if !k.DisableFSBatch && batchableCall(calls[i]) {
 			j := i + 1
-			for j < len(calls) && batchableTrap(calls[j].trap) {
+			for j < len(calls) && batchableCall(calls[j]) {
 				j++
 			}
 			if j-i > 1 {
-				k.dispatchStatRun(t, calls[i:j], done)
+				k.dispatchMetaRun(t, calls[i:j], done)
 				i = j
 				continue
 			}
@@ -169,31 +178,78 @@ func (k *Kernel) dispatchBatch(t *Task, calls []pendingCall, done func(seq uint3
 	}
 }
 
-// dispatchStatRun decodes a run of stat/lstat/access frames and resolves
-// them with a single FS.StatBatch call.
-func (k *Kernel) dispatchStatRun(t *Task, run []pendingCall, done func(uint32, int64, abi.Errno)) {
+// dispatchMetaRun decodes a run of stat/lstat/access/readlink/open
+// frames and resolves them with a single FS.MetaBatch call — one dentry
+// cache pass for the whole run — then completes each frame exactly as
+// dispatchCall would have.
+func (k *Kernel) dispatchMetaRun(t *Task, run []pendingCall, done func(uint32, int64, abi.Errno)) {
 	arg := func(c pendingCall, i int) int64 {
 		if i < len(c.args) {
 			return c.args[i]
 		}
 		return 0
 	}
-	reqs := make([]fs.StatReq, len(run))
+	reqs := make([]fs.MetaReq, len(run))
 	for i, c := range run {
-		reqs[i] = fs.StatReq{
-			Path:  t.abs(t.heapStr(arg(c, 0), arg(c, 1))),
-			Lstat: c.trap == abi.SYS_lstat,
+		path := t.abs(t.heapStr(arg(c, 0), arg(c, 1)))
+		switch c.trap {
+		case abi.SYS_stat:
+			reqs[i] = fs.MetaReq{Kind: fs.MetaStat, Path: path}
+		case abi.SYS_lstat:
+			reqs[i] = fs.MetaReq{Kind: fs.MetaLstat, Path: path}
+		case abi.SYS_access:
+			reqs[i] = fs.MetaReq{Kind: fs.MetaAccess, Path: path}
+		case abi.SYS_readlink:
+			reqs[i] = fs.MetaReq{Kind: fs.MetaReadlink, Path: path}
+		case abi.SYS_open:
+			reqs[i] = fs.MetaReq{Kind: fs.MetaOpen, Path: path,
+				Flags: int(arg(c, 2)), Mode: uint32(arg(c, 3))}
 		}
 	}
 	k.FSBatchedCalls += int64(len(run))
-	k.FS.StatBatch(reqs, func(sts []abi.Stat, errs []abi.Errno) {
+	k.FS.MetaBatch(reqs, func(res []fs.MetaRes) {
 		for i, c := range run {
-			if errs[i] == abi.OK && c.trap != abi.SYS_access {
-				var buf [abi.StatSize]byte
-				abi.PackStat(buf[:], sts[i])
-				t.heapWrite(arg(c, 2), buf[:])
+			r := res[i]
+			switch c.trap {
+			case abi.SYS_stat, abi.SYS_lstat:
+				if r.Err == abi.OK {
+					var buf [abi.StatSize]byte
+					abi.PackStat(buf[:], r.St)
+					t.heapWrite(arg(c, 2), buf[:])
+				}
+				done(c.seq, 0, r.Err)
+			case abi.SYS_access:
+				done(c.seq, 0, r.Err)
+			case abi.SYS_readlink:
+				if r.Err != abi.OK {
+					done(c.seq, -1, r.Err)
+					break
+				}
+				bufLen := arg(c, 3)
+				if bufLen < 0 {
+					done(c.seq, -1, abi.EINVAL)
+					break
+				}
+				b := []byte(r.Target)
+				if int64(len(b)) > bufLen {
+					b = b[:bufLen]
+				}
+				t.heapWrite(arg(c, 2), b)
+				done(c.seq, int64(len(b)), abi.OK)
+			case abi.SYS_open:
+				if r.Err != abi.OK {
+					done(c.seq, -1, r.Err)
+					break
+				}
+				flags := int(arg(c, 2))
+				path := reqs[i].Path
+				if r.Handle == nil {
+					// Directory: same split as doOpen.
+					done(c.seq, int64(t.installFd(NewDesc(&dirFile{fs: k.FS, path: path}, flags, path))), abi.OK)
+					break
+				}
+				done(c.seq, int64(t.installFd(NewDesc(newFSFile(r.Handle, flags), flags, path))), abi.OK)
 			}
-			done(c.seq, 0, errs[i])
 		}
 	})
 }

@@ -118,9 +118,105 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 		d.file.Read(d, int(arg(2)), func(data []byte, err abi.Errno) {
 			if err == abi.OK {
 				t.heapWrite(ptr, data)
+				k.ReadCopiedBytes += int64(len(data))
 			}
 			done(int64(len(data)), err)
 		})
+	case abi.SYS_readg:
+		// Read-with-grant: the zero-copy read path's single kernel entry.
+		// A warm page-cache hit on the ring transport answers with pinned
+		// page leases; everything else — cold pages, pipes, the scalar
+		// transport, DisableZeroCopy — falls through to the copy path
+		// below, producing byte-identical results with one payload copy.
+		//
+		// Args: fd, bufPtr, bufLen (the caller's staging buffer — the
+		// copy fallback's cap), grantPtr, maxGrants, wantN (the full
+		// request). wantN may far exceed bufLen: grants are not bounded
+		// by the caller's staging region, so a warm multi-megabyte read
+		// is one crossing where the copy path must loop — the structural
+		// win of the mapping. A cold oversized read degrades to a short
+		// (bufLen) result, which POSIX read permits.
+		d, err := t.lookFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		bufPtr, bufLen, grantPtr, maxGrants := arg(1), int(arg(2)), arg(3), int(arg(4))
+		want := int(arg(5))
+		if want <= 0 {
+			want = bufLen
+		}
+		if bufLen < 0 || want < 0 || maxGrants < 0 || maxGrants > 4096 {
+			done(-1, abi.EINVAL)
+			return
+		}
+		if t.pool && t.ring != nil && !k.DisableZeroCopy {
+			if rf, ok := d.file.(refReader); ok {
+				if refs, ok := rf.ReadRef(d, want, maxGrants); ok {
+					k.LeaseGrants += int64(len(refs))
+					grants := make([]abi.PageGrant, len(refs))
+					var granted int64
+					for i, r := range refs {
+						if t.leases == nil {
+							t.leases = map[int]int{}
+						}
+						t.leases[r.Slot]++
+						grants[i] = abi.PageGrant{
+							Slot: uint32(r.Slot), Len: uint32(r.Len),
+							Off: r.Off, Gen: r.Gen,
+						}
+						granted += int64(r.Len)
+					}
+					k.GrantedBytes += granted
+					buf := make([]byte, abi.GrantAreaSize(len(grants)))
+					abi.PackGrantReply(buf, abi.GrantMapped, grants)
+					t.heapWrite(grantPtr, buf)
+					done(granted, abi.OK)
+					return
+				}
+			}
+		}
+		readGather(d, bufLen, func(segs [][]byte, rerr abi.Errno) {
+			if rerr != abi.OK {
+				done(-1, rerr)
+				return
+			}
+			var hdr [abi.GrantHdrSize]byte
+			abi.PackGrantReply(hdr[:], abi.GrantCopied, nil)
+			t.heapWrite(grantPtr, hdr[:])
+			var total int64
+			for _, s := range segs {
+				t.heapWrite(bufPtr+total, s)
+				total += int64(len(s))
+			}
+			k.ReadCopiedBytes += total
+			done(total, abi.OK)
+		})
+	case abi.SYS_unlease:
+		// Lease reclaim: return page leases taken by earlier readg
+		// grants. ret counts the leases actually returned; unknown slots
+		// are ignored (a lease can also have been reclaimed by exit).
+		ptr, cnt := arg(0), arg(1)
+		if cnt < 0 || cnt > 4096 {
+			done(-1, abi.EINVAL)
+			return
+		}
+		slots := abi.UnpackSlots(t.heapBytes(ptr, cnt*4), int(cnt))
+		var freed int64
+		for _, s := range slots {
+			slot := int(s)
+			if t.leases[slot] == 0 {
+				continue
+			}
+			t.leases[slot]--
+			if t.leases[slot] == 0 {
+				delete(t.leases, slot)
+			}
+			k.FS.UnleasePage(slot)
+			k.LeaseReturns++
+			freed++
+		}
+		done(freed, abi.OK)
 	case abi.SYS_write:
 		d, err := t.lookFd(int(arg(0)))
 		if err != abi.OK {
@@ -176,6 +272,7 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 		d.file.Pread(arg(3), int(arg(2)), func(data []byte, err abi.Errno) {
 			if err == abi.OK {
 				t.heapWrite(ptr, data)
+				k.ReadCopiedBytes += int64(len(data))
 			}
 			done(int64(len(data)), err)
 		})
@@ -244,6 +341,10 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 		k.FS.Access(t.abs(t.heapStr(arg(0), arg(1))), int(arg(2)), func(err abi.Errno) { done(0, err) })
 	case abi.SYS_readlink:
 		bufPtr, bufLen := arg(2), arg(3)
+		if bufLen < 0 {
+			done(-1, abi.EINVAL)
+			return
+		}
 		k.FS.Readlink(t.abs(t.heapStr(arg(0), arg(1))), func(target string, err abi.Errno) {
 			if err != abi.OK {
 				done(-1, err)
@@ -276,6 +377,10 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 			return
 		}
 		bufPtr, bufLen := arg(1), arg(2)
+		if bufLen < 0 {
+			done(-1, abi.EINVAL)
+			return
+		}
 		d.file.Getdents(d, func(ents []abi.Dirent, err abi.Errno) {
 			if err != abi.OK {
 				done(-1, err)
@@ -283,6 +388,14 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 			}
 			buf := make([]byte, bufLen)
 			n, consumed := abi.PackDirents(buf, ents)
+			if consumed == 0 && len(ents) > 0 {
+				// Buffer too small for even one record: an empty result
+				// would read as end-of-directory (silent truncation).
+				// Rewind the cursor and fail, as Linux getdents does.
+				d.off -= int64(len(ents))
+				done(-1, abi.EINVAL)
+				return
+			}
 			if consumed < len(ents) {
 				// The guest's buffer was smaller than the chunk: hand the
 				// unpacked tail back to the directory cursor so the next

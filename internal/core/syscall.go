@@ -244,6 +244,18 @@ func (k *Kernel) dispatchAsync(t *Task, name string, a []browser.Value, reply fu
 		}
 		reply(int64(0), errv(abi.OK))
 
+	case "pagepool":
+		// Page-pool negotiation (after the ring): the kernel shares its
+		// page-cache arena as a SharedArrayBuffer, and the process may
+		// issue readg calls answered with page grants against it.
+		// Refusal leaves the process on the copy path.
+		if k.DisableZeroCopy || t.heap == nil || t.ring == nil {
+			reply(int64(-1), errv(abi.ENOSYS))
+			return
+		}
+		t.pool = true
+		reply(int64(0), errv(abi.OK), k.pagePoolSAB())
+
 	case "open":
 		k.doOpen(t, argStr(0), int(argInt(1)), uint32(argInt(2)), func(fd int, err abi.Errno) {
 			reply(int64(fd), errv(err))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/abi"
+	"repro/internal/fs"
 )
 
 // Vectored, zero-copy I/O (the data-plane half of the ring-transport
@@ -27,6 +28,14 @@ type splicer interface {
 // readv needs no kernel-side coalescing buffer.
 type vectoredReader interface {
 	Readv(d *Desc, total int, cb func([][]byte, abi.Errno))
+}
+
+// refReader is implemented by files whose storage can answer a read
+// with pinned page-cache references instead of payload bytes (fs-backed
+// files over the shared page pool) — the zero-copy read path. A refusal
+// must leave the descriptor offset untouched.
+type refReader interface {
+	ReadRef(d *Desc, n, max int) ([]fs.PageRef, bool)
 }
 
 // writeMoved writes one kernel-owned buffer to a file, transferring
@@ -103,6 +112,7 @@ func (k *Kernel) doReadv(t *Task, d *Desc, iovs []abi.Iovec, done func(int64, ab
 			return
 		}
 		n := t.scatterHeap(iovs, segs)
+		k.ReadCopiedBytes += int64(n)
 		done(int64(n), abi.OK)
 	})
 }

@@ -102,6 +102,14 @@ type FileSystem struct {
 	// dirtyBudget bounds the buffered bytes before a forced flush.
 	writeBack   bool
 	dirtyBudget int64
+
+	// Age-based background flusher (writeback.go): dirty extents older
+	// than flushAge flush on a virtual-time timer, so quiet long-lived
+	// files land without an fsync. flushTimer is the scheduler the
+	// kernel wires in; 0/nil disables.
+	flushAge        int64
+	flushTimer      func(delayNs int64, fn func())
+	flushTimerArmed bool
 }
 
 // NewFileSystem creates a file system whose root is the given backend.
@@ -161,7 +169,13 @@ type CacheStats struct {
 	Flushes         int64 // per-path flush operations
 	FlushWrites     int64 // vectored backend writes the flusher issued
 	OverflowFlushes int64 // flushes forced by the dirty budget
+	AgedFlushes     int64 // background flushes triggered by extent age
 	DirtyBytes      int64 // bytes currently buffered
+
+	// Zero-copy lease counters (pagepool.go).
+	GrantedPages  int64 // pages granted out as leases
+	ReturnedPages int64 // leases returned
+	PinnedPages   int   // pool slots currently pinned by leases
 
 	// Batched-lookup counters (dcache batch path).
 	BatchedLookups int64 // lookups resolved through StatBatch batches
@@ -187,7 +201,12 @@ func (f *FileSystem) CacheStats() CacheStats {
 		Flushes:         f.pc.flushes,
 		FlushWrites:     f.pc.flushWrites,
 		OverflowFlushes: f.pc.overflowFlushes,
+		AgedFlushes:     f.pc.agedFlushes,
 		DirtyBytes:      f.pc.dirtyBytes,
+
+		GrantedPages:  f.pc.grantedPages,
+		ReturnedPages: f.pc.returnedPages,
+		PinnedPages:   f.pc.pool.pinned,
 
 		BatchedLookups: f.dc.batchedLookups,
 		StatBatches:    f.dc.statBatches,
@@ -326,12 +345,7 @@ type StatReq struct {
 // through: the ring transport hands a whole drained doorbell of stat
 // frames here at once, the scalar and async transports arrive with
 // batch size 1 — so all three stay byte-identical by construction.
-//
-// A multi-element batch first resolves against the dentry cache's batch
-// lookup path (one pass, one lock acquisition's worth of work for the
-// whole storm); only the misses fall back to full walks. Results carry
-// the write-back overlay: a path with buffered dirty extents reports its
-// virtual size and buffered mtime.
+// It is the pure-metadata form of MetaBatch below.
 func (f *FileSystem) StatBatch(reqs []StatReq, cb func([]abi.Stat, []abi.Errno)) {
 	if len(reqs) == 1 {
 		// Batch of one — the scalar/async common case: a direct walk,
@@ -348,15 +362,78 @@ func (f *FileSystem) StatBatch(reqs []StatReq, cb func([]abi.Stat, []abi.Errno))
 		})
 		return
 	}
-	sts := make([]abi.Stat, len(reqs))
-	errs := make([]abi.Errno, len(reqs))
-	var misses []int
-	if f.cachesOn {
+	mreqs := make([]MetaReq, len(reqs))
+	for i, r := range reqs {
+		mreqs[i] = MetaReq{Kind: MetaStat, Path: r.Path}
+		if r.Lstat {
+			mreqs[i].Kind = MetaLstat
+		}
+	}
+	f.MetaBatch(mreqs, func(res []MetaRes) {
+		sts := make([]abi.Stat, len(res))
+		errs := make([]abi.Errno, len(res))
+		for i, r := range res {
+			sts[i], errs[i] = r.St, r.Err
+		}
+		cb(sts, errs)
+	})
+}
+
+// MetaKind selects the operation of one MetaBatch element.
+type MetaKind int
+
+// MetaBatch element kinds: the path-lookup calls a shell's probe storms
+// are made of.
+const (
+	MetaStat MetaKind = iota
+	MetaLstat
+	MetaAccess
+	MetaReadlink
+	MetaOpen
+)
+
+// MetaReq is one element of a MetaBatch. Flags/Mode apply to MetaOpen.
+type MetaReq struct {
+	Kind  MetaKind
+	Path  string
+	Flags int
+	Mode  uint32
+}
+
+// MetaRes is one MetaBatch result. For MetaOpen with Err == OK, a nil
+// Handle means the path is a directory (St describes it; the kernel
+// installs its directory object) — mirroring the kernel's open split.
+type MetaRes struct {
+	St     abi.Stat
+	Err    abi.Errno
+	Target string     // MetaReadlink
+	Handle FileHandle // MetaOpen (nil for directories)
+}
+
+// MetaBatch resolves a batch of path operations — stat/lstat/access
+// plus the readlink and plain read-only open calls that ride along in a
+// shell's PATH-probing storms. A multi-element batch first resolves
+// every walk it can against the dentry cache's batch lookup path (one
+// pass for the whole storm — opens included, since an open's directory
+// check is the same follow-walk); only the misses fall back to full
+// walks, and only regular-file opens touch a backend. Results carry the
+// write-back overlay: a path with buffered dirty extents reports its
+// virtual size and buffered mtime.
+func (f *FileSystem) MetaBatch(reqs []MetaReq, cb func([]MetaRes)) {
+	res := make([]MetaRes, len(reqs))
+	resolved := make([]bool, len(reqs))
+	// batchSt holds the batch pass's walk result for MetaOpen elements:
+	// the open continuation reuses it instead of re-statting.
+	batchSt := make(map[int]abi.Stat)
+	if f.cachesOn && len(reqs) > 1 {
 		f.dc.statBatches++
 		keys := make([]string, len(reqs))
 		opts := make([]walkOpts, len(reqs))
 		for i, r := range reqs {
-			o := walkOpts{follow: !r.Lstat}
+			if r.Kind == MetaReadlink {
+				continue // needs the backend (or memoized target) anyway
+			}
+			o := walkOpts{follow: r.Kind != MetaLstat}
 			if hadTrailingSlash(r.Path) {
 				o.follow, o.requireDir = true, true
 			}
@@ -369,37 +446,92 @@ func (f *FileSystem) StatBatch(reqs []StatReq, cb func([]abi.Stat, []abi.Errno))
 		}
 		ents, ok := f.dc.getWalkBatch(keys, opts)
 		for i := range reqs {
-			if ok[i] {
-				sts[i] = ents[i].st
-				f.patchDirtyStat(ents[i].path, &sts[i])
-			} else {
-				misses = append(misses, i)
+			if !ok[i] {
+				continue
+			}
+			st := ents[i].st
+			f.patchDirtyStat(ents[i].path, &st)
+			switch reqs[i].Kind {
+			case MetaStat, MetaLstat, MetaAccess:
+				res[i].St = st
+				resolved[i] = true
+			case MetaOpen:
+				batchSt[i] = st
 			}
 		}
-	} else {
-		misses = make([]int, len(reqs))
-		for i := range reqs {
-			misses[i] = i
-		}
 	}
-	var step func(k int)
-	step = func(k int) {
-		if k >= len(misses) {
-			cb(sts, errs)
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(reqs) {
+			cb(res)
 			return
 		}
-		i := misses[k]
-		f.walk(reqs[i].Path, walkOpts{follow: !reqs[i].Lstat}, func(e walkEnt) {
-			if e.err != abi.OK {
-				errs[i] = e.err
-			} else {
-				sts[i] = e.st
-				f.patchDirtyStat(e.path, &sts[i])
+		if resolved[i] {
+			step(i + 1)
+			return
+		}
+		next := func() { step(i + 1) }
+		r := reqs[i]
+		switch r.Kind {
+		case MetaStat, MetaLstat, MetaAccess:
+			f.walk(r.Path, walkOpts{follow: r.Kind != MetaLstat}, func(e walkEnt) {
+				if e.err != abi.OK {
+					res[i].Err = e.err
+				} else {
+					res[i].St = e.st
+					f.patchDirtyStat(e.path, &res[i].St)
+				}
+				next()
+			})
+		case MetaReadlink:
+			f.Readlink(r.Path, func(target string, err abi.Errno) {
+				res[i].Target, res[i].Err = target, err
+				next()
+			})
+		case MetaOpen:
+			cont := func(st abi.Stat, serr abi.Errno) { f.metaOpen(r, st, serr, &res[i], next) }
+			if st, ok := batchSt[i]; ok {
+				cont(st, abi.OK)
+				return
 			}
-			step(k + 1)
-		})
+			f.Stat(r.Path, cont)
+		default:
+			res[i].Err = abi.EINVAL
+			next()
+		}
 	}
 	step(0)
+}
+
+// metaOpen finishes a MetaOpen element from its stat result, mirroring
+// the kernel's open split exactly: directories resolve without touching
+// a backend (the kernel installs its directory object over St); regular
+// files go through the ordinary Open path — page-cached handles, write
+// barriers and all.
+func (f *FileSystem) metaOpen(r MetaReq, st abi.Stat, serr abi.Errno, out *MetaRes, next func()) {
+	if serr == abi.OK && st.IsDir() {
+		if r.Flags&abi.O_ACCMODE != abi.O_RDONLY {
+			out.Err = abi.EISDIR
+			next()
+			return
+		}
+		out.St = st
+		next()
+		return
+	}
+	if r.Flags&abi.O_DIRECTORY != 0 {
+		if serr != abi.OK {
+			out.Err = serr
+		} else {
+			out.Err = abi.ENOTDIR
+		}
+		next()
+		return
+	}
+	f.Open(r.Path, r.Flags, r.Mode, func(h FileHandle, err abi.Errno) {
+		out.St, out.Err, out.Handle = st, err, h
+		next()
+	})
 }
 
 // Stat stats a path, following symlinks (a StatBatch of one).
@@ -441,8 +573,13 @@ func (f *FileSystem) Open(p string, flags int, mode uint32, cb func(FileHandle, 
 		// Open barrier: buffered write-back state for this path flushes
 		// before any new handle is born, so every new reader (or writer)
 		// observes the flushed bytes — cross-handle read-your-writes.
+		// The open proceeds regardless; a flush failure is recorded for
+		// the next fsync on the path.
 		if e.path != "" && f.pc.dirty[e.path] != nil {
-			f.flushPath(e.path, func(abi.Errno) { f.openResolved(e, p, flags, mode, wantsWrite, cb) })
+			f.flushPath(e.path, func(err abi.Errno) {
+				f.recordFlushErr(e.path, err)
+				f.openResolved(e, p, flags, mode, wantsWrite, cb)
+			})
 			return
 		}
 		f.openResolved(e, p, flags, mode, wantsWrite, cb)
@@ -846,7 +983,10 @@ type invalHandle struct {
 
 func (h *invalHandle) Pread(off int64, n int, cb func([]byte, abi.Errno)) {
 	if h.fs.pc.dirty[h.path] != nil {
-		h.fs.flushPath(h.path, func(abi.Errno) { h.FileHandle.Pread(off, n, cb) })
+		h.fs.flushPath(h.path, func(err abi.Errno) {
+			h.fs.recordFlushErr(h.path, err)
+			h.FileHandle.Pread(off, n, cb)
+		})
 		return
 	}
 	h.FileHandle.Pread(off, n, cb)
@@ -854,7 +994,10 @@ func (h *invalHandle) Pread(off int64, n int, cb func([]byte, abi.Errno)) {
 
 func (h *invalHandle) Preadv(off int64, lens []int, cb func([][]byte, abi.Errno)) {
 	if h.fs.pc.dirty[h.path] != nil {
-		h.fs.flushPath(h.path, func(abi.Errno) { h.FileHandle.Preadv(off, lens, cb) })
+		h.fs.flushPath(h.path, func(err abi.Errno) {
+			h.fs.recordFlushErr(h.path, err)
+			h.FileHandle.Preadv(off, lens, cb)
+		})
 		return
 	}
 	h.FileHandle.Preadv(off, lens, cb)

@@ -13,33 +13,49 @@ import (
 // opened *lazily* — a fully cached file is re-opened and re-read without
 // a single backend call.
 //
-// Invalidation rides the same hooks as the dentry cache: any mutating
-// operation on a path drops its pages.
+// Pages live in the shared page pool (pagepool.go), so a warm read can
+// be answered with pinned page *leases* instead of a payload copy — the
+// zero-copy read path. Invalidation rides the same hooks as the dentry
+// cache: any mutating operation on a path drops its pages; dropped pages
+// with outstanding leases freeze (bytes intact) until the leases return.
 
-// PageSize is the page-cache granule.
-const PageSize = 16 * 1024
+// PageSize is the page-cache granule — the ABI's grant granule, since
+// leases are handed across the kernel boundary in these units.
+const PageSize = abi.GrantPageSize
 
 // maxPageCacheBytes bounds cached content; overflow clears the cache
 // (crude, deterministic — the workloads fit comfortably).
 const maxPageCacheBytes = 64 << 20
 
-// DefaultReadaheadPages is the sequential readahead window.
+// DefaultReadaheadPages is the base sequential readahead window. The
+// window adapts per handle: it doubles on a sequential streak (up to
+// MaxReadaheadPages) and resets to the base on a seek, so cold streams
+// of large files grow their transfer unit without over-fetching on
+// random access.
 const DefaultReadaheadPages = 4
 
+// MaxReadaheadPages caps the adaptive readahead window (1 MiB of pages).
+const MaxReadaheadPages = 64
+
 type filePages struct {
-	pages map[int64][]byte // page index -> content (short page = EOF page)
+	pages map[int64]poolPage // page index -> pooled content (short page = EOF page)
 	bytes int64
 }
 
 type pageCache struct {
 	files map[string]*filePages
 	bytes int64
+	pool  pagePool
 
 	// dirty holds buffered write-back state per canonical path (see
 	// writeback.go); dirtyBytes is the running total the dirty budget
-	// bounds.
+	// bounds. flushErrs records a failed background/overflow flush per
+	// path, surfaced at the next fsync on that path; entries carry the
+	// generation at record time so a later unrelated file reusing the
+	// name can never inherit a dead file's error.
 	dirty      map[string]*dirtyFile
 	dirtyBytes int64
+	flushErrs  map[string]flushErr
 
 	// gens tracks an invalidation generation per path. A pagedHandle
 	// captures the generation at open; once a write (or copy-up, or
@@ -53,17 +69,20 @@ type pageCache struct {
 	epoch uint64
 
 	hits, misses, readaheads int64
+	// Lease counters: pages granted out as leases, leases returned.
+	grantedPages, returnedPages int64
 	// Write-back counters: writes absorbed into dirty extents, flush
-	// operations, vectored backend writes the flusher issued, and
-	// budget-overflow flushes.
-	bufferedWrites, flushes, flushWrites, overflowFlushes int64
+	// operations, vectored backend writes the flusher issued,
+	// budget-overflow flushes, and age-triggered background flushes.
+	bufferedWrites, flushes, flushWrites, overflowFlushes, agedFlushes int64
 }
 
 func newPageCache() *pageCache {
 	return &pageCache{
-		files: map[string]*filePages{},
-		gens:  map[string]uint64{},
-		dirty: map[string]*dirtyFile{},
+		files:     map[string]*filePages{},
+		gens:      map[string]uint64{},
+		dirty:     map[string]*dirtyFile{},
+		flushErrs: map[string]flushErr{},
 	}
 }
 
@@ -72,23 +91,62 @@ func (c *pageCache) gen(p string) uint64 { return c.epoch<<32 | c.gens[p] }
 func (c *pageCache) file(p string) *filePages {
 	fp := c.files[p]
 	if fp == nil {
-		fp = &filePages{pages: map[int64][]byte{}}
+		fp = &filePages{pages: map[int64]poolPage{}}
 		c.files[p] = fp
 	}
 	return fp
 }
 
+// releaseFilePages detaches every slot a file holds (freeing or
+// freezing each) without touching the files map.
+func (c *pageCache) releaseFilePages(fp *filePages) {
+	for _, pg := range fp.pages {
+		c.pool.release(pg.slot)
+	}
+}
+
+// evictAll drops every cached page — the deterministic overflow policy.
+// Pinned slots freeze; everything else returns to the free stack.
+// Generations are untouched: handles stay current, the content is just
+// gone (exactly the old clear-the-map semantics).
+func (c *pageCache) evictAll() {
+	for _, fp := range c.files {
+		c.releaseFilePages(fp)
+	}
+	clear(c.files)
+	c.bytes = 0
+}
+
+// store caches one page of content for (p, pageIdx), copying data into a
+// pool slot. When the pool (or the byte budget) is exhausted it evicts
+// everything unpinned; if every slot is pinned the page simply is not
+// cached (reads still work through the backend).
 func (c *pageCache) store(p string, pageIdx int64, data []byte) {
+	if len(data) > PageSize {
+		return // defensive: a page never exceeds the granule
+	}
 	if c.bytes+int64(len(data)) > maxPageCacheBytes {
-		clear(c.files)
-		c.bytes = 0
+		c.evictAll()
 	}
 	fp := c.file(p)
 	if old, ok := fp.pages[pageIdx]; ok {
-		fp.bytes -= int64(len(old))
-		c.bytes -= int64(len(old))
+		// Replacing a cached page never rewrites its slot in place: the
+		// old slot may be leased out. Detach it and fill a fresh one.
+		fp.bytes -= int64(old.len)
+		c.bytes -= int64(old.len)
+		c.pool.release(old.slot)
+		delete(fp.pages, pageIdx)
 	}
-	fp.pages[pageIdx] = data
+	slot, ok := c.pool.alloc()
+	if !ok {
+		c.evictAll()
+		fp = c.file(p)
+		if slot, ok = c.pool.alloc(); !ok {
+			return // every slot leased out: skip caching this page
+		}
+	}
+	copy(c.pool.arena[slot*PageSize:], data)
+	fp.pages[pageIdx] = poolPage{slot: slot, len: len(data)}
 	fp.bytes += int64(len(data))
 	c.bytes += int64(len(data))
 }
@@ -96,9 +154,13 @@ func (c *pageCache) store(p string, pageIdx int64, data []byte) {
 // dropPages forgets a path's clean pages without bumping its
 // generation: the write-back handle's own buffered writes change the
 // file's content but not the name→file binding, so outstanding handles
-// stay current.
+// stay current. Leased slots freeze — the reclaim-before-coalesce
+// interlock: a dirty extent overlapping a leased page detaches the page
+// here before the new bytes are buffered, so leaseholders keep reading
+// the bytes they were granted.
 func (c *pageCache) dropPages(p string) {
 	if fp, ok := c.files[p]; ok {
+		c.releaseFilePages(fp)
 		c.bytes -= fp.bytes
 		delete(c.files, p)
 	}
@@ -121,6 +183,7 @@ func (c *pageCache) dropTree(p string) {
 	}
 	for k, fp := range c.files {
 		if strings.HasPrefix(k, prefix) {
+			c.releaseFilePages(fp)
 			c.bytes -= fp.bytes
 			delete(c.files, k)
 			c.gens[k]++
@@ -130,10 +193,10 @@ func (c *pageCache) dropTree(p string) {
 
 // flush drops all cached pages and advances the epoch: handles opened
 // before the flush (possibly against a backend a new Mount has since
-// shadowed) go permanently stale and bypass the cache.
+// shadowed) go permanently stale and bypass the cache. Leased slots
+// freeze, as everywhere.
 func (c *pageCache) flush() {
-	clear(c.files)
-	c.bytes = 0
+	c.evictAll()
 	c.epoch++
 }
 
@@ -163,9 +226,10 @@ type pagedHandle struct {
 	gen  uint64                               // page-cache generation at open
 	open func(cb func(FileHandle, abi.Errno)) // lazy backend open
 
-	inner   FileHandle
-	lastEnd int64 // end offset of the previous read (sequential detector)
-	raBusy  bool  // one readahead in flight per handle
+	inner    FileHandle
+	lastEnd  int64 // end offset of the previous read (sequential detector)
+	raBusy   bool  // one readahead in flight per handle
+	raWindow int   // adaptive readahead window, pages (0 until sequential)
 }
 
 // current reports whether the handle may use the page cache: a bumped
@@ -186,6 +250,23 @@ func (h *pagedHandle) ensureInner(cb func(FileHandle, abi.Errno)) {
 	})
 }
 
+// adaptWindow updates the adaptive readahead window for a read at off:
+// double on a sequential streak (capped), reset to the base on a seek.
+func (h *pagedHandle) adaptWindow(sequential bool) {
+	base := h.fs.readaheadPages
+	switch {
+	case !sequential:
+		h.raWindow = base
+	case h.raWindow == 0:
+		h.raWindow = base
+	case h.raWindow < MaxReadaheadPages:
+		h.raWindow *= 2
+		if h.raWindow > MaxReadaheadPages {
+			h.raWindow = MaxReadaheadPages
+		}
+	}
+}
+
 // cachedRange assembles [off, end) from cached pages; ok is false on any
 // missing page. A short page marks EOF: assembly stops there.
 func (h *pagedHandle) cachedRange(off, end int64) ([]byte, bool) {
@@ -193,13 +274,15 @@ func (h *pagedHandle) cachedRange(off, end int64) ([]byte, bool) {
 	if fp == nil {
 		return nil, false
 	}
+	pool := &h.fs.pc.pool
 	out := make([]byte, 0, end-off)
 	for pos := off; pos < end; {
 		idx := pos / PageSize
-		page, okp := fp.pages[idx]
+		pg, okp := fp.pages[idx]
 		if !okp {
 			return nil, false
 		}
+		page := pool.data(pg)
 		pstart := idx * PageSize
 		lo := pos - pstart
 		if lo >= int64(len(page)) {
@@ -218,6 +301,72 @@ func (h *pagedHandle) cachedRange(off, end int64) ([]byte, bool) {
 	return out, true
 }
 
+// PreadRef implements RefReader: the zero-copy fast path. When every
+// byte of [off, off+n) is resident and the handle is current, the pages
+// are pinned and returned as PageRefs — no bytes move. Refusals (cold
+// pages, dirty write-back state, stale generation, too many refs for
+// max) pin nothing and send the caller down the Pread copy path, which
+// produces identical bytes. An empty ref list with ok=true is a clean
+// EOF: zero bytes, zero copies.
+func (h *pagedHandle) PreadRef(off int64, n, max int) ([]PageRef, bool) {
+	if off < 0 || n <= 0 {
+		return nil, false
+	}
+	pc := h.fs.pc
+	if pc.dirty[h.path] != nil || !h.current() {
+		return nil, false
+	}
+	fp := pc.files[h.path]
+	if fp == nil {
+		return nil, false
+	}
+	end := off + int64(n)
+	var refs []PageRef
+	var granted int64
+	for pos := off; pos < end; {
+		idx := pos / PageSize
+		pg, okp := fp.pages[idx]
+		if !okp {
+			return nil, false
+		}
+		pstart := idx * PageSize
+		lo := pos - pstart
+		if lo >= int64(pg.len) {
+			break // EOF inside this page
+		}
+		hi := end - pstart
+		if hi > int64(pg.len) {
+			hi = int64(pg.len)
+		}
+		if len(refs) >= max {
+			return nil, false // grant area too small; copy path instead
+		}
+		refs = append(refs, PageRef{
+			Slot: pg.slot,
+			Gen:  h.gen,
+			Off:  int64(pg.slot)*PageSize + lo,
+			Len:  int(hi - lo),
+		})
+		granted += hi - lo
+		if pg.len < PageSize && pstart+int64(pg.len) < end {
+			break // short page = end of file
+		}
+		pos = pstart + hi
+	}
+	for _, r := range refs {
+		pc.pool.pin(r.Slot)
+	}
+	pc.hits++
+	pc.grantedPages += int64(len(refs))
+	sequential := off == h.lastEnd
+	h.adaptWindow(sequential)
+	h.lastEnd = off + granted
+	if sequential {
+		h.readahead(end)
+	}
+	return refs, true
+}
+
 // storeRange splits backend data read at page-aligned start into pages.
 func (h *pagedHandle) storeRange(start int64, data []byte) {
 	for o := int64(0); o < int64(len(data)); o += PageSize {
@@ -225,9 +374,7 @@ func (h *pagedHandle) storeRange(start int64, data []byte) {
 		if end > int64(len(data)) {
 			end = int64(len(data))
 		}
-		page := make([]byte, end-o)
-		copy(page, data[o:end])
-		h.fs.pc.store(h.path, (start+o)/PageSize, page)
+		h.fs.pc.store(h.path, (start+o)/PageSize, data[o:end])
 	}
 }
 
@@ -241,7 +388,10 @@ func (h *pagedHandle) storeRange(start int64, data []byte) {
 // writes (POSIX read-after-write), whichever handle buffered them.
 func (h *pagedHandle) Pread(off int64, n int, cb func([]byte, abi.Errno)) {
 	if h.fs.pc.dirty[h.path] != nil {
-		h.fs.flushPath(h.path, func(abi.Errno) { h.preadResolved(off, n, cb) })
+		h.fs.flushPath(h.path, func(err abi.Errno) {
+			h.fs.recordFlushErr(h.path, err)
+			h.preadResolved(off, n, cb)
+		})
 		return
 	}
 	h.preadResolved(off, n, cb)
@@ -267,6 +417,7 @@ func (h *pagedHandle) preadResolved(off int64, n int, cb func([]byte, abi.Errno)
 	sequential := off == h.lastEnd
 	if data, ok := h.cachedRange(off, end); ok {
 		h.fs.pc.hits++
+		h.adaptWindow(sequential)
 		h.lastEnd = off + int64(len(data))
 		if sequential {
 			h.readahead(end)
@@ -300,6 +451,7 @@ func (h *pagedHandle) preadResolved(off int64, n int, cb func([]byte, abi.Errno)
 			}
 			out := make([]byte, hi-lo)
 			copy(out, data[lo:hi])
+			h.adaptWindow(sequential)
 			h.lastEnd = off + int64(len(out))
 			if sequential {
 				h.readahead(end)
@@ -311,9 +463,10 @@ func (h *pagedHandle) preadResolved(off int64, n int, cb func([]byte, abi.Errno)
 
 // readahead prefetches the next window of pages after end. Completion is
 // fire-and-forget: the pages land in the cache whenever the backend
-// delivers them.
+// delivers them. The window is the handle's adaptive one, so with httpfs
+// byte-range fetches the transfer unit grows with the sequential streak.
 func (h *pagedHandle) readahead(end int64) {
-	window := int64(h.fs.readaheadPages)
+	window := int64(h.raWindow)
 	if window <= 0 || h.raBusy || end >= h.st.Size || !h.current() {
 		return
 	}

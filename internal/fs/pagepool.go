@@ -1,0 +1,150 @@
+package fs
+
+import "repro/internal/abi"
+
+// The page pool is the shared-memory arena every cached page lives in:
+// one flat region of PageSize slots the kernel exports to processes as a
+// SharedArrayBuffer (the "mapped page cache"). Storing pages in slots —
+// instead of per-page Go allocations — is what makes the zero-copy read
+// path possible: a grant names (slot, arena offset, length) and the
+// process reads the bytes through its own mapping of the arena, no
+// kernel copy.
+//
+// Leases make that safe. A granted page is *pinned*; a pinned slot's
+// bytes are never rewritten and the slot is never recycled. When an
+// invalidation, flush, or cache eviction drops a pinned page, the slot
+// detaches from the cache (no new reads or grants see it) but *freezes*
+// — the bytes stay intact for the outstanding leaseholders — and is
+// reclaimed for reuse only when the last lease is returned. This is the
+// pipe layer's owned-segment discipline applied to cache pages:
+// ownership of the bytes moves to the process until it hands them back.
+
+// poolSlots bounds the arena: maxPageCacheBytes of PageSize slots.
+const poolSlots = maxPageCacheBytes / PageSize
+
+// pagePool is the slot allocator over the shared arena.
+type pagePool struct {
+	arena []byte // poolSlots * PageSize bytes; allocated on first use
+	// free is the free-slot stack. pins counts outstanding leases per
+	// slot; frozen marks slots dropped from the cache while pinned
+	// (bytes preserved, freed on last unpin).
+	free   []int
+	pins   []int32
+	frozen []bool
+
+	pinned int // slots with pins > 0 (diagnostics)
+}
+
+// ensure allocates the arena on first use. The backing array is never
+// reallocated afterwards: kernel-side SAB views alias it.
+func (pp *pagePool) ensure() {
+	if pp.arena != nil {
+		return
+	}
+	pp.arena = make([]byte, poolSlots*PageSize)
+	pp.pins = make([]int32, poolSlots)
+	pp.frozen = make([]bool, poolSlots)
+	pp.free = make([]int, poolSlots)
+	// Ascending allocation order (slot 0 first) keeps runs deterministic.
+	for i := range pp.free {
+		pp.free[i] = poolSlots - 1 - i
+	}
+}
+
+// alloc takes a free slot; ok is false when every slot is live or frozen
+// (the caller evicts, or skips caching).
+func (pp *pagePool) alloc() (int, bool) {
+	pp.ensure()
+	n := len(pp.free)
+	if n == 0 {
+		return 0, false
+	}
+	slot := pp.free[n-1]
+	pp.free = pp.free[:n-1]
+	return slot, true
+}
+
+// release detaches a slot from the cache: free immediately when no
+// leases are outstanding, otherwise freeze it until the last unpin.
+func (pp *pagePool) release(slot int) {
+	if pp.pins[slot] > 0 {
+		pp.frozen[slot] = true
+		return
+	}
+	pp.free = append(pp.free, slot)
+}
+
+// pin takes one lease on a slot.
+func (pp *pagePool) pin(slot int) {
+	if pp.pins[slot] == 0 {
+		pp.pinned++
+	}
+	pp.pins[slot]++
+}
+
+// unpin returns one lease; a frozen slot whose last lease returns goes
+// back on the free stack.
+func (pp *pagePool) unpin(slot int) bool {
+	if slot < 0 || slot >= len(pp.pins) || pp.pins[slot] == 0 {
+		return false
+	}
+	pp.pins[slot]--
+	if pp.pins[slot] == 0 {
+		pp.pinned--
+		if pp.frozen[slot] {
+			pp.frozen[slot] = false
+			pp.free = append(pp.free, slot)
+		}
+	}
+	return true
+}
+
+// data returns the live bytes of a slot's page.
+func (pp *pagePool) data(pg poolPage) []byte {
+	base := pg.slot * PageSize
+	return pp.arena[base : base+pg.len]
+}
+
+// poolPage is one cached page: a pool slot holding len content bytes
+// (a short page — len < PageSize — marks EOF, as before).
+type poolPage struct {
+	slot int
+	len  int
+}
+
+// PagePoolBytes exposes the page-cache arena for sharing with processes
+// (the kernel wraps it in a SharedArrayBuffer). Forces allocation.
+func (f *FileSystem) PagePoolBytes() []byte {
+	f.pc.pool.ensure()
+	return f.pc.pool.arena
+}
+
+// UnleasePage returns one page lease; false if the slot held none.
+func (f *FileSystem) UnleasePage(slot int) bool {
+	if !f.pc.pool.unpin(slot) {
+		return false
+	}
+	f.pc.returnedPages++
+	return true
+}
+
+// PageRef references pinned bytes in the page pool: the fs-level
+// currency of the zero-copy read path (abi.PageGrant is its wire form).
+type PageRef struct {
+	Slot int
+	Gen  uint64
+	Off  int64 // byte offset into the pool arena
+	Len  int
+}
+
+// RefReader is the optional FileHandle extension the zero-copy read
+// path drives: serve [off, off+n) as pinned page references when every
+// byte is already resident and the handle is current. ok=false sends the
+// caller down the ordinary copy path — same bytes, one copy. Refs are
+// pinned on success; callers owe one UnleasePage per ref. max bounds the
+// ref count (the caller's grant area size); a refusal never pins.
+type RefReader interface {
+	PreadRef(off int64, n, max int) ([]PageRef, bool)
+}
+
+var _ = abi.GrantPageSize // PageSize aliases the ABI granule (pagecache.go)

@@ -49,6 +49,7 @@ type dirtyFile struct {
 	extents []dirtyExtent // ascending offset, disjoint, non-adjacent
 	bytes   int64
 	mtime   int64 // virtual time of the last buffered write
+	born    int64 // virtual time of the first buffered write this epoch
 	// flush lands one extent on the backend, bound to the most recent
 	// writer's (open) backend handle. Rebinding on every buffered write
 	// keeps the closure valid: close flushes before the handle dies.
@@ -188,6 +189,68 @@ func (f *FileSystem) SetDirtyBudget(n int64) {
 	f.dirtyBudget = n
 }
 
+// SetFlushTimer installs the virtual-time scheduler the age-based
+// background flusher uses (the kernel wires the simulator's delayed-post
+// here). Without a timer — or with a zero age — the flusher is off and
+// flushes ride barriers and budget overflow only.
+func (f *FileSystem) SetFlushTimer(schedule func(delayNs int64, fn func())) {
+	f.flushTimer = schedule
+	f.armFlushTimer()
+}
+
+// SetFlushAge sets the age (virtual ns) after which buffered dirty
+// extents flush in the background, so quiet long-lived files land on the
+// backend without an fsync. 0 disables age-based flushing.
+func (f *FileSystem) SetFlushAge(ns int64) {
+	f.flushAge = ns
+	f.armFlushTimer()
+}
+
+// armFlushTimer schedules the next background-flush tick at the earliest
+// moment any buffered file comes of age. No-op while nothing is dirty —
+// the simulation stays quiescent — or while a tick is already pending.
+func (f *FileSystem) armFlushTimer() {
+	if f.flushAge <= 0 || f.flushTimer == nil || f.flushTimerArmed || len(f.pc.dirty) == 0 {
+		return
+	}
+	due := int64(1) << 62
+	for _, df := range f.pc.dirty {
+		if d := df.born + f.flushAge; d < due {
+			due = d
+		}
+	}
+	delay := due - f.now()
+	if delay < 1 {
+		delay = 1
+	}
+	f.flushTimerArmed = true
+	f.flushTimer(delay, f.flushTick)
+}
+
+// flushTick flushes every dirty file older than the configured age
+// (counted as CacheStats.AgedFlushes), then re-arms for the next one.
+// Flush errors are recorded per path and surface at the next fsync,
+// like any background flush.
+func (f *FileSystem) flushTick() {
+	f.flushTimerArmed = false
+	if f.flushAge <= 0 {
+		return
+	}
+	now := f.now()
+	var due []string
+	for p, df := range f.pc.dirty {
+		if now-df.born >= f.flushAge {
+			due = append(due, p)
+		}
+	}
+	sort.Strings(due)
+	for _, p := range due {
+		f.pc.agedFlushes++
+		f.flushDirtyNow(p)
+	}
+	f.armFlushTimer()
+}
+
 // flushPath writes one path's dirty extents back, in ascending offset
 // order, one vectored Pwritev per extent, and reports the first error.
 // The dirty state is detached before the writes are issued so re-entrant
@@ -229,15 +292,38 @@ func (f *FileSystem) flushPath(p string, cb func(abi.Errno)) {
 	step(0, abi.OK)
 }
 
+// flushErr is one recorded background-flush failure: the errno plus the
+// path's generation at record time, so only handles bound to the file
+// that actually lost the bytes ever see it.
+type flushErr struct {
+	err abi.Errno
+	gen uint64
+}
+
+// recordFlushErr saves a fire-and-forget flush failure for the path, to
+// be surfaced at the next fsync. Every barrier or background flush with
+// no caller to report to routes its errno here; flushes whose caller
+// receives the error directly (fsync, close, the facade's FlushDirty)
+// do not, so an error is never reported twice.
+func (f *FileSystem) recordFlushErr(p string, err abi.Errno) {
+	if err == abi.OK {
+		return
+	}
+	if len(f.pc.flushErrs) >= maxDentries {
+		clear(f.pc.flushErrs) // size bound; errors this old are lost
+	}
+	f.pc.flushErrs[p] = flushErr{err: err, gen: f.pc.gen(p)}
+}
+
 // flushDirtyNow fires a path's flush without waiting for completion —
 // the invalidation path (unlink/rename/truncate) must issue the buffered
 // writes before the mutating backend operation dispatches, and on the
-// in-memory backends they complete inline. Flush errors here are lost
-// (as on a real kernel's background write-back); fsync/close are the
-// error-reporting barriers.
+// in-memory backends they complete inline. A failure is recorded per
+// path and surfaces at the *next fsync* on that path (not only at
+// close), like a real kernel reporting deferred write-back errors.
 func (f *FileSystem) flushDirtyNow(p string) {
 	if f.pc.dirty[p] != nil {
-		f.flushPath(p, func(abi.Errno) {})
+		f.flushPath(p, func(err abi.Errno) { f.recordFlushErr(p, err) })
 	}
 }
 
@@ -359,7 +445,7 @@ func (h *writebackHandle) buffer(off int64, data []byte) {
 	pc := h.fs.pc
 	df := pc.dirty[h.path]
 	if df == nil {
-		df = &dirtyFile{}
+		df = &dirtyFile{born: h.fs.now()}
 		pc.dirty[h.path] = df
 	}
 	df.flush = func(o int64, bufs [][]byte, cb func(int, abi.Errno)) {
@@ -379,6 +465,7 @@ func (h *writebackHandle) buffer(off int64, data []byte) {
 		pc.overflowFlushes++
 		h.fs.flushAllDirtyNow()
 	}
+	h.fs.armFlushTimer()
 }
 
 // Pwrite implements FileHandle: absorb into the dirty extents, or write
@@ -424,10 +511,21 @@ func (h *writebackHandle) Pwritev(off int64, bufs [][]byte, cb func(int, abi.Err
 }
 
 // Pread implements FileHandle: backend content overlaid with the
-// buffered extents (read-your-writes).
+// buffered extents (read-your-writes). A handle that can no longer use
+// the buffers (staled by an epoch clear, or write-back switched off)
+// while dirty state for the path exists still barriers on a flush
+// first, like every other read path — its own acknowledged writes must
+// be visible in the bytes it reads.
 func (h *writebackHandle) Pread(off int64, n int, cb func([]byte, abi.Errno)) {
 	df := h.fs.pc.dirty[h.path]
 	if df == nil || !h.buffered() {
+		if df != nil {
+			h.fs.flushPath(h.path, func(err abi.Errno) {
+				h.fs.recordFlushErr(h.path, err)
+				h.inner.Pread(off, n, cb)
+			})
+			return
+		}
 		h.inner.Pread(off, n, cb)
 		return
 	}
@@ -482,9 +580,22 @@ func (h *writebackHandle) Truncate(size int64, cb func(abi.Errno)) {
 }
 
 // Sync implements Syncer: the fsync barrier — every buffered extent is
-// on the backend before the callback fires (flush-before-reply).
+// on the backend before the callback fires (flush-before-reply). A
+// failure recorded by an earlier background/overflow flush of this path
+// is surfaced (once) here, so callers that fsync learn about it even
+// though the failing flush ran with no caller to tell. The generation
+// check keeps the error with the file that lost the bytes: a handle on
+// a later file reusing the name never inherits it.
 func (h *writebackHandle) Sync(cb func(abi.Errno)) {
-	h.fs.flushPath(h.path, cb)
+	h.fs.flushPath(h.path, func(err abi.Errno) {
+		if saved, ok := h.fs.pc.flushErrs[h.path]; ok && saved.gen == h.gen {
+			delete(h.fs.pc.flushErrs, h.path)
+			if err == abi.OK {
+				err = saved.err
+			}
+		}
+		cb(err)
+	})
 }
 
 // Close implements FileHandle: flush-on-close, reporting flush errors

@@ -1,0 +1,226 @@
+package fs
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+)
+
+// Age-based background flusher and per-path flush error reporting.
+
+// fakeTimer is a deterministic stand-in for the simulator's delayed
+// post: ticks fire when the test advances the clock.
+type fakeTimer struct {
+	pending []struct {
+		at int64
+		fn func()
+	}
+}
+
+func (ft *fakeTimer) schedule(d int64, fn func()) {
+	ft.pending = append(ft.pending, struct {
+		at int64
+		fn func()
+	}{clock + d, fn})
+}
+
+// advance moves the clock to at and fires every due tick in order.
+func (ft *fakeTimer) advance(at int64) {
+	clock = at
+	for {
+		fired := false
+		for i, p := range ft.pending {
+			if p.at <= clock {
+				ft.pending = append(ft.pending[:i], ft.pending[i+1:]...)
+				p.fn()
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			return
+		}
+	}
+}
+
+// TestAgedFlushLandsQuietFiles: a buffered write on a file nobody
+// fsyncs lands on the backend once its extents come of age — via the
+// virtual-time timer, counted in CacheStats.AgedFlushes.
+func TestAgedFlushLandsQuietFiles(t *testing.T) {
+	clock = 1000
+	mem := NewMemFS(func() int64 { return clock })
+	f := NewFileSystem(mem, func() int64 { return clock })
+	ft := &fakeTimer{}
+	f.SetFlushTimer(ft.schedule)
+	f.SetFlushAge(5000)
+
+	h := openWB(t, f, "/quiet.log", abi.O_WRONLY|abi.O_CREAT)
+	writesBefore := mem.WriteOps
+	pwrite(t, h, 0, "buffered line\n")
+	if mem.WriteOps != writesBefore {
+		t.Fatalf("write reached the backend immediately (write-back off?)")
+	}
+	if len(ft.pending) == 0 {
+		t.Fatalf("buffering armed no flush timer")
+	}
+
+	// Young extents survive an early tick.
+	ft.advance(clock + 1000)
+	if mem.WriteOps != writesBefore || f.CacheStats().AgedFlushes != 0 {
+		t.Fatalf("extent flushed before its age")
+	}
+
+	// Past the age, the background flusher lands it — no fsync anywhere.
+	ft.advance(clock + 10_000)
+	s := f.CacheStats()
+	if s.AgedFlushes != 1 {
+		t.Fatalf("AgedFlushes = %d, want 1", s.AgedFlushes)
+	}
+	if mem.WriteOps == writesBefore {
+		t.Fatalf("aged flush issued no backend write")
+	}
+	if s.DirtyBytes != 0 {
+		t.Fatalf("DirtyBytes = %d after aged flush", s.DirtyBytes)
+	}
+	if got := mustRead(t, f, "/quiet.log"); got != "buffered line\n" {
+		t.Fatalf("backend content %q", got)
+	}
+
+	// The timer quiesces while nothing is dirty, and re-arms on the
+	// next buffered write.
+	if len(ft.pending) != 0 {
+		t.Fatalf("flush timer still armed with nothing dirty")
+	}
+	pwrite(t, h, 14, "second line\n")
+	if len(ft.pending) == 0 {
+		t.Fatalf("second write did not re-arm the flush timer")
+	}
+	ft.advance(clock + 10_000)
+	if f.CacheStats().AgedFlushes != 2 {
+		t.Fatalf("AgedFlushes = %d after second quiet period", f.CacheStats().AgedFlushes)
+	}
+	h.Close(func(abi.Errno) {})
+}
+
+// failingBackend wraps a backend so opened handles fail writes while
+// *fail is set — the backend error a background flush runs into.
+type failingBackend struct {
+	Backend
+	fail *bool
+}
+
+func (b *failingBackend) Open(p string, flags int, mode uint32, cb func(FileHandle, abi.Errno)) {
+	b.Backend.Open(p, flags, mode, func(h FileHandle, err abi.Errno) {
+		if err == abi.OK {
+			h = &failingHandle{FileHandle: h, fail: b.fail}
+		}
+		cb(h, err)
+	})
+}
+
+type failingHandle struct {
+	FileHandle
+	fail *bool
+}
+
+func (h *failingHandle) Pwrite(off int64, data []byte, cb func(int, abi.Errno)) {
+	if *h.fail {
+		cb(0, abi.EIO)
+		return
+	}
+	h.FileHandle.Pwrite(off, data, cb)
+}
+
+func (h *failingHandle) Pwritev(off int64, bufs [][]byte, cb func(int, abi.Errno)) {
+	if *h.fail {
+		cb(0, abi.EIO)
+		return
+	}
+	h.FileHandle.Pwritev(off, bufs, cb)
+}
+
+// TestFlushErrorSurfacesAtNextFsync: a failed background (aged) flush is
+// recorded per path and reported by the next fsync on that path — not
+// silently dropped, and not deferred all the way to close.
+func TestFlushErrorSurfacesAtNextFsync(t *testing.T) {
+	clock = 1000
+	mem := NewMemFS(func() int64 { return clock })
+	fail := false
+	f := NewFileSystem(&failingBackend{Backend: mem, fail: &fail}, func() int64 { return clock })
+	ft := &fakeTimer{}
+	f.SetFlushTimer(ft.schedule)
+	f.SetFlushAge(5000)
+
+	h := openWB(t, f, "/flaky.log", abi.O_WRONLY|abi.O_CREAT)
+	pwrite(t, h, 0, "doomed bytes")
+	fail = true
+	ft.advance(clock + 10_000) // aged background flush fails
+	if f.CacheStats().AgedFlushes != 1 {
+		t.Fatalf("AgedFlushes = %d", f.CacheStats().AgedFlushes)
+	}
+
+	fail = false
+	var serr abi.Errno = -1
+	h.(Syncer).Sync(func(e abi.Errno) { serr = e })
+	if serr != abi.EIO {
+		t.Fatalf("first fsync after failed background flush: %v, want EIO", serr)
+	}
+	// Reported once: the next fsync is clean.
+	serr = -1
+	h.(Syncer).Sync(func(e abi.Errno) { serr = e })
+	if serr != abi.OK {
+		t.Fatalf("second fsync: %v, want OK", serr)
+	}
+	h.Close(func(abi.Errno) {})
+}
+
+// TestOpenBarrierFlushErrorSurfacesAtFsync: the Open barrier's flush
+// (cross-handle read-your-writes) has no caller to report to either —
+// its failure must reach the writer's next fsync like any background
+// flush.
+func TestOpenBarrierFlushErrorSurfacesAtFsync(t *testing.T) {
+	clock = 1000
+	mem := NewMemFS(func() int64 { return clock })
+	fail := false
+	f := NewFileSystem(&failingBackend{Backend: mem, fail: &fail}, func() int64 { return clock })
+
+	h := openWB(t, f, "/barrier.log", abi.O_WRONLY|abi.O_CREAT)
+	pwrite(t, h, 0, "buffered")
+	fail = true
+	// A second open of the dirty path runs the flush barrier; the open
+	// itself succeeds, the flush failure is recorded.
+	h2 := openWB(t, f, "/barrier.log", abi.O_RDONLY)
+	h2.Close(func(abi.Errno) {})
+	fail = false
+	var serr abi.Errno = -1
+	h.(Syncer).Sync(func(e abi.Errno) { serr = e })
+	if serr != abi.EIO {
+		t.Fatalf("fsync after failed open-barrier flush: %v, want EIO", serr)
+	}
+	h.Close(func(abi.Errno) {})
+}
+
+// TestOverflowFlushErrorSurfacesAtFsync: the budget-overflow flush path
+// records failures the same way.
+func TestOverflowFlushErrorSurfacesAtFsync(t *testing.T) {
+	clock = 1000
+	mem := NewMemFS(func() int64 { return clock })
+	fail := false
+	f := NewFileSystem(&failingBackend{Backend: mem, fail: &fail}, func() int64 { return clock })
+	f.SetDirtyBudget(64)
+
+	h := openWB(t, f, "/burst.log", abi.O_WRONLY|abi.O_CREAT)
+	pwrite(t, h, 0, "0123456789")
+	fail = true
+	pwrite(t, h, 10, string(make([]byte, 128))) // blows the budget; flush fails
+	if f.CacheStats().OverflowFlushes == 0 {
+		t.Fatalf("no overflow flush happened")
+	}
+	fail = false
+	var serr abi.Errno = -1
+	h.(Syncer).Sync(func(e abi.Errno) { serr = e })
+	if serr != abi.EIO {
+		t.Fatalf("fsync after failed overflow flush: %v, want EIO", serr)
+	}
+	h.Close(func(abi.Errno) {})
+}

@@ -304,8 +304,22 @@ func Dirname(p string) string {
 	}
 }
 
+// StatBatchAmortizer is the optional Proc extension reporting whether
+// StatBatch actually amortizes its round trips (the ring transport's
+// one-doorbell batch). Probe loops consult it to choose between one
+// batched probe of every candidate and a sequential early-exit walk —
+// on a transport that pays one round trip per stat, probing past the
+// first hit is pure waste.
+type StatBatchAmortizer interface {
+	StatBatchAmortized() bool
+}
+
 // LookPath resolves a command name against PATH entries, returning the
 // first candidate that exists. Absolute or relative paths pass through.
+// On a batch-amortizing transport every candidate is probed in one
+// StatBatch — the whole PATH walk is a single doorbell the kernel
+// resolves in one dentry-cache pass; elsewhere the walk stops at the
+// first hit, one round trip per directory as before.
 func LookPath(p Proc, name string) (string, abi.Errno) {
 	if strings.ContainsRune(name, '/') {
 		return name, abi.OK
@@ -314,11 +328,26 @@ func LookPath(p Proc, name string) (string, abi.Errno) {
 	if path == "" {
 		path = "/usr/bin:/bin"
 	}
+	var cands []string
 	for _, dir := range strings.Split(path, ":") {
 		if dir == "" {
 			continue
 		}
-		cand := dir + "/" + name
+		cands = append(cands, dir+"/"+name)
+	}
+	if len(cands) == 0 {
+		return "", abi.ENOENT
+	}
+	if ba, ok := p.(StatBatchAmortizer); ok && ba.StatBatchAmortized() && len(cands) > 1 {
+		_, errs := p.StatBatch(cands, false)
+		for i, cand := range cands {
+			if errs[i] == abi.OK {
+				return cand, abi.OK
+			}
+		}
+		return "", abi.ENOENT
+	}
+	for _, cand := range cands {
 		if err := p.Access(cand, abi.X_OK); err == abi.OK {
 			return cand, abi.OK
 		}

@@ -47,6 +47,14 @@ type workerRT struct {
 	repRing   abi.Ring
 	ringSeq   uint32
 	ringStash map[uint32]ringRep
+
+	// Zero-copy read path (negotiated after the ring): the mapped
+	// page-cache arena, the leases held per descriptor (oldest first),
+	// and the lease returns queued for the next doorbell (lease.go).
+	poolOK         bool
+	pool           *browser.SAB
+	heldLeases     map[int][]abi.PageGrant
+	pendingUnlease []uint32
 	// ringOutstanding counts pushed frames whose replies have not yet
 	// been popped (bounds batches to the reply ring's capacity);
 	// inflight counts parked sync/ring calls so only the outermost
@@ -71,15 +79,16 @@ type exitSentinel struct{ code int }
 // after the worker has received an init message").
 func bootWorker(sys *browser.System, w *browser.Worker, prog *posix.Program, kind Kind) {
 	r := &workerRT{
-		sys:      sys,
-		sim:      sys.Sim,
-		w:        w,
-		prog:     prog,
-		kind:     kind,
-		cost:     CostOf(kind),
-		pending:  map[int64]*sched.G{},
-		handlers: map[int]func(int){},
-		sync:     kind == EmSyncKind || kind == WasmKind,
+		sys:        sys,
+		sim:        sys.Sim,
+		w:          w,
+		prog:       prog,
+		kind:       kind,
+		cost:       CostOf(kind),
+		pending:    map[int64]*sched.G{},
+		handlers:   map[int]func(int){},
+		heldLeases: map[int][]abi.PageGrant{},
+		sync:       kind == EmSyncKind || kind == WasmKind,
 	}
 	w.Ctx.OnMessage = r.onMessage
 }
@@ -109,6 +118,7 @@ func (r *workerRT) onMessage(v browser.Value) {
 				// return/wake offsets (§3.2), via an async call.
 				r.asyncCall("personality", r.heap, int64(syncRetOff), int64(syncWaitOff))
 				r.negotiateRing()
+				r.negotiatePagePool()
 			}
 			var code int
 			if forkLabel != "" || len(forkMem) > 0 {
@@ -338,7 +348,10 @@ func (r *workerRT) Open(path string, flags int, mode uint32) (int, abi.Errno) {
 
 func (r *workerRT) Close(fd int) abi.Errno {
 	if r.sync {
-		_, err := r.syncCall(abi.SYS_close, int64(fd))
+		// Close returns the descriptor's page leases; the reclaim frames
+		// share close's doorbell.
+		r.dropFdLeases(fd)
+		_, err := r.syncCallLeased(abi.SYS_close, int64(fd))
 		return err
 	}
 	return verr(r.asyncCall("close", int64(fd)))
@@ -346,6 +359,16 @@ func (r *workerRT) Close(fd int) abi.Errno {
 
 func (r *workerRT) Read(fd int, n int) ([]byte, abi.Errno) {
 	if r.sync {
+		if r.poolOK {
+			// Zero-copy path: the grant reply is not bounded by the
+			// scratch region — only the copy fallback's staging buffer
+			// is, degrading oversized cold reads to short reads.
+			bufLen := n
+			if max := r.maxScratchPayload(); int64(bufLen) > max {
+				bufLen = int(max)
+			}
+			return r.readLeased(fd, n, bufLen)
+		}
 		// A request larger than the scratch region degrades to a short
 		// read rather than overflowing the staging area.
 		if max := r.maxScratchPayload(); int64(n) > max {
@@ -437,6 +460,21 @@ func (r *workerRT) Readv(fd int, lens []int) ([][]byte, abi.Errno) {
 			}
 		}
 		return out, abi.OK
+	}
+	if r.poolOK {
+		// Zero-copy path: one readg covers the whole vector; the result
+		// comes back as a single segment (POSIX-legal — callers scatter
+		// the stream themselves), assembled from the pool mapping on a
+		// warm hit with no kernel payload copy.
+		bufLen := total
+		if max := r.maxScratchPayload(); int64(bufLen) > max {
+			bufLen = int(max)
+		}
+		b, err := r.readLeased(fd, total, bufLen)
+		if err != abi.OK || len(b) == 0 {
+			return nil, err
+		}
+		return [][]byte{b}, abi.OK
 	}
 	need := int64(total) + int64(len(lens)+1)*(abi.IovecSize+8)
 	if !r.scratchFits(need) {
@@ -566,7 +604,11 @@ func (r *workerRT) Pwrite(fd int, b []byte, off int64) (int, abi.Errno) {
 
 func (r *workerRT) Seek(fd int, off int64, whence int) (int64, abi.Errno) {
 	if r.sync {
-		return r.syncCall(abi.SYS_llseek, int64(fd), off, int64(whence))
+		// Seeking away returns the descriptor's page leases (they were
+		// retained for the sequential window the seek abandons); the
+		// reclaim frames share the seek's doorbell.
+		r.dropFdLeases(fd)
+		return r.syncCallLeased(abi.SYS_llseek, int64(fd), off, int64(whence))
 	}
 	ret := r.asyncCall("llseek", int64(fd), off, int64(whence))
 	return vi(ret, 0), verr(ret)
@@ -590,7 +632,11 @@ func (r *workerRT) Fsync(fd int) abi.Errno {
 
 func (r *workerRT) Dup2(oldfd, newfd int) abi.Errno {
 	if r.sync {
-		_, err := r.syncCall(abi.SYS_dup2, int64(oldfd), int64(newfd))
+		// newfd is implicitly closed: its held leases go back.
+		if oldfd != newfd {
+			r.dropFdLeases(newfd)
+		}
+		_, err := r.syncCallLeased(abi.SYS_dup2, int64(oldfd), int64(newfd))
 		return err
 	}
 	return verr(r.asyncCall("dup2", int64(oldfd), int64(newfd)))
@@ -624,6 +670,11 @@ func (r *workerRT) Stat(path string) (abi.Stat, abi.Errno) {
 func (r *workerRT) Lstat(path string) (abi.Stat, abi.Errno) {
 	return r.statCall("lstat", abi.SYS_lstat, path)
 }
+
+// StatBatchAmortized implements posix.StatBatchAmortizer: only the ring
+// transport turns a StatBatch into one doorbell; scalar and async pay
+// one round trip per path, so probe loops should early-exit there.
+func (r *workerRT) StatBatchAmortized() bool { return r.sync && r.ringOK }
 
 // StatBatch fans a stat storm out as ring call frames sharing one
 // doorbell: the kernel drains them as a single batch, resolves the run
