@@ -70,6 +70,17 @@ type Config struct {
 	Browser *browser.Profile
 	// MaxSteps bounds the simulation (0 = default guard).
 	MaxSteps uint64
+	// PagePool, when non-nil, attaches this instance's page cache to a
+	// shared arena — the fleet's one cross-shard structure — instead of
+	// a private pool. Each instance draws slots from its own quota, so
+	// its cache behaviour (and therefore its virtual clock) stays
+	// bit-identical to a private-pool boot.
+	PagePool *fs.PagePool
+	// PagePoolQuota is the instance's slot quota in the shared arena.
+	// <= 0 selects fs.DefaultPoolSlots, the private pool's capacity —
+	// the value that keeps a shared-arena boot indistinguishable from a
+	// serial one.
+	PagePoolQuota int
 }
 
 // Instance is one booted browser + Browsix kernel.
@@ -100,6 +111,13 @@ func Boot(cfg Config) *Instance {
 	sys := browser.NewSystem(sim, prof)
 	clock := func() int64 { return sim.Now() }
 	fsys := fs.NewFileSystem(fs.NewMemFS(clock), clock)
+	if cfg.PagePool != nil {
+		quota := cfg.PagePoolQuota
+		if quota <= 0 {
+			quota = fs.DefaultPoolSlots
+		}
+		fsys.SetPagePool(cfg.PagePool, quota)
+	}
 	// Age-based background write-back: dirty extents older than the
 	// default age flush on a main-thread virtual timer, so quiet
 	// long-lived files land on their backends without an fsync.

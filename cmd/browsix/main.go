@@ -103,8 +103,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pid %3d %s ppid %3d %s\n", t.Pid, t.StateName(), t.ParentPid, t.Path)
 		}
 		fmt.Fprintf(os.Stderr, "syscalls: %d async, %d sync (%d via ring, %d batched), %d signals\n",
-			inst.Kernel.AsyncSyscalls, inst.Kernel.SyncSyscalls,
-			inst.Kernel.RingSyscalls, inst.Kernel.RingBatchedCalls, inst.Kernel.SignalsDelivered)
+			inst.Kernel.AsyncSyscalls.Load(), inst.Kernel.SyncSyscalls.Load(),
+			inst.Kernel.RingSyscalls.Load(), inst.Kernel.RingBatchedCalls.Load(), inst.Kernel.SignalsDelivered.Load())
 		fmt.Fprintf(os.Stderr, "mounts: %v\n", inst.VFS.Mounts())
 	}
 	os.Exit(exit)

@@ -62,5 +62,5 @@ func main() {
 	fmt.Printf("staged files: %v\n", matches)
 
 	// Processes, signals, syscalls — the kernel keeps score.
-	fmt.Printf("async syscalls handled: %d\n", inst.Kernel.AsyncSyscalls)
+	fmt.Printf("async syscalls handled: %d\n", inst.Kernel.AsyncSyscalls.Load())
 }

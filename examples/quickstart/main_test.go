@@ -60,7 +60,7 @@ func TestQuickstartFlow(t *testing.T) {
 		t.Fatalf("missing file: %v", err)
 	}
 
-	if inst.Kernel.AsyncSyscalls == 0 {
+	if inst.Kernel.AsyncSyscalls.Load() == 0 {
 		t.Fatal("no async syscalls recorded for the Node coreutils")
 	}
 }

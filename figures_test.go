@@ -125,7 +125,7 @@ func TestWasmExecutable(t *testing.T) {
 	if !strings.Contains(string(res.Stdout), "runtime=wasm") {
 		t.Fatalf("stdout: %s", res.Stdout)
 	}
-	if in.Kernel.SyncSyscalls == 0 {
+	if in.Kernel.SyncSyscalls.Load() == 0 {
 		t.Fatal("wasm runtime should use the synchronous transport")
 	}
 }

@@ -1,0 +1,262 @@
+package browsix
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fs"
+)
+
+// Fleet parallelism: many kernels serving many workloads at hardware
+// speed. Every Sim is single-threaded by design — determinism comes from
+// the one-event-at-a-time virtual clock — so the way to use the host's
+// cores is not to thread a Sim but to run N independent Sims at once.
+// Fleet does exactly that: it boots one Instance per job on a bounded
+// pool of host workers (default GOMAXPROCS), shares a single page-pool
+// arena between them (the only cross-shard structure; see
+// fs.PagePool), and collects per-instance results plus aggregate
+// statistics.
+//
+// The contract is the differential test's: a job's output — stdout,
+// stderr, exit code, and the instance's virtual clock — is bit-identical
+// whether the fleet runs with 1 worker or GOMAXPROCS. Parallelism
+// changes wall-clock time and nothing else. That holds because the
+// instances share no mutable state except the arena, and the arena's
+// per-attachment quotas make each shard's allocation behaviour
+// independent of its neighbours.
+
+// Job describes one fleet workload: an Instance is booted with Config
+// (its page pool redirected to the fleet's shared arena), staged by
+// Setup, then driven either by launching Spec (Run nil) or by the Run
+// callback (arbitrary workloads: interactive terminals, servers,
+// multi-process builds).
+type Job struct {
+	// Name labels the job in results (it need not be unique).
+	Name string
+	// Config boots the job's Instance. PagePool and PagePoolQuota are
+	// overwritten by the fleet; everything else is the job's own.
+	Config Config
+	// Setup stages the instance (InstallBase, case-study staging, ...).
+	// Optional; runs before the workload.
+	Setup func(*Instance)
+	// Spec is the process to run when Run is nil. Its stdout/stderr are
+	// captured into the JobResult unless the Spec carries its own sinks.
+	Spec Spec
+	// Run, when non-nil, drives the workload instead of Spec and returns
+	// what the result should carry.
+	Run func(*Instance) JobOutput
+}
+
+// JobOutput is the workload-visible outcome of one job.
+type JobOutput struct {
+	Code   int
+	Stdout []byte
+	Stderr []byte
+}
+
+// JobResult is one job's outcome. Results are indexed by submission
+// order, independent of which worker ran the job or when it finished.
+type JobResult struct {
+	Index int
+	Name  string
+	JobOutput
+	// VirtualNs is the instance's virtual clock at completion — the
+	// deterministic signature the serial-vs-parallel differential
+	// compares bit-for-bit.
+	VirtualNs int64
+	// Err reports a launch failure, a deadlocked wait, or a recovered
+	// panic from Setup/Run. The job's other fields are best-effort.
+	Err error
+}
+
+// FleetStats aggregates a Run.
+type FleetStats struct {
+	Jobs       int
+	Workers    int
+	PoolSlots  int // shared arena capacity
+	QuotaSlots int // per-instance slot quota
+
+	WallNs         int64   // host wall-clock for the whole fleet
+	VirtualNs      int64   // sum of per-instance virtual clocks
+	SessionsPerSec float64 // Jobs / wall seconds
+
+	// Kernel counters summed across instances (each read after its
+	// worker finished the job, so the sums are exact, not sampled).
+	AsyncSyscalls int64
+	SyncSyscalls  int64
+	RingNotifies  int64
+	GrantedBytes  int64
+	LeaseGrants   int64
+	LeaseReturns  int64
+}
+
+// Fleet runs batches of independent deterministic Instances across host
+// cores. The zero value is ready to use: GOMAXPROCS workers, a shared
+// arena sized workers x the private-pool quota.
+type Fleet struct {
+	// Workers bounds host parallelism; <= 0 means GOMAXPROCS(0).
+	Workers int
+	// QuotaSlots is each instance's page-pool quota; <= 0 means
+	// fs.DefaultPoolSlots (the private pool's capacity), which keeps
+	// every instance bit-identical to a serial private-pool run.
+	QuotaSlots int
+	// PoolSlots sizes the shared arena; <= 0 means Workers*QuotaSlots,
+	// enough that no shard's allocation ever waits on a neighbour.
+	PoolSlots int
+	// OnBoot, when non-nil, is called on the worker goroutine right
+	// after each job's Instance boots (before Setup) — the observation
+	// hook live stats pollers and the counters-under-fleet tests use.
+	// It may run concurrently with other jobs' hooks.
+	OnBoot func(index int, in *Instance)
+}
+
+// Run executes jobs on the worker pool and returns per-job results
+// (indexed by submission order) plus aggregate statistics. It blocks
+// until every job finishes.
+func (fl *Fleet) Run(jobs []Job) ([]JobResult, FleetStats) {
+	workers := fl.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	quota := fl.QuotaSlots
+	if quota <= 0 {
+		quota = fs.DefaultPoolSlots
+	}
+	slots := fl.PoolSlots
+	if slots <= 0 {
+		slots = workers * quota
+	}
+	pool := fs.NewPagePool(slots)
+
+	results := make([]JobResult, len(jobs))
+	var agg fleetAgg
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = fl.runJob(i, &jobs[i], pool, quota, &agg)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	wall := time.Since(start)
+
+	stats := FleetStats{
+		Jobs:       len(jobs),
+		Workers:    workers,
+		PoolSlots:  slots,
+		QuotaSlots: quota,
+		WallNs:     wall.Nanoseconds(),
+		VirtualNs:  agg.virtualNs.Load(),
+
+		AsyncSyscalls: agg.async.Load(),
+		SyncSyscalls:  agg.sync.Load(),
+		RingNotifies:  agg.ringNotifies.Load(),
+		GrantedBytes:  agg.grantedBytes.Load(),
+		LeaseGrants:   agg.leaseGrants.Load(),
+		LeaseReturns:  agg.leaseReturns.Load(),
+	}
+	if s := wall.Seconds(); s > 0 {
+		stats.SessionsPerSec = float64(len(jobs)) / s
+	}
+	return results, stats
+}
+
+// RunFleet runs jobs with a default Fleet (GOMAXPROCS workers).
+func RunFleet(jobs []Job) ([]JobResult, FleetStats) {
+	return (&Fleet{}).Run(jobs)
+}
+
+// fleetAgg accumulates cross-instance statistics. Atomics: workers add
+// their finished job's counters concurrently.
+type fleetAgg struct {
+	virtualNs    atomic.Int64
+	async        atomic.Int64
+	sync         atomic.Int64
+	ringNotifies atomic.Int64
+	grantedBytes atomic.Int64
+	leaseGrants  atomic.Int64
+	leaseReturns atomic.Int64
+}
+
+// runJob boots, stages, and drives one job on the calling worker
+// goroutine. The Instance lives entirely on this goroutine; the shared
+// arena is the only structure it touches concurrently with other shards.
+func (fl *Fleet) runJob(i int, job *Job, pool *fs.PagePool, quota int, agg *fleetAgg) (res JobResult) {
+	res.Index, res.Name = i, job.Name
+	var in *Instance
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("fleet job %d (%s): panic: %v", i, job.Name, r)
+		}
+		if in == nil {
+			return
+		}
+		res.VirtualNs = in.Now()
+		// Drop this shard's cached pages so its arena slots return for
+		// the next tenant. Slots still leased by a live process stay
+		// frozen (bytes intact) until the lease returns — jobs that
+		// start servers should stop them before returning.
+		in.VFS.FlushCaches()
+		agg.virtualNs.Add(res.VirtualNs)
+		agg.async.Add(in.Kernel.AsyncSyscalls.Load())
+		agg.sync.Add(in.Kernel.SyncSyscalls.Load())
+		agg.ringNotifies.Add(in.Kernel.RingNotifies.Load())
+		agg.grantedBytes.Add(in.Kernel.GrantedBytes.Load())
+		agg.leaseGrants.Add(in.Kernel.LeaseGrants.Load())
+		agg.leaseReturns.Add(in.Kernel.LeaseReturns.Load())
+	}()
+
+	cfg := job.Config
+	cfg.PagePool = pool
+	cfg.PagePoolQuota = quota
+	in = Boot(cfg)
+	if fl.OnBoot != nil {
+		fl.OnBoot(i, in)
+	}
+	if job.Setup != nil {
+		job.Setup(in)
+	}
+	if job.Run != nil {
+		res.JobOutput = job.Run(in)
+		return res
+	}
+
+	spec := job.Spec
+	var outBuf, errBuf bytes.Buffer
+	if spec.Stdout == nil {
+		spec.Stdout = &outBuf
+	}
+	if spec.Stderr == nil {
+		spec.Stderr = &errBuf
+	}
+	p, err := in.Start(spec)
+	if err != nil {
+		res.Err = err
+		res.Code = 127
+		return res
+	}
+	code, werr := p.Wait()
+	if werr != nil {
+		res.Err = werr
+	}
+	res.Code = code
+	res.Stdout = outBuf.Bytes()
+	res.Stderr = errBuf.Bytes()
+	return res
+}

@@ -3,6 +3,7 @@ package browser
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/sched"
 )
@@ -209,20 +210,20 @@ type SAB struct {
 	id int
 }
 
-var sabSeq int
+// sabSeq is process-wide: SAB ids key futex waits and only need to be
+// unique, and an atomic keeps concurrent Instances race-free.
+var sabSeq atomic.Int64
 
 // NewSAB allocates a SharedArrayBuffer of n bytes.
 func NewSAB(n int) *SAB {
-	sabSeq++
-	return &SAB{b: make([]byte, n), id: sabSeq}
+	return &SAB{b: make([]byte, n), id: int(sabSeq.Add(1))}
 }
 
 // WrapSAB exposes an existing byte region as a SharedArrayBuffer view —
 // how the kernel shares its page-cache arena with worker processes. The
 // region must never be reallocated while views of it are outstanding.
 func WrapSAB(b []byte) *SAB {
-	sabSeq++
-	return &SAB{b: b, id: sabSeq}
+	return &SAB{b: b, id: int(sabSeq.Add(1))}
 }
 
 // Len returns the buffer length.

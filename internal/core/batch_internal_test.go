@@ -99,13 +99,13 @@ func TestStatStormSingleNotify(t *testing.T) {
 	}
 	statPtrs := w.stageStatFrames(t, paths)
 
-	notifiesBefore := w.k.RingNotifies
+	notifiesBefore := w.k.RingNotifies.Load()
 	w.drain(t)
-	if got := w.k.RingNotifies - notifiesBefore; got != 1 {
+	if got := w.k.RingNotifies.Load() - notifiesBefore; got != 1 {
 		t.Fatalf("drained %d stat frames with %d notifies, want exactly 1", n, got)
 	}
-	if w.k.FSBatchedCalls != n {
-		t.Fatalf("FSBatchedCalls = %d, want %d (whole storm through the batch entry)", w.k.FSBatchedCalls, n)
+	if w.k.FSBatchedCalls.Load() != n {
+		t.Fatalf("FSBatchedCalls = %d, want %d (whole storm through the batch entry)", w.k.FSBatchedCalls.Load(), n)
 	}
 
 	// Every reply present, in the reply ring, with correct stat payloads.
@@ -152,7 +152,7 @@ func TestBatchedDispatchMatchesFrameByFrame(t *testing.T) {
 		statPtrs := w.stageStatFrames(t, paths)
 		w.drain(t)
 		heap := w.task.heap.Bytes()
-		res := result{notifies: w.k.RingNotifies, batched: w.k.FSBatchedCalls, replies: map[uint32]abi.Stat{}}
+		res := result{notifies: w.k.RingNotifies.Load(), batched: w.k.FSBatchedCalls.Load(), replies: map[uint32]abi.Stat{}}
 		for {
 			seq, _, errno, ok := w.task.ring.rep.PopReply()
 			if !ok {
@@ -202,9 +202,9 @@ func TestBatchMixedRunSplits(t *testing.T) {
 	r.PushCall(0, abi.SYS_stat, []int64{pa, na, sp1})
 	r.PushCall(1, abi.SYS_getpid, nil) // splits the run
 	r.PushCall(2, abi.SYS_stat, []int64{pb, nb, sp2})
-	before := w.k.RingNotifies
+	before := w.k.RingNotifies.Load()
 	w.drain(t)
-	if got := w.k.RingNotifies - before; got != 1 {
+	if got := w.k.RingNotifies.Load() - before; got != 1 {
 		t.Fatalf("notifies = %d, want 1", got)
 	}
 	want := map[uint32]int64{0: 0, 1: 1, 2: 0} // getpid returns pid 1
@@ -258,7 +258,7 @@ func BenchmarkBatchedStatStorm(b *testing.B) {
 			for _, p := range paths {
 				w.fsys.WriteFile(p, []byte("x"), 0o644, func(abi.Errno) {})
 			}
-			notifies0 := w.k.RingNotifies
+			notifies0 := w.k.RingNotifies.Load()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				w.stageStatFrames(b, paths)
@@ -271,7 +271,7 @@ func BenchmarkBatchedStatStorm(b *testing.B) {
 			}
 			b.StopTimer()
 			stats := w.fsys.CacheStats()
-			b.ReportMetric(float64(w.k.RingNotifies-notifies0)/float64(b.N), "notifies/storm")
+			b.ReportMetric(float64(w.k.RingNotifies.Load()-notifies0)/float64(b.N), "notifies/storm")
 			b.ReportMetric(float64(stats.StatBatches)/float64(b.N), "batchpasses/storm")
 			b.ReportMetric(float64(n), "frames/storm")
 		})

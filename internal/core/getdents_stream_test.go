@@ -115,7 +115,7 @@ func TestLsOverBigDirectory(t *testing.T) {
 	}
 	// The -l stat storm must have travelled the fs batch entry point
 	// (ring doorbell -> DispatchBatch -> FS.StatBatch).
-	if w.k.FSBatchedCalls < 200 {
-		t.Fatalf("FSBatchedCalls = %d, want >= 200 (ls -l storm batched)", w.k.FSBatchedCalls)
+	if w.k.FSBatchedCalls.Load() < 200 {
+		t.Fatalf("FSBatchedCalls = %d, want >= 200 (ls -l storm batched)", w.k.FSBatchedCalls.Load())
 	}
 }

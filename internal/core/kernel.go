@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/abi"
 	"repro/internal/browser"
@@ -74,32 +75,37 @@ type Kernel struct {
 	portWatchers  map[int][]func(int)
 	nextEphemeral int
 
-	// Statistics for the evaluation harness.
+	// Statistics for the evaluation harness. The scalar counters are
+	// atomics: a fleet aggregator (or a live stats poller) may read them
+	// from the host while the Instance runs on another thread, and a
+	// torn 64-bit read would report garbage. SyscallCount remains a
+	// plain map — it is owned by the Instance thread; read it only after
+	// the instance quiesces (a worker join gives the happens-before).
 	SyscallCount     map[string]int64
-	AsyncSyscalls    int64
-	SyncSyscalls     int64
-	SignalsDelivered int64
+	AsyncSyscalls    atomic.Int64
+	SyncSyscalls     atomic.Int64
+	SignalsDelivered atomic.Int64
 	// RingSyscalls counts sync calls that arrived via the ring transport
 	// (also included in SyncSyscalls); RingBatchedCalls counts the calls
 	// beyond the first in each multi-call doorbell drain — the dispatches
 	// the ring saved.
-	RingSyscalls     int64
-	RingBatchedCalls int64
+	RingSyscalls     atomic.Int64
+	RingBatchedCalls atomic.Int64
 	// RingNotifies counts process wakes on the ring transport — a drained
 	// doorbell of N calls costs exactly one. FSBatchedCalls counts frames
 	// resolved through the fs-level batch entry point (stat runs handed
 	// to FS.StatBatch as one batch).
-	RingNotifies   int64
-	FSBatchedCalls int64
+	RingNotifies   atomic.Int64
+	FSBatchedCalls atomic.Int64
 	// Zero-copy read-path statistics. ReadCopiedBytes counts payload
 	// bytes the kernel copied into guest heaps answering reads (the
 	// per-byte work the grant path eliminates); GrantedBytes counts
 	// bytes served by page grants instead; LeaseGrants/LeaseReturns
 	// count the leases themselves.
-	ReadCopiedBytes int64
-	GrantedBytes    int64
-	LeaseGrants     int64
-	LeaseReturns    int64
+	ReadCopiedBytes atomic.Int64
+	GrantedBytes    atomic.Int64
+	LeaseGrants     atomic.Int64
+	LeaseReturns    atomic.Int64
 }
 
 // NewKernel boots a kernel over the given browser system and file system.
@@ -147,7 +153,7 @@ func (k *Kernel) releaseTaskLeases(t *Task) {
 	for _, slot := range slots {
 		for n := t.leases[slot]; n > 0; n-- {
 			k.FS.UnleasePage(slot)
-			k.LeaseReturns++
+			k.LeaseReturns.Add(1)
 		}
 	}
 	t.leases = nil
@@ -494,7 +500,7 @@ func (k *Kernel) signalTask(t *Task, sig int) abi.Errno {
 	}
 	switch act {
 	case sigCatch:
-		k.SignalsDelivered++
+		k.SignalsDelivered.Add(1)
 		t.worker.PostMessage(map[string]browser.Value{
 			"type": "signal",
 			"sig":  int64(sig),
@@ -509,7 +515,7 @@ func (k *Kernel) signalTask(t *Task, sig int) abi.Errno {
 		return abi.OK
 	default:
 		if fatalByDefault(sig) {
-			k.SignalsDelivered++
+			k.SignalsDelivered.Add(1)
 			k.finishTask(t, abi.SignalStatus(sig))
 		}
 		return abi.OK

@@ -362,8 +362,8 @@ func TestFileSyscallsAsyncRuntime(t *testing.T) {
 	if !strings.Contains(out, "fsok cwd=/ runtime=node") {
 		t.Fatalf("out=%q", out)
 	}
-	if w.k.AsyncSyscalls == 0 || w.k.SyncSyscalls != 0 {
-		t.Fatalf("async=%d sync=%d", w.k.AsyncSyscalls, w.k.SyncSyscalls)
+	if w.k.AsyncSyscalls.Load() == 0 || w.k.SyncSyscalls.Load() != 0 {
+		t.Fatalf("async=%d sync=%d", w.k.AsyncSyscalls.Load(), w.k.SyncSyscalls.Load())
 	}
 }
 
@@ -377,7 +377,7 @@ func TestFileSyscallsSyncRuntime(t *testing.T) {
 	if !strings.Contains(out, "runtime=em-sync") {
 		t.Fatalf("out=%q", out)
 	}
-	if w.k.SyncSyscalls == 0 {
+	if w.k.SyncSyscalls.Load() == 0 {
 		t.Fatal("no synchronous syscalls recorded")
 	}
 }

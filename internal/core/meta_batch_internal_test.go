@@ -48,12 +48,12 @@ func TestMixedMetaRunSingleNotify(t *testing.T) {
 	pe, ne := stage("/missing")
 	r.PushCall(4, abi.SYS_stat, []int64{pe, ne, alloc(abi.StatSize)})
 
-	notifies, batched := w.k.RingNotifies, w.k.FSBatchedCalls
+	notifies, batched := w.k.RingNotifies.Load(), w.k.FSBatchedCalls.Load()
 	w.drain(t)
-	if got := w.k.RingNotifies - notifies; got != 1 {
+	if got := w.k.RingNotifies.Load() - notifies; got != 1 {
 		t.Fatalf("mixed meta run produced %d notifies, want 1", got)
 	}
-	if got := w.k.FSBatchedCalls - batched; got != 5 {
+	if got := w.k.FSBatchedCalls.Load() - batched; got != 5 {
 		t.Fatalf("FSBatchedCalls += %d, want 5 (whole run through MetaBatch)", got)
 	}
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/abi"
 )
@@ -53,12 +54,13 @@ type pipeWrite struct {
 	cb    func(int, abi.Errno)
 }
 
-var pipeSeq int
+// pipeSeq is process-wide: ids only need to be unique for diagnostics
+// (pipe:[N] names), and an atomic keeps concurrent Instances race-free.
+var pipeSeq atomic.Int64
 
 // NewPipe creates an empty pipe.
 func NewPipe() *Pipe {
-	pipeSeq++
-	return &Pipe{id: pipeSeq}
+	return &Pipe{id: int(pipeSeq.Add(1))}
 }
 
 // takeBytes removes and returns min(n, size) bytes as one slice. When the

@@ -78,14 +78,14 @@ func (k *Kernel) drainRing(t *Task) {
 		if !ok {
 			break
 		}
-		k.SyncSyscalls++
-		k.RingSyscalls++
+		k.SyncSyscalls.Add(1)
+		k.RingSyscalls.Add(1)
 		k.Sys.Sim.Charge(k.CPU.SyscallNs)
 		k.SyscallCount[abi.SyscallName(trap)]++
 		calls = append(calls, pendingCall{seq: seq, trap: trap, args: args})
 	}
 	if len(calls) > 1 {
-		k.RingBatchedCalls += int64(len(calls) - 1)
+		k.RingBatchedCalls.Add(int64(len(calls) - 1))
 	}
 	r.draining = true
 	var batched []abi.Reply
@@ -206,7 +206,7 @@ func (k *Kernel) dispatchMetaRun(t *Task, run []pendingCall, done func(uint32, i
 				Flags: int(arg(c, 2)), Mode: uint32(arg(c, 3))}
 		}
 	}
-	k.FSBatchedCalls += int64(len(run))
+	k.FSBatchedCalls.Add(int64(len(run)))
 	k.FS.MetaBatch(reqs, func(res []fs.MetaRes) {
 		for i, c := range run {
 			r := res[i]
@@ -289,7 +289,7 @@ func (k *Kernel) flushRingWake(t *Task) {
 		return
 	}
 	r.dirty = false
-	k.RingNotifies++
+	k.RingNotifies.Add(1)
 	t.heap.Store32(t.waitOff, 1)
 	k.Sys.FutexNotify(t.heap, t.waitOff, 1)
 }

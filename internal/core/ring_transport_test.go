@@ -128,17 +128,17 @@ func TestVectoredTransportsAgree(t *testing.T) {
 		outputs[c.name] = out
 		switch c.name {
 		case "sync-ring":
-			if w.k.RingSyscalls == 0 {
+			if w.k.RingSyscalls.Load() == 0 {
 				t.Errorf("%s: ring transport negotiated but unused", c.name)
 			}
-			if w.k.RingBatchedCalls == 0 {
+			if w.k.RingBatchedCalls.Load() == 0 {
 				t.Errorf("%s: writev fan-out produced no batched dispatches", c.name)
 			}
 		case "sync-scalar":
-			if w.k.RingSyscalls != 0 {
+			if w.k.RingSyscalls.Load() != 0 {
 				t.Errorf("%s: DisableRing kernel still saw ring calls", c.name)
 			}
-			if w.k.SyncSyscalls == 0 {
+			if w.k.SyncSyscalls.Load() == 0 {
 				t.Errorf("%s: scalar fallback made no sync calls", c.name)
 			}
 		}
@@ -161,7 +161,7 @@ func TestRingFallsBackWhenRefused(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit=%d out=%q", code, out)
 	}
-	if w.k.SyncSyscalls == 0 || w.k.RingSyscalls != 0 {
-		t.Fatalf("sync=%d ring=%d, want scalar-only traffic", w.k.SyncSyscalls, w.k.RingSyscalls)
+	if w.k.SyncSyscalls.Load() == 0 || w.k.RingSyscalls.Load() != 0 {
+		t.Fatalf("sync=%d ring=%d, want scalar-only traffic", w.k.SyncSyscalls.Load(), w.k.RingSyscalls.Load())
 	}
 }

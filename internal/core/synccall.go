@@ -118,7 +118,7 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 		d.file.Read(d, int(arg(2)), func(data []byte, err abi.Errno) {
 			if err == abi.OK {
 				t.heapWrite(ptr, data)
-				k.ReadCopiedBytes += int64(len(data))
+				k.ReadCopiedBytes.Add(int64(len(data)))
 			}
 			done(int64(len(data)), err)
 		})
@@ -153,7 +153,7 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 		if t.pool && t.ring != nil && !k.DisableZeroCopy {
 			if rf, ok := d.file.(refReader); ok {
 				if refs, ok := rf.ReadRef(d, want, maxGrants); ok {
-					k.LeaseGrants += int64(len(refs))
+					k.LeaseGrants.Add(int64(len(refs)))
 					grants := make([]abi.PageGrant, len(refs))
 					var granted int64
 					for i, r := range refs {
@@ -167,7 +167,7 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 						}
 						granted += int64(r.Len)
 					}
-					k.GrantedBytes += granted
+					k.GrantedBytes.Add(granted)
 					buf := make([]byte, abi.GrantAreaSize(len(grants)))
 					abi.PackGrantReply(buf, abi.GrantMapped, grants)
 					t.heapWrite(grantPtr, buf)
@@ -189,7 +189,7 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 				t.heapWrite(bufPtr+total, s)
 				total += int64(len(s))
 			}
-			k.ReadCopiedBytes += total
+			k.ReadCopiedBytes.Add(total)
 			done(total, abi.OK)
 		})
 	case abi.SYS_unlease:
@@ -213,7 +213,7 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 				delete(t.leases, slot)
 			}
 			k.FS.UnleasePage(slot)
-			k.LeaseReturns++
+			k.LeaseReturns.Add(1)
 			freed++
 		}
 		done(freed, abi.OK)
@@ -272,7 +272,7 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 		d.file.Pread(arg(3), int(arg(2)), func(data []byte, err abi.Errno) {
 			if err == abi.OK {
 				t.heapWrite(ptr, data)
-				k.ReadCopiedBytes += int64(len(data))
+				k.ReadCopiedBytes.Add(int64(len(data)))
 			}
 			done(int64(len(data)), err)
 		})

@@ -23,7 +23,7 @@ func (k *Kernel) onWorkerMessage(t *Task, w *browser.Worker, v browser.Value) {
 	}
 	switch browser.GetString(m, "type") {
 	case "syscall":
-		k.AsyncSyscalls++
+		k.AsyncSyscalls.Add(1)
 		k.Sys.Sim.Charge(k.CPU.SyscallNs)
 		id := browser.GetInt(m, "id")
 		name := browser.GetString(m, "name")
@@ -39,7 +39,7 @@ func (k *Kernel) onWorkerMessage(t *Task, w *browser.Worker, v browser.Value) {
 			})
 		})
 	case "sync":
-		k.SyncSyscalls++
+		k.SyncSyscalls.Add(1)
 		k.Sys.Sim.Charge(k.CPU.SyscallNs)
 		trap := int(browser.GetInt(m, "trap"))
 		k.SyscallCount[abi.SyscallName(trap)]++

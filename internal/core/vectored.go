@@ -112,7 +112,7 @@ func (k *Kernel) doReadv(t *Task, d *Desc, iovs []abi.Iovec, done func(int64, ab
 			return
 		}
 		n := t.scatterHeap(iovs, segs)
-		k.ReadCopiedBytes += int64(n)
+		k.ReadCopiedBytes.Add(int64(n))
 		done(int64(n), abi.OK)
 	})
 }

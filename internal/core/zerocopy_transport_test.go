@@ -154,10 +154,10 @@ func TestZeroCopyWarmReadZeroCopiedBytes(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("cold run exited %d", code)
 	}
-	if w.k.ReadCopiedBytes == 0 {
+	if w.k.ReadCopiedBytes.Load() == 0 {
 		t.Fatalf("cold run copied no bytes — miss path broken?")
 	}
-	copied, grants := w.k.ReadCopiedBytes, w.k.LeaseGrants
+	copied, grants := w.k.ReadCopiedBytes.Load(), w.k.LeaseGrants.Load()
 
 	code, warm, _ := w.run(t, "/usr/bin/t-zcread /ro/big.bin")
 	if code != 0 {
@@ -166,17 +166,17 @@ func TestZeroCopyWarmReadZeroCopiedBytes(t *testing.T) {
 	if warm != cold {
 		t.Fatalf("warm output %q differs from cold %q", warm, cold)
 	}
-	if d := w.k.ReadCopiedBytes - copied; d != 0 {
+	if d := w.k.ReadCopiedBytes.Load() - copied; d != 0 {
 		t.Fatalf("warm cached read copied %d payload bytes, want 0 (grant path)", d)
 	}
-	if w.k.LeaseGrants == grants {
+	if w.k.LeaseGrants.Load() == grants {
 		t.Fatalf("warm run took no page leases — grant path unused")
 	}
-	if w.k.GrantedBytes < int64(len(content)) {
-		t.Fatalf("GrantedBytes = %d, want >= %d", w.k.GrantedBytes, len(content))
+	if w.k.GrantedBytes.Load() < int64(len(content)) {
+		t.Fatalf("GrantedBytes = %d, want >= %d", w.k.GrantedBytes.Load(), len(content))
 	}
-	if w.k.LeaseGrants != w.k.LeaseReturns {
-		t.Fatalf("leases leaked: %d granted, %d returned", w.k.LeaseGrants, w.k.LeaseReturns)
+	if w.k.LeaseGrants.Load() != w.k.LeaseReturns.Load() {
+		t.Fatalf("leases leaked: %d granted, %d returned", w.k.LeaseGrants.Load(), w.k.LeaseReturns.Load())
 	}
 	if pins := w.fs.CacheStats().PinnedPages; pins != 0 {
 		t.Fatalf("%d pool pages still pinned after exit", pins)
@@ -380,12 +380,12 @@ func TestLeaseRevocationAcrossTransports(t *testing.T) {
 			}
 			outputs[name] = out
 			if c.name == "sync-ring" {
-				if w.k.LeaseGrants == 0 {
+				if w.k.LeaseGrants.Load() == 0 {
 					t.Errorf("%s: no leases taken — revocation races untested", name)
 				}
-				if w.k.LeaseGrants != w.k.LeaseReturns {
+				if w.k.LeaseGrants.Load() != w.k.LeaseReturns.Load() {
 					t.Errorf("%s: leases leaked (%d granted, %d returned)",
-						name, w.k.LeaseGrants, w.k.LeaseReturns)
+						name, w.k.LeaseGrants.Load(), w.k.LeaseReturns.Load())
 				}
 			}
 			if pins := w.fs.CacheStats().PinnedPages; pins != 0 {

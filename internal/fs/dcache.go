@@ -2,6 +2,7 @@ package fs
 
 import (
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/abi"
 )
@@ -50,12 +51,17 @@ type dcache struct {
 	dirents map[string][]abi.Dirent
 
 	// Counters for the cache-hit-rate experiments (EXPERIMENTS.md).
-	hits, misses, negHits int64
-	walkHits              int64
-	dirHits, dirMisses    int64
+	// Atomics: the host may snapshot CacheStats while the Instance runs
+	// on another thread (the fleet's live stats path).
+	hits, misses, negHits atomic.Int64
+	walkHits              atomic.Int64
+	dirHits, dirMisses    atomic.Int64
 	// Batch-lookup counters: lookups resolved through getWalkBatch's
 	// single pass, and the number of multi-element batches.
-	batchedLookups, statBatches int64
+	batchedLookups, statBatches atomic.Int64
+	// entryCount shadows len(entries) so CacheStats never reads the map
+	// itself off the owning thread.
+	entryCount atomic.Int64
 }
 
 func newDcache() *dcache {
@@ -71,9 +77,9 @@ func newDcache() *dcache {
 func (c *dcache) getDir(p string) ([]abi.Dirent, bool) {
 	ents, ok := c.dirents[p]
 	if ok {
-		c.dirHits++
+		c.dirHits.Add(1)
 	} else {
-		c.dirMisses++
+		c.dirMisses.Add(1)
 	}
 	return ents, ok
 }
@@ -89,12 +95,12 @@ func (c *dcache) get(p string) (*dentry, bool) {
 	d, ok := c.entries[p]
 	if ok {
 		if d.err == abi.OK {
-			c.hits++
+			c.hits.Add(1)
 		} else {
-			c.negHits++
+			c.negHits.Add(1)
 		}
 	} else {
-		c.misses++
+		c.misses.Add(1)
 	}
 	return d, ok
 }
@@ -102,6 +108,10 @@ func (c *dcache) get(p string) (*dentry, bool) {
 func (c *dcache) put(p string, d *dentry) {
 	if len(c.entries) >= maxDentries {
 		clear(c.entries)
+		c.entryCount.Store(0)
+	}
+	if _, ok := c.entries[p]; !ok {
+		c.entryCount.Add(1)
 	}
 	c.entries[p] = d
 }
@@ -129,8 +139,8 @@ func (c *dcache) getWalkBatch(keys []string, opts []walkOpts) ([]walkEnt, []bool
 		if !validWalkHit(d, dok, opts[i]) {
 			continue
 		}
-		c.walkHits++
-		c.batchedLookups++
+		c.walkHits.Add(1)
+		c.batchedLookups.Add(1)
 		e.st = d.st
 		ents[i], ok[i] = e, true
 	}
@@ -162,6 +172,9 @@ func (c *dcache) putWalk(key string, e walkEnt) {
 // the changed child and its parent, which covers the listing that gained
 // or lost an entry.
 func (c *dcache) drop(p string) {
+	if _, ok := c.entries[p]; ok {
+		c.entryCount.Add(-1)
+	}
 	delete(c.entries, p)
 	delete(c.dirents, p)
 }
@@ -169,6 +182,9 @@ func (c *dcache) drop(p string) {
 // dropTree forgets a path and everything under it (rename/rmdir of a
 // directory moves or deletes the whole subtree).
 func (c *dcache) dropTree(p string) {
+	if _, ok := c.entries[p]; ok {
+		c.entryCount.Add(-1)
+	}
 	delete(c.entries, p)
 	delete(c.dirents, p)
 	prefix := p
@@ -178,6 +194,7 @@ func (c *dcache) dropTree(p string) {
 	for k := range c.entries {
 		if strings.HasPrefix(k, prefix) {
 			delete(c.entries, k)
+			c.entryCount.Add(-1)
 		}
 	}
 	for k := range c.dirents {
@@ -189,6 +206,7 @@ func (c *dcache) dropTree(p string) {
 
 func (c *dcache) flush() {
 	clear(c.entries)
+	c.entryCount.Store(0)
 	clear(c.walks)
 	clear(c.dirents)
 }

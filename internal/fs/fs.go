@@ -182,34 +182,37 @@ type CacheStats struct {
 	StatBatches    int64 // multi-element StatBatch calls
 }
 
-// CacheStats returns a snapshot of the cache counters.
+// CacheStats returns a snapshot of the cache counters. Every field is
+// read through an atomic, so the snapshot is safe to take from the host
+// while the Instance runs on another thread (per-field reads are atomic;
+// the struct as a whole is a loose snapshot, not a consistent cut).
 func (f *FileSystem) CacheStats() CacheStats {
 	return CacheStats{
-		DentryHits:    f.dc.hits,
-		DentryMisses:  f.dc.misses,
-		NegativeHits:  f.dc.negHits,
-		WalkHits:      f.dc.walkHits,
-		ReaddirHits:   f.dc.dirHits,
-		ReaddirMisses: f.dc.dirMisses,
-		PageHits:      f.pc.hits,
-		PageMisses:    f.pc.misses,
-		ReadaheadOps:  f.pc.readaheads,
-		PageBytes:     f.pc.bytes,
-		DentryEntries: len(f.dc.entries),
+		DentryHits:    f.dc.hits.Load(),
+		DentryMisses:  f.dc.misses.Load(),
+		NegativeHits:  f.dc.negHits.Load(),
+		WalkHits:      f.dc.walkHits.Load(),
+		ReaddirHits:   f.dc.dirHits.Load(),
+		ReaddirMisses: f.dc.dirMisses.Load(),
+		PageHits:      f.pc.hits.Load(),
+		PageMisses:    f.pc.misses.Load(),
+		ReadaheadOps:  f.pc.readaheads.Load(),
+		PageBytes:     f.pc.bytes.Load(),
+		DentryEntries: int(f.dc.entryCount.Load()),
 
-		BufferedWrites:  f.pc.bufferedWrites,
-		Flushes:         f.pc.flushes,
-		FlushWrites:     f.pc.flushWrites,
-		OverflowFlushes: f.pc.overflowFlushes,
-		AgedFlushes:     f.pc.agedFlushes,
-		DirtyBytes:      f.pc.dirtyBytes,
+		BufferedWrites:  f.pc.bufferedWrites.Load(),
+		Flushes:         f.pc.flushes.Load(),
+		FlushWrites:     f.pc.flushWrites.Load(),
+		OverflowFlushes: f.pc.overflowFlushes.Load(),
+		AgedFlushes:     f.pc.agedFlushes.Load(),
+		DirtyBytes:      f.pc.dirtyBytes.Load(),
 
-		GrantedPages:  f.pc.grantedPages,
-		ReturnedPages: f.pc.returnedPages,
-		PinnedPages:   f.pc.pool.pinned,
+		GrantedPages:  f.pc.grantedPages.Load(),
+		ReturnedPages: f.pc.returnedPages.Load(),
+		PinnedPages:   int(f.pc.pool.pinned.Load()),
 
-		BatchedLookups: f.dc.batchedLookups,
-		StatBatches:    f.dc.statBatches,
+		BatchedLookups: f.dc.batchedLookups.Load(),
+		StatBatches:    f.dc.statBatches.Load(),
 	}
 }
 
@@ -426,7 +429,7 @@ func (f *FileSystem) MetaBatch(reqs []MetaReq, cb func([]MetaRes)) {
 	// the open continuation reuses it instead of re-statting.
 	batchSt := make(map[int]abi.Stat)
 	if f.cachesOn && len(reqs) > 1 {
-		f.dc.statBatches++
+		f.dc.statBatches.Add(1)
 		keys := make([]string, len(reqs))
 		opts := make([]walkOpts, len(reqs))
 		for i, r := range reqs {

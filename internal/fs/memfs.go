@@ -3,7 +3,6 @@ package fs
 import (
 	"path"
 	"strings"
-	"sync/atomic"
 
 	"repro/internal/abi"
 )
@@ -20,6 +19,11 @@ type MemFS struct {
 	// the denominator of the write-coalescing experiments: N buffered
 	// VFS writes should reach a backend as few WriteOps.
 	WriteOps int64
+
+	// ino allocation is per-backend: a process-wide counter would make
+	// inode numbers depend on how concurrently-running Instances
+	// interleave, breaking the fleet's serial-vs-parallel determinism.
+	lastIno uint64
 }
 
 type memNode struct {
@@ -33,18 +37,14 @@ type memNode struct {
 	ino      uint64
 }
 
-var inoCounter uint64
-
-func nextIno() uint64 { return atomic.AddUint64(&inoCounter, 1) }
+func (m *MemFS) nextIno() uint64 { m.lastIno++; return m.lastIno }
 
 // NewMemFS creates an empty writable in-memory backend.
 func NewMemFS(now func() int64) *MemFS {
 	t := now()
-	return &MemFS{
-		root: &memNode{mode: abi.S_IFDIR | 0o755, children: map[string]*memNode{}, mtime: t, ino: nextIno()},
-		now:  now,
-		name: "memfs",
-	}
+	m := &MemFS{now: now, name: "memfs"}
+	m.root = &memNode{mode: abi.S_IFDIR | 0o755, children: map[string]*memNode{}, mtime: t, ino: m.nextIno()}
+	return m
 }
 
 // Name implements Backend.
@@ -129,7 +129,7 @@ func (m *MemFS) Open(p string, flags int, mode uint32, cb func(FileHandle, abi.E
 			return
 		}
 		t := m.now()
-		n = &memNode{mode: abi.S_IFREG | (mode & 0o777), mtime: t, ctime: t, ino: nextIno()}
+		n = &memNode{mode: abi.S_IFREG | (mode & 0o777), mtime: t, ctime: t, ino: m.nextIno()}
 		parent.children[base] = n
 		parent.mtime = t
 	} else {
@@ -198,7 +198,7 @@ func (m *MemFS) Mkdir(p string, mode uint32, cb func(abi.Errno)) {
 		return
 	}
 	t := m.now()
-	parent.children[base] = &memNode{mode: abi.S_IFDIR | (mode & 0o777), children: map[string]*memNode{}, mtime: t, ctime: t, ino: nextIno()}
+	parent.children[base] = &memNode{mode: abi.S_IFDIR | (mode & 0o777), children: map[string]*memNode{}, mtime: t, ctime: t, ino: m.nextIno()}
 	parent.mtime = t
 	cb(abi.OK)
 }
@@ -313,7 +313,7 @@ func (m *MemFS) Symlink(target, linkp string, cb func(abi.Errno)) {
 		return
 	}
 	t := m.now()
-	parent.children[base] = &memNode{mode: abi.S_IFLNK | 0o777, target: target, mtime: t, ctime: t, ino: nextIno()}
+	parent.children[base] = &memNode{mode: abi.S_IFLNK | 0o777, target: target, mtime: t, ctime: t, ino: m.nextIno()}
 	cb(abi.OK)
 }
 

@@ -120,7 +120,7 @@ func (f *FileSystem) walk(p string, o walkOpts, cb func(walkEnt)) {
 			// cached: a symlink there invalidates a following walk, a
 			// non-directory invalidates a trailing-slash walk.
 			if validWalkHit(d, present, o) {
-				f.dc.walkHits++
+				f.dc.walkHits.Add(1)
 				e.st = d.st
 				cb(e)
 				return

@@ -2,6 +2,7 @@ package fs
 
 import (
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/abi"
 )
@@ -44,8 +45,12 @@ type filePages struct {
 
 type pageCache struct {
 	files map[string]*filePages
-	bytes int64
-	pool  pagePool
+	bytes atomic.Int64
+	// pool is the slot arena pages live in — private by default, or a
+	// shared cross-Instance arena after SetPagePool. att is this cache's
+	// attachment id (its quota account) in the pool.
+	pool *pagePool
+	att  int
 
 	// dirty holds buffered write-back state per canonical path (see
 	// writeback.go); dirtyBytes is the running total the dirty budget
@@ -54,7 +59,7 @@ type pageCache struct {
 	// generation at record time so a later unrelated file reusing the
 	// name can never inherit a dead file's error.
 	dirty      map[string]*dirtyFile
-	dirtyBytes int64
+	dirtyBytes atomic.Int64
 	flushErrs  map[string]flushErr
 
 	// gens tracks an invalidation generation per path. A pagedHandle
@@ -68,21 +73,27 @@ type pageCache struct {
 	gens  map[string]uint64
 	epoch uint64
 
-	hits, misses, readaheads int64
+	// Counters are atomics: the host (a fleet aggregator, a stats
+	// poller) may snapshot them via CacheStats while the Instance runs
+	// on another thread.
+	hits, misses, readaheads atomic.Int64
 	// Lease counters: pages granted out as leases, leases returned.
-	grantedPages, returnedPages int64
+	grantedPages, returnedPages atomic.Int64
 	// Write-back counters: writes absorbed into dirty extents, flush
 	// operations, vectored backend writes the flusher issued,
 	// budget-overflow flushes, and age-triggered background flushes.
-	bufferedWrites, flushes, flushWrites, overflowFlushes, agedFlushes int64
+	bufferedWrites, flushes, flushWrites, overflowFlushes, agedFlushes atomic.Int64
 }
 
 func newPageCache() *pageCache {
+	pool := newPagePool(poolSlots)
 	return &pageCache{
 		files:     map[string]*filePages{},
 		gens:      map[string]uint64{},
 		dirty:     map[string]*dirtyFile{},
 		flushErrs: map[string]flushErr{},
+		pool:      pool,
+		att:       pool.attach(0),
 	}
 }
 
@@ -114,7 +125,7 @@ func (c *pageCache) evictAll() {
 		c.releaseFilePages(fp)
 	}
 	clear(c.files)
-	c.bytes = 0
+	c.bytes.Store(0)
 }
 
 // store caches one page of content for (p, pageIdx), copying data into a
@@ -125,7 +136,7 @@ func (c *pageCache) store(p string, pageIdx int64, data []byte) {
 	if len(data) > PageSize {
 		return // defensive: a page never exceeds the granule
 	}
-	if c.bytes+int64(len(data)) > maxPageCacheBytes {
+	if c.bytes.Load()+int64(len(data)) > maxPageCacheBytes {
 		c.evictAll()
 	}
 	fp := c.file(p)
@@ -133,22 +144,22 @@ func (c *pageCache) store(p string, pageIdx int64, data []byte) {
 		// Replacing a cached page never rewrites its slot in place: the
 		// old slot may be leased out. Detach it and fill a fresh one.
 		fp.bytes -= int64(old.len)
-		c.bytes -= int64(old.len)
+		c.bytes.Add(-int64(old.len))
 		c.pool.release(old.slot)
 		delete(fp.pages, pageIdx)
 	}
-	slot, ok := c.pool.alloc()
+	slot, ok := c.pool.alloc(c.att)
 	if !ok {
 		c.evictAll()
 		fp = c.file(p)
-		if slot, ok = c.pool.alloc(); !ok {
-			return // every slot leased out: skip caching this page
+		if slot, ok = c.pool.alloc(c.att); !ok {
+			return // every quota slot leased out: skip caching this page
 		}
 	}
 	copy(c.pool.arena[slot*PageSize:], data)
 	fp.pages[pageIdx] = poolPage{slot: slot, len: len(data)}
 	fp.bytes += int64(len(data))
-	c.bytes += int64(len(data))
+	c.bytes.Add(int64(len(data)))
 }
 
 // dropPages forgets a path's clean pages without bumping its
@@ -161,7 +172,7 @@ func (c *pageCache) store(p string, pageIdx int64, data []byte) {
 func (c *pageCache) dropPages(p string) {
 	if fp, ok := c.files[p]; ok {
 		c.releaseFilePages(fp)
-		c.bytes -= fp.bytes
+		c.bytes.Add(-fp.bytes)
 		delete(c.files, p)
 	}
 }
@@ -184,7 +195,7 @@ func (c *pageCache) dropTree(p string) {
 	for k, fp := range c.files {
 		if strings.HasPrefix(k, prefix) {
 			c.releaseFilePages(fp)
-			c.bytes -= fp.bytes
+			c.bytes.Add(-fp.bytes)
 			delete(c.files, k)
 			c.gens[k]++
 		}
@@ -274,7 +285,7 @@ func (h *pagedHandle) cachedRange(off, end int64) ([]byte, bool) {
 	if fp == nil {
 		return nil, false
 	}
-	pool := &h.fs.pc.pool
+	pool := h.fs.pc.pool
 	out := make([]byte, 0, end-off)
 	for pos := off; pos < end; {
 		idx := pos / PageSize
@@ -356,8 +367,8 @@ func (h *pagedHandle) PreadRef(off int64, n, max int) ([]PageRef, bool) {
 	for _, r := range refs {
 		pc.pool.pin(r.Slot)
 	}
-	pc.hits++
-	pc.grantedPages += int64(len(refs))
+	pc.hits.Add(1)
+	pc.grantedPages.Add(int64(len(refs)))
 	sequential := off == h.lastEnd
 	h.adaptWindow(sequential)
 	h.lastEnd = off + granted
@@ -416,7 +427,7 @@ func (h *pagedHandle) preadResolved(off int64, n int, cb func([]byte, abi.Errno)
 	end := off + int64(n)
 	sequential := off == h.lastEnd
 	if data, ok := h.cachedRange(off, end); ok {
-		h.fs.pc.hits++
+		h.fs.pc.hits.Add(1)
 		h.adaptWindow(sequential)
 		h.lastEnd = off + int64(len(data))
 		if sequential {
@@ -425,7 +436,7 @@ func (h *pagedHandle) preadResolved(off int64, n int, cb func([]byte, abi.Errno)
 		cb(data, abi.OK)
 		return
 	}
-	h.fs.pc.misses++
+	h.fs.pc.misses.Add(1)
 	astart := (off / PageSize) * PageSize
 	aend := ((end + PageSize - 1) / PageSize) * PageSize
 	h.ensureInner(func(fh FileHandle, err abi.Errno) {
@@ -496,7 +507,7 @@ func (h *pagedHandle) readahead(end int64) {
 			if err != abi.OK || !h.current() {
 				return
 			}
-			h.fs.pc.readaheads++
+			h.fs.pc.readaheads.Add(1)
 			h.storeRange(start, data)
 		})
 	})

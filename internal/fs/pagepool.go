@@ -1,6 +1,11 @@
 package fs
 
-import "repro/internal/abi"
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/abi"
+)
 
 // The page pool is the shared-memory arena every cached page lives in:
 // one flat region of PageSize slots the kernel exports to processes as a
@@ -18,85 +23,229 @@ import "repro/internal/abi"
 // reclaimed for reuse only when the last lease is returned. This is the
 // pipe layer's owned-segment discipline applied to cache pages:
 // ownership of the bytes moves to the process until it hands them back.
+//
+// Concurrency. A pool may be shared by several FileSystems, each living
+// in its own deterministic Instance running on its own host thread (the
+// fleet scheduler): the arena is the ONLY structure those shards touch
+// concurrently, so the pin/lease/freeze discipline is a real concurrent
+// data structure. Each slot's lease state is one atomic word (a pin
+// count plus a frozen bit) updated by CAS; the free stack and ownership
+// bookkeeping sit behind a mutex taken only on alloc and on the final
+// free. Every attached cache draws from its own slot *quota*, so one
+// shard's allocation success never depends on how busy its neighbours
+// are — each Instance stays bit-identical to its serial run while the
+// slots interleave freely in the arena.
 
-// poolSlots bounds the arena: maxPageCacheBytes of PageSize slots.
+// poolSlots is the default arena size: maxPageCacheBytes of PageSize
+// slots (the whole budget of a private, single-FileSystem pool).
 const poolSlots = maxPageCacheBytes / PageSize
+
+// DefaultPoolSlots is the private pool's slot capacity. A fleet shard
+// given this quota in a shared arena hits slot exhaustion at exactly the
+// same point a private-pool instance would, so its virtual clock is
+// bit-identical to a serial run.
+const DefaultPoolSlots = poolSlots
+
+// slotFrozen marks a slot dropped from its cache while pinned (bytes
+// preserved, freed on last unpin). The low bits are the pin count.
+const slotFrozen = uint32(1) << 31
 
 // pagePool is the slot allocator over the shared arena.
 type pagePool struct {
-	arena []byte // poolSlots * PageSize bytes; allocated on first use
-	// free is the free-slot stack. pins counts outstanding leases per
-	// slot; frozen marks slots dropped from the cache while pinned
-	// (bytes preserved, freed on last unpin).
-	free   []int
-	pins   []int32
-	frozen []bool
+	slots int
 
-	pinned int // slots with pins > 0 (diagnostics)
+	allocOnce sync.Once
+	arena     []byte // slots * PageSize bytes; allocated on first use
+
+	// state holds each slot's lease word: pin count in the low 31 bits,
+	// slotFrozen in the top bit. Transitions are CAS-only, so pin and
+	// unpin from different shards never take a lock.
+	state []atomic.Uint32
+
+	// mu guards the free stack and the per-attachment accounting. owner
+	// maps an allocated slot to the attachment that drew it; used/quota
+	// are indexed by attachment id. A slot stays charged to its owner
+	// until it physically returns to the free stack (frozen slots keep
+	// their charge), so sum(used) never exceeds the arena and one
+	// shard's quota headroom is always honourable.
+	mu    sync.Mutex
+	free  []int
+	owner []int32
+	used  []int
+	quota []int
+
+	pinned atomic.Int64 // slots with pins > 0 (diagnostics)
+}
+
+func newPagePool(slots int) *pagePool {
+	if slots <= 0 {
+		slots = poolSlots
+	}
+	return &pagePool{slots: slots}
 }
 
 // ensure allocates the arena on first use. The backing array is never
 // reallocated afterwards: kernel-side SAB views alias it.
 func (pp *pagePool) ensure() {
-	if pp.arena != nil {
-		return
-	}
-	pp.arena = make([]byte, poolSlots*PageSize)
-	pp.pins = make([]int32, poolSlots)
-	pp.frozen = make([]bool, poolSlots)
-	pp.free = make([]int, poolSlots)
-	// Ascending allocation order (slot 0 first) keeps runs deterministic.
-	for i := range pp.free {
-		pp.free[i] = poolSlots - 1 - i
-	}
+	pp.allocOnce.Do(func() {
+		pp.arena = make([]byte, pp.slots*PageSize)
+		pp.state = make([]atomic.Uint32, pp.slots)
+		pp.owner = make([]int32, pp.slots)
+		for i := range pp.owner {
+			pp.owner[i] = -1
+		}
+		pp.free = make([]int, pp.slots)
+		// Ascending allocation order (slot 0 first) keeps runs deterministic.
+		for i := range pp.free {
+			pp.free[i] = pp.slots - 1 - i
+		}
+	})
 }
 
-// alloc takes a free slot; ok is false when every slot is live or frozen
-// (the caller evicts, or skips caching).
-func (pp *pagePool) alloc() (int, bool) {
+// attach registers one cache as a pool client with a slot quota and
+// returns its attachment id. quota <= 0 means the whole arena.
+func (pp *pagePool) attach(quota int) int {
+	if quota <= 0 || quota > pp.slots {
+		quota = pp.slots
+	}
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	pp.used = append(pp.used, 0)
+	pp.quota = append(pp.quota, quota)
+	return len(pp.used) - 1
+}
+
+// alloc takes a free slot for attachment att; ok is false when att is at
+// its quota or every slot is live or frozen (the caller evicts, or skips
+// caching). Quota exhaustion depends only on att's own slots, so a
+// shard's cache behaviour is independent of its neighbours.
+func (pp *pagePool) alloc(att int) (int, bool) {
 	pp.ensure()
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if pp.used[att] >= pp.quota[att] {
+		return 0, false
+	}
 	n := len(pp.free)
 	if n == 0 {
 		return 0, false
 	}
 	slot := pp.free[n-1]
 	pp.free = pp.free[:n-1]
+	pp.owner[slot] = int32(att)
+	pp.used[att]++
 	return slot, true
 }
 
-// release detaches a slot from the cache: free immediately when no
-// leases are outstanding, otherwise freeze it until the last unpin.
-func (pp *pagePool) release(slot int) {
-	if pp.pins[slot] > 0 {
-		pp.frozen[slot] = true
-		return
+// freeSlot returns a slot to the free stack and uncharges its owner.
+// The mutex acquire/release pairs with the next alloc, so the bytes a
+// leaseholder read before its final unpin happen-before the next
+// owner's rewrite.
+func (pp *pagePool) freeSlot(slot int) {
+	pp.mu.Lock()
+	if att := pp.owner[slot]; att >= 0 {
+		pp.used[att]--
+		pp.owner[slot] = -1
 	}
 	pp.free = append(pp.free, slot)
+	pp.mu.Unlock()
+}
+
+// release detaches a slot from its cache: free immediately when no
+// leases are outstanding, otherwise freeze it until the last unpin. Only
+// the owning cache releases a slot (it just removed the page from its
+// own maps), so release never races another release or pin on the same
+// slot — but it does race unpin, and the single-word CAS decides exactly
+// one of them frees the slot.
+func (pp *pagePool) release(slot int) {
+	for {
+		s := pp.state[slot].Load()
+		if s&^slotFrozen == 0 {
+			pp.freeSlot(slot)
+			return
+		}
+		if pp.state[slot].CompareAndSwap(s, s|slotFrozen) {
+			return
+		}
+	}
 }
 
 // pin takes one lease on a slot.
 func (pp *pagePool) pin(slot int) {
-	if pp.pins[slot] == 0 {
-		pp.pinned++
+	for {
+		s := pp.state[slot].Load()
+		if pp.state[slot].CompareAndSwap(s, s+1) {
+			if s&^slotFrozen == 0 {
+				pp.pinned.Add(1)
+			}
+			return
+		}
 	}
-	pp.pins[slot]++
 }
 
 // unpin returns one lease; a frozen slot whose last lease returns goes
 // back on the free stack.
 func (pp *pagePool) unpin(slot int) bool {
-	if slot < 0 || slot >= len(pp.pins) || pp.pins[slot] == 0 {
+	if slot < 0 || slot >= pp.slots || pp.state == nil {
 		return false
 	}
-	pp.pins[slot]--
-	if pp.pins[slot] == 0 {
-		pp.pinned--
-		if pp.frozen[slot] {
-			pp.frozen[slot] = false
-			pp.free = append(pp.free, slot)
+	for {
+		s := pp.state[slot].Load()
+		if s&^slotFrozen == 0 {
+			return false
+		}
+		ns := s - 1
+		freeing := false
+		if ns == slotFrozen { // last lease on a frozen slot
+			ns = 0
+			freeing = true
+		}
+		if pp.state[slot].CompareAndSwap(s, ns) {
+			if ns&^slotFrozen == 0 {
+				pp.pinned.Add(-1)
+			}
+			if freeing {
+				pp.freeSlot(slot)
+			}
+			return true
 		}
 	}
-	return true
+}
+
+// pinCount returns a slot's outstanding lease count (tests/diagnostics).
+func (pp *pagePool) pinCount(slot int) int {
+	return int(pp.state[slot].Load() &^ slotFrozen)
+}
+
+// isFrozen reports whether a slot is detached-but-leased (tests).
+func (pp *pagePool) isFrozen(slot int) bool {
+	return pp.state[slot].Load()&slotFrozen != 0
+}
+
+// isFree reports whether a slot is on the free stack (tests).
+func (pp *pagePool) isFree(slot int) bool {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	for _, s := range pp.free {
+		if s == slot {
+			return true
+		}
+	}
+	return false
+}
+
+// freeCount returns the free-stack depth (tests/diagnostics).
+func (pp *pagePool) freeCount() int {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	return len(pp.free)
+}
+
+// usedBy returns the slots currently charged to an attachment (tests).
+func (pp *pagePool) usedBy(att int) int {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	return pp.used[att]
 }
 
 // data returns the live bytes of a slot's page.
@@ -112,6 +261,52 @@ type poolPage struct {
 	len  int
 }
 
+// ---------------------------------------------------------------------------
+// Shared arenas (the fleet's one cross-shard structure).
+// ---------------------------------------------------------------------------
+
+// PagePool is a standalone page-pool arena several FileSystems — each
+// owned by an independent deterministic Instance, possibly running on
+// its own host thread — can share. Slot lease state is managed with
+// atomics and the allocator with fine-grained locking, so concurrent
+// shards are race-free; per-attachment quotas keep each shard's cache
+// behaviour (and therefore its virtual clock) independent of its
+// neighbours.
+type PagePool struct {
+	pp *pagePool
+}
+
+// NewPagePool creates a shared arena of the given slot count
+// (PageSize bytes each); slots <= 0 selects the private-pool default.
+func NewPagePool(slots int) *PagePool {
+	return &PagePool{pp: newPagePool(slots)}
+}
+
+// Slots returns the arena capacity in slots.
+func (p *PagePool) Slots() int { return p.pp.slots }
+
+// PinnedSlots returns the number of slots with outstanding leases.
+func (p *PagePool) PinnedSlots() int { return int(p.pp.pinned.Load()) }
+
+// FreeSlots returns the free-stack depth (0 until first use).
+func (p *PagePool) FreeSlots() int {
+	if p.pp.state == nil {
+		return 0
+	}
+	return p.pp.freeCount()
+}
+
+// SetPagePool attaches this FileSystem's page cache to a shared arena
+// with a per-cache slot quota (quotaSlots <= 0 means the whole arena —
+// only sensible for a single attachment). It must be called at setup
+// time, before any page is cached; attached state does not migrate.
+func (f *FileSystem) SetPagePool(p *PagePool, quotaSlots int) {
+	f.flushAllDirtyNow()
+	f.pc.evictAll()
+	f.pc.pool = p.pp
+	f.pc.att = p.pp.attach(quotaSlots)
+}
+
 // PagePoolBytes exposes the page-cache arena for sharing with processes
 // (the kernel wraps it in a SharedArrayBuffer). Forces allocation.
 func (f *FileSystem) PagePoolBytes() []byte {
@@ -124,7 +319,7 @@ func (f *FileSystem) UnleasePage(slot int) bool {
 	if !f.pc.pool.unpin(slot) {
 		return false
 	}
-	f.pc.returnedPages++
+	f.pc.returnedPages.Add(1)
 	return true
 }
 

@@ -1,0 +1,200 @@
+package fs
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// Concurrent stress/property test for the shared page-pool arena: K
+// goroutines — each standing in for one fleet shard — hammer their own
+// attachment with randomized alloc/write/pin/unpin/release storms while
+// the invariants of the lease discipline are checked in-line:
+//
+//   - a freshly allocated slot is never leased or frozen (no recycling
+//     of a slot somebody still reads);
+//   - a slot's bytes never change while its owner holds it or holds a
+//     lease on it — including after release froze it (frozen bytes stay
+//     intact until the last unpin);
+//   - at quiesce every lease has been returned, every slot is back on
+//     the free stack, and every attachment's usage is zero.
+//
+// Each goroutine writes only slots it allocated itself, so a stamp
+// mismatch can only mean the pool handed the same slot to two owners or
+// recycled a frozen slot. The race detector referees the memory model:
+// the final unpin's CAS plus the free-stack mutex must order every
+// reader's loads before the next owner's stores.
+
+const stressStamp = 128 // bytes stamped/verified per slot (covers the rewrite window)
+
+type stressHeld struct {
+	slot int
+	pins int
+}
+
+func TestPagePoolConcurrentStress(t *testing.T) {
+	const (
+		slots = 128
+		K     = 8
+		iters = 4000
+	)
+	pp := newPagePool(slots)
+	pp.ensure()
+
+	// Uneven quotas: some shards can overflow the free stack even under
+	// quota (sum of quotas > slots), exercising both failure paths.
+	atts := make([]int, K)
+	for g := range atts {
+		atts[g] = pp.attach(slots/K + g)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < K; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)*7919 + 1)) // fixed per-shard seed
+			att := atts[g]
+			stamp := byte(g + 1)
+			var owned []stressHeld
+
+			check := func(slot int, what string) {
+				base := slot * PageSize
+				for i := 0; i < stressStamp; i++ {
+					if pp.arena[base+i] != stamp {
+						t.Errorf("shard %d: slot %d byte %d = %d, want %d (%s)",
+							g, slot, i, pp.arena[base+i], stamp, what)
+						return
+					}
+				}
+			}
+			releaseAt := func(i int) {
+				h := owned[i]
+				check(h.slot, "owned at release")
+				pp.release(h.slot)
+				if h.pins > 0 {
+					// Detached while leased: the slot froze. Its bytes
+					// must survive every outstanding lease.
+					if !pp.isFrozen(h.slot) {
+						t.Errorf("shard %d: slot %d released with %d pins but not frozen", g, h.slot, h.pins)
+					}
+					for ; h.pins > 0; h.pins-- {
+						check(h.slot, "frozen under lease")
+						pp.unpin(h.slot)
+					}
+				}
+				owned[i] = owned[len(owned)-1]
+				owned = owned[:len(owned)-1]
+			}
+
+			for iter := 0; iter < iters; iter++ {
+				switch op := rng.Intn(100); {
+				case op < 40: // store: alloc a slot and write our stamp
+					slot, ok := pp.alloc(att)
+					if !ok {
+						// Quota or arena overflow — the evictAll path:
+						// drop something and move on.
+						if len(owned) > 0 {
+							releaseAt(rng.Intn(len(owned)))
+						}
+						continue
+					}
+					if n := pp.pinCount(slot); n != 0 || pp.isFrozen(slot) {
+						t.Errorf("shard %d: alloc returned slot %d with pins=%d frozen=%v",
+							g, slot, n, pp.isFrozen(slot))
+					}
+					base := slot * PageSize
+					for i := 0; i < stressStamp; i++ {
+						pp.arena[base+i] = stamp
+					}
+					owned = append(owned, stressHeld{slot: slot})
+				case op < 65 && len(owned) > 0: // grant a lease
+					h := &owned[rng.Intn(len(owned))]
+					pp.pin(h.slot)
+					h.pins++
+					check(h.slot, "just pinned")
+				case op < 80 && len(owned) > 0: // return a lease
+					h := &owned[rng.Intn(len(owned))]
+					if h.pins > 0 {
+						check(h.slot, "before unpin")
+						pp.unpin(h.slot)
+						h.pins--
+					}
+				default: // detach (evict/invalidate)
+					if len(owned) > 0 {
+						releaseAt(rng.Intn(len(owned)))
+					}
+				}
+				if iter%256 == 0 {
+					runtime.Gosched() // shuffle interleavings
+				}
+			}
+			for len(owned) > 0 {
+				releaseAt(len(owned) - 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Quiesce invariants: everything returned, nothing leaked.
+	if n := pp.pinned.Load(); n != 0 {
+		t.Errorf("pinned slots at quiesce: %d, want 0", n)
+	}
+	if n := pp.freeCount(); n != slots {
+		t.Errorf("free stack holds %d slots at quiesce, want %d", n, slots)
+	}
+	for g, att := range atts {
+		if n := pp.usedBy(att); n != 0 {
+			t.Errorf("shard %d still charged %d slots at quiesce", g, n)
+		}
+	}
+	for s := 0; s < slots; s++ {
+		if pp.pinCount(s) != 0 || pp.isFrozen(s) {
+			t.Errorf("slot %d at quiesce: pins=%d frozen=%v", s, pp.pinCount(s), pp.isFrozen(s))
+		}
+	}
+}
+
+// TestPagePoolQuotaIndependence pins the determinism property the fleet
+// rests on: one attachment's allocation success depends only on its own
+// quota, never on how many slots its neighbours hold.
+func TestPagePoolQuotaIndependence(t *testing.T) {
+	pp := newPagePool(16)
+	a := pp.attach(4)
+	b := pp.attach(4)
+
+	// Shard b hoards its whole quota.
+	var bSlots []int
+	for i := 0; i < 4; i++ {
+		slot, ok := pp.alloc(b)
+		if !ok {
+			t.Fatalf("b alloc %d failed under quota", i)
+		}
+		bSlots = append(bSlots, slot)
+	}
+	if _, ok := pp.alloc(b); ok {
+		t.Fatal("b alloc succeeded past its quota")
+	}
+	// Shard a still gets its full quota regardless.
+	for i := 0; i < 4; i++ {
+		if _, ok := pp.alloc(a); !ok {
+			t.Fatalf("a alloc %d failed while under quota (neighbour interference)", i)
+		}
+	}
+	if _, ok := pp.alloc(a); ok {
+		t.Fatal("a alloc succeeded past its quota")
+	}
+	// A frozen slot stays charged to its owner: release-under-lease must
+	// not free quota headroom early (that would let the owner rewrite
+	// bytes a leaseholder still reads — via a new slot's identity).
+	pp.pin(bSlots[0])
+	pp.release(bSlots[0])
+	if _, ok := pp.alloc(b); ok {
+		t.Fatal("b alloc succeeded while a frozen slot still holds its charge")
+	}
+	pp.unpin(bSlots[0])
+	if _, ok := pp.alloc(b); !ok {
+		t.Fatal("b alloc failed after the frozen slot was returned")
+	}
+}

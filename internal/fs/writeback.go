@@ -245,7 +245,7 @@ func (f *FileSystem) flushTick() {
 	}
 	sort.Strings(due)
 	for _, p := range due {
-		f.pc.agedFlushes++
+		f.pc.agedFlushes.Add(1)
 		f.flushDirtyNow(p)
 	}
 	f.armFlushTimer()
@@ -262,8 +262,8 @@ func (f *FileSystem) flushPath(p string, cb func(abi.Errno)) {
 		return
 	}
 	delete(f.pc.dirty, p)
-	f.pc.dirtyBytes -= df.bytes
-	f.pc.flushes++
+	f.pc.dirtyBytes.Add(-df.bytes)
+	f.pc.flushes.Add(1)
 	// The flush changes the backend's size/mtime, and a stat taken while
 	// the file was dirty may have cached the *pre-flush* backend
 	// attributes (patchDirtyStat corrected the returned copy, not the
@@ -279,7 +279,7 @@ func (f *FileSystem) flushPath(p string, cb func(abi.Errno)) {
 			return
 		}
 		ext := exts[i]
-		f.pc.flushWrites++
+		f.pc.flushWrites.Add(1)
 		df.flush(ext.off, pageChunks(ext.data), func(n int, err abi.Errno) {
 			if firstErr == abi.OK && err != abi.OK {
 				firstErr = err
@@ -453,16 +453,16 @@ func (h *writebackHandle) buffer(off int64, data []byte) {
 	}
 	delta := df.insert(off, data)
 	df.bytes += delta
-	pc.dirtyBytes += delta
+	pc.dirtyBytes.Add(delta)
 	df.mtime = h.fs.now()
-	pc.bufferedWrites++
+	pc.bufferedWrites.Add(1)
 	// Content changed: clean pages and cached attributes for the path
 	// are stale, but the generation stays — this handle (and the
 	// name→file binding) is still current.
 	pc.dropPages(h.path)
 	h.fs.dc.drop(h.path)
-	if pc.dirtyBytes > h.fs.dirtyBudget {
-		pc.overflowFlushes++
+	if pc.dirtyBytes.Load() > h.fs.dirtyBudget {
+		pc.overflowFlushes.Add(1)
 		h.fs.flushAllDirtyNow()
 	}
 	h.fs.armFlushTimer()

@@ -65,8 +65,8 @@ func TestPreadRefGrantsWarmPages(t *testing.T) {
 	}
 	var got []byte
 	for _, r := range refs {
-		if f.pc.pool.pins[r.Slot] != 1 {
-			t.Fatalf("slot %d pins = %d, want 1", r.Slot, f.pc.pool.pins[r.Slot])
+		if n := f.pc.pool.pinCount(r.Slot); n != 1 {
+			t.Fatalf("slot %d pins = %d, want 1", r.Slot, n)
 		}
 		got = append(got, f.pc.pool.arena[r.Off:r.Off+int64(r.Len)]...)
 	}
@@ -148,13 +148,11 @@ func TestLeaseFreezesDroppedPages(t *testing.T) {
 	// Gen-bumping invalidation while the lease is outstanding: the page
 	// detaches (no new grants) but the slot freezes.
 	f.invalidatePath("/mnt/a/b/file.txt")
-	if !f.pc.pool.frozen[r.Slot] {
+	if !f.pc.pool.isFrozen(r.Slot) {
 		t.Fatalf("dropped leased slot %d not frozen", r.Slot)
 	}
-	for _, free := range f.pc.pool.free {
-		if free == r.Slot {
-			t.Fatalf("leased slot %d recycled while pinned", r.Slot)
-		}
+	if f.pc.pool.isFree(r.Slot) {
+		t.Fatalf("leased slot %d recycled while pinned", r.Slot)
 	}
 	// Churn the cache: stores must fill other slots, never this one.
 	for i := 0; i < 32; i++ {
@@ -168,16 +166,10 @@ func TestLeaseFreezesDroppedPages(t *testing.T) {
 	if !f.UnleasePage(r.Slot) {
 		t.Fatalf("unlease failed")
 	}
-	if f.pc.pool.frozen[r.Slot] || f.pc.pool.pins[r.Slot] != 0 {
+	if f.pc.pool.isFrozen(r.Slot) || f.pc.pool.pinCount(r.Slot) != 0 {
 		t.Fatalf("slot %d not reclaimed after last unlease", r.Slot)
 	}
-	found := false
-	for _, free := range f.pc.pool.free {
-		if free == r.Slot {
-			found = true
-		}
-	}
-	if !found {
+	if !f.pc.pool.isFree(r.Slot) {
 		t.Fatalf("slot %d not returned to the free stack", r.Slot)
 	}
 }

@@ -96,7 +96,7 @@ func TestSignalMidPipeWriteGuest(t *testing.T) {
 			if task := in.Kernel.Task(catPid); task != nil {
 				t.Fatalf("killed cat still in task table: %s", task.StateName())
 			}
-			if in.Kernel.SignalsDelivered == 0 {
+			if in.Kernel.SignalsDelivered.Load() == 0 {
 				t.Fatal("kernel recorded no signal deliveries")
 			}
 		})

@@ -83,7 +83,7 @@ func TestShellCaseStudiesIdenticalAcrossTransports(t *testing.T) {
 			t.Fatalf("%s: out.txt: %v", name, err)
 		}
 		r.apples, r.out = string(apples), string(out)
-		r.ring = in.Kernel.RingSyscalls
+		r.ring = in.Kernel.RingSyscalls.Load()
 		return r
 	}
 
