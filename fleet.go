@@ -92,6 +92,12 @@ type FleetStats struct {
 	GrantedBytes  int64
 	LeaseGrants   int64
 	LeaseReturns  int64
+	// Write direction of the zero-copy data plane: payload bytes adopted
+	// by reference, and staging slots still leased after each instance
+	// quiesced (any non-zero count is a leak — a crashed guest's frozen
+	// slots would stay charged to the shared arena).
+	WriteGrantedBytes int64
+	StagedSlotsLeaked int64
 }
 
 // Fleet runs batches of independent deterministic Instances across host
@@ -170,6 +176,9 @@ func (fl *Fleet) Run(jobs []Job) ([]JobResult, FleetStats) {
 		GrantedBytes:  agg.grantedBytes.Load(),
 		LeaseGrants:   agg.leaseGrants.Load(),
 		LeaseReturns:  agg.leaseReturns.Load(),
+
+		WriteGrantedBytes: agg.writeGrantedBytes.Load(),
+		StagedSlotsLeaked: agg.stagedSlotsLeaked.Load(),
 	}
 	if s := wall.Seconds(); s > 0 {
 		stats.SessionsPerSec = float64(len(jobs)) / s
@@ -185,13 +194,15 @@ func RunFleet(jobs []Job) ([]JobResult, FleetStats) {
 // fleetAgg accumulates cross-instance statistics. Atomics: workers add
 // their finished job's counters concurrently.
 type fleetAgg struct {
-	virtualNs    atomic.Int64
-	async        atomic.Int64
-	sync         atomic.Int64
-	ringNotifies atomic.Int64
-	grantedBytes atomic.Int64
-	leaseGrants  atomic.Int64
-	leaseReturns atomic.Int64
+	virtualNs         atomic.Int64
+	async             atomic.Int64
+	sync              atomic.Int64
+	ringNotifies      atomic.Int64
+	grantedBytes      atomic.Int64
+	leaseGrants       atomic.Int64
+	leaseReturns      atomic.Int64
+	writeGrantedBytes atomic.Int64
+	stagedSlotsLeaked atomic.Int64
 }
 
 // runJob boots, stages, and drives one job on the calling worker
@@ -220,6 +231,8 @@ func (fl *Fleet) runJob(i int, job *Job, pool *fs.PagePool, quota int, agg *flee
 		agg.grantedBytes.Add(in.Kernel.GrantedBytes.Load())
 		agg.leaseGrants.Add(in.Kernel.LeaseGrants.Load())
 		agg.leaseReturns.Add(in.Kernel.LeaseReturns.Load())
+		agg.writeGrantedBytes.Add(in.Kernel.WriteGrantedBytes.Load())
+		agg.stagedSlotsLeaked.Add(int64(in.VFS.WriteStagedSlots()))
 	}()
 
 	cfg := job.Config

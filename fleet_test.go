@@ -166,9 +166,16 @@ func TestFleetSerialParallelIdentical(t *testing.T) {
 				t.Errorf("stats.Jobs = %d, want %d", stats.Jobs, len(jobs))
 			}
 			// Every lease granted across the fleet came back: no shard
-			// leaked arena slots into a neighbour's quota.
+			// leaked arena slots into a neighbour's quota. This covers
+			// both directions — read grants and write-staging leases are
+			// the same ledger.
 			if stats.LeaseGrants != stats.LeaseReturns {
 				t.Errorf("leases leaked: %d granted, %d returned", stats.LeaseGrants, stats.LeaseReturns)
+			}
+			// And no instance quiesced with write-staging slots still
+			// leased out (close/dup2/exec/exit must return them all).
+			if stats.StagedSlotsLeaked != 0 {
+				t.Errorf("%d write-staging slots leaked across the fleet", stats.StagedSlotsLeaked)
 			}
 		})
 	}
@@ -242,6 +249,7 @@ func TestFleetCountersReadableWhileRunning(t *testing.T) {
 			_ = k.RingSyscalls.Load() + k.RingBatchedCalls.Load() + k.RingNotifies.Load()
 			_ = k.FSBatchedCalls.Load() + k.ReadCopiedBytes.Load() + k.GrantedBytes.Load()
 			_ = k.LeaseGrants.Load() + k.LeaseReturns.Load()
+			_ = k.WriteCopiedBytes.Load() + k.WriteGrantedBytes.Load() + k.BatchedGrantReads.Load()
 			polls++
 		}
 		mu.Unlock()

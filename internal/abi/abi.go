@@ -329,6 +329,15 @@ const (
 	SYS_readg
 	// SYS_unlease returns page leases taken by earlier readg grants.
 	SYS_unlease
+	// SYS_wgalloc is the write-grant allocation doorbell: the kernel
+	// leases *empty* page-pool slots to the caller, who stages write
+	// payloads into them directly (grant.go) and later submits the
+	// filled regions by reference with SYS_writeg.
+	SYS_wgalloc
+	// SYS_writeg is write-by-reference: like write, but the payload is a
+	// list of WriteRef records naming bytes the caller already staged in
+	// its leased pool slots, so no payload crosses the heap boundary.
+	SYS_writeg
 	SYS_max // sentinel
 )
 
@@ -351,6 +360,7 @@ func SyscallName(n int) string {
 		SYS_connect: "connect", SYS_getsockname: "getsockname", SYS_symlink: "symlink",
 		SYS_readv: "readv", SYS_writev: "writev", SYS_fsync: "fsync",
 		SYS_readg: "readg", SYS_unlease: "unlease",
+		SYS_wgalloc: "wgalloc", SYS_writeg: "writeg",
 	}
 	if n > 0 && n < len(names) && names[n] != "" {
 		return names[n]

@@ -1,0 +1,73 @@
+package abi
+
+import "testing"
+
+// Wire-format round trips for the zero-copy grant records: the read
+// direction's PageGrant replies and the write direction's WriteRef
+// submissions and wgalloc slot lists.
+
+func TestGrantReplyPackRoundTrip(t *testing.T) {
+	grants := []PageGrant{
+		{Slot: 0, Len: GrantPageSize, Off: 0, Gen: 1},
+		{Slot: 7, Len: 123, Off: 7 * GrantPageSize, Gen: 1 << 40},
+		{Slot: 4095, Len: 1, Off: 99, Gen: 0},
+	}
+	buf := make([]byte, GrantAreaSize(len(grants)))
+	PackGrantReply(buf, GrantMapped, grants)
+	kind, got := UnpackGrantReply(buf)
+	if kind != GrantMapped || len(got) != len(grants) {
+		t.Fatalf("unpack = (%d, %d grants), want (%d, %d)", kind, len(got), GrantMapped, len(grants))
+	}
+	for i, g := range grants {
+		if got[i] != g {
+			t.Fatalf("grant %d: got %+v, want %+v", i, got[i], g)
+		}
+	}
+}
+
+func TestWriteRefPackRoundTrip(t *testing.T) {
+	refs := []WriteRef{
+		{Slot: 0, Off: 0, Len: GrantPageSize},
+		{Slot: 31, Off: 4000, Len: 1},
+		{Slot: 4095, Off: GrantPageSize - 1, Len: 1},
+	}
+	buf := make([]byte, WriteRefSize*len(refs))
+	PackWriteRefs(buf, refs)
+	got := UnpackWriteRefs(buf, len(refs))
+	if len(got) != len(refs) {
+		t.Fatalf("unpack = %d refs, want %d", len(got), len(refs))
+	}
+	for i, r := range refs {
+		if got[i] != r {
+			t.Fatalf("ref %d: got %+v, want %+v", i, got[i], r)
+		}
+	}
+	// A short buffer yields only the refs that fully fit — a hostile
+	// count can never read past the staged bytes.
+	if short := UnpackWriteRefs(buf[:2*WriteRefSize+5], 3); len(short) != 2 {
+		t.Fatalf("short unpack = %d refs, want 2", len(short))
+	}
+}
+
+func TestSlotListPackRoundTrip(t *testing.T) {
+	slots := []uint32{0, 1, 4095, 17}
+	buf := make([]byte, 4*len(slots))
+	PackSlots(buf, slots)
+	got := UnpackSlots(buf, len(slots))
+	if len(got) != len(slots) {
+		t.Fatalf("unpack = %d slots, want %d", len(got), len(slots))
+	}
+	for i := range slots {
+		if got[i] != slots[i] {
+			t.Fatalf("slot %d: got %d, want %d", i, got[i], slots[i])
+		}
+	}
+}
+
+func TestWgallocSyscallNamed(t *testing.T) {
+	for _, trap := range []int{SYS_wgalloc, SYS_writeg, SYS_readg, SYS_unlease} {
+		if SyscallName(trap) == "" {
+			t.Fatalf("trap %d has no name", trap)
+		}
+	}
+}

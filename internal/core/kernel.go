@@ -67,6 +67,12 @@ type Kernel struct {
 	// the grant and copy paths against each other.
 	DisableZeroCopy bool
 
+	// DisableZeroCopyWrite refuses wgalloc (write-grant allocation) and
+	// answers every writeg with the copy fallback, while leaving the
+	// read-side grant path alone — the ablation baseline of
+	// BenchmarkZeroCopyWrite and one axis of the write differentials.
+	DisableZeroCopyWrite bool
+
 	// poolSAB is the page-cache arena wrapped for sharing with workers,
 	// created on the first "pagepool" registration.
 	poolSAB *browser.SAB
@@ -106,6 +112,15 @@ type Kernel struct {
 	GrantedBytes    atomic.Int64
 	LeaseGrants     atomic.Int64
 	LeaseReturns    atomic.Int64
+	// Zero-copy write-path statistics, mirroring the read side.
+	// WriteCopiedBytes counts payload bytes the kernel copied out of
+	// guest heaps (or staged slots, on the writeg fallback) accepting
+	// writes; WriteGrantedBytes counts bytes adopted in place from
+	// staged slots. BatchedGrantReads counts readg frames beyond the
+	// first in each same-fd run answered by one vectored cache pass.
+	WriteCopiedBytes  atomic.Int64
+	WriteGrantedBytes atomic.Int64
+	BatchedGrantReads atomic.Int64
 }
 
 // NewKernel boots a kernel over the given browser system and file system.
@@ -142,6 +157,7 @@ func (k *Kernel) pagePoolSAB() *browser.SAB {
 // kernel-side reclaim when an image exits (or execs away) without
 // unleasing. Ordered by slot for determinism.
 func (k *Kernel) releaseTaskLeases(t *Task) {
+	t.wstaged = nil
 	if len(t.leases) == 0 {
 		return
 	}

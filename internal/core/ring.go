@@ -170,6 +170,25 @@ func (k *Kernel) dispatchBatch(t *Task, calls []pendingCall, done func(seq uint3
 				continue
 			}
 		}
+		if !k.DisableFSBatch && calls[i].trap == abi.SYS_readg {
+			// A drained doorbell carrying a run of grant-reads against
+			// one descriptor resolves with a single vectored cache pass
+			// (dispatchReadgRun) — data-plane batching past metadata.
+			fd := int64(-1)
+			if len(calls[i].args) > 0 {
+				fd = calls[i].args[0]
+			}
+			j := i + 1
+			for j < len(calls) && calls[j].trap == abi.SYS_readg &&
+				len(calls[j].args) > 0 && calls[j].args[0] == fd {
+				j++
+			}
+			if j-i > 1 {
+				k.dispatchReadgRun(t, calls[i:j], done)
+				i = j
+				continue
+			}
+		}
 		c := calls[i]
 		k.dispatchCall(t, c.trap, c.args, func(ret int64, err abi.Errno) {
 			done(c.seq, ret, err)

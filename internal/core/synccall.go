@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"repro/internal/abi"
+	"repro/internal/fs"
 )
 
 // Synchronous system-call transport (§3.2). Arguments are "just integers
@@ -150,48 +151,61 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 			done(-1, abi.EINVAL)
 			return
 		}
-		if t.pool && t.ring != nil && !k.DisableZeroCopy {
-			if rf, ok := d.file.(refReader); ok {
-				if refs, ok := rf.ReadRef(d, want, maxGrants); ok {
-					k.LeaseGrants.Add(int64(len(refs)))
-					grants := make([]abi.PageGrant, len(refs))
-					var granted int64
-					for i, r := range refs {
-						if t.leases == nil {
-							t.leases = map[int]int{}
+		resolve := func() {
+			if t.pool && t.ring != nil && !k.DisableZeroCopy {
+				if rf, ok := d.file.(refReader); ok {
+					if refs, ok := rf.ReadRef(d, want, maxGrants); ok {
+						k.LeaseGrants.Add(int64(len(refs)))
+						grants := make([]abi.PageGrant, len(refs))
+						var granted int64
+						for i, r := range refs {
+							if t.leases == nil {
+								t.leases = map[int]int{}
+							}
+							t.leases[r.Slot]++
+							grants[i] = abi.PageGrant{
+								Slot: uint32(r.Slot), Len: uint32(r.Len),
+								Off: r.Off, Gen: r.Gen,
+							}
+							granted += int64(r.Len)
 						}
-						t.leases[r.Slot]++
-						grants[i] = abi.PageGrant{
-							Slot: uint32(r.Slot), Len: uint32(r.Len),
-							Off: r.Off, Gen: r.Gen,
-						}
-						granted += int64(r.Len)
+						k.GrantedBytes.Add(granted)
+						buf := make([]byte, abi.GrantAreaSize(len(grants)))
+						abi.PackGrantReply(buf, abi.GrantMapped, grants)
+						t.heapWrite(grantPtr, buf)
+						done(granted, abi.OK)
+						return
 					}
-					k.GrantedBytes.Add(granted)
-					buf := make([]byte, abi.GrantAreaSize(len(grants)))
-					abi.PackGrantReply(buf, abi.GrantMapped, grants)
-					t.heapWrite(grantPtr, buf)
-					done(granted, abi.OK)
-					return
 				}
 			}
+			readGather(d, bufLen, func(segs [][]byte, rerr abi.Errno) {
+				if rerr != abi.OK {
+					done(-1, rerr)
+					return
+				}
+				var hdr [abi.GrantHdrSize]byte
+				abi.PackGrantReply(hdr[:], abi.GrantCopied, nil)
+				t.heapWrite(grantPtr, hdr[:])
+				var total int64
+				for _, s := range segs {
+					t.heapWrite(bufPtr+total, s)
+					total += int64(len(s))
+				}
+				k.ReadCopiedBytes.Add(total)
+				done(total, abi.OK)
+			})
 		}
-		readGather(d, bufLen, func(segs [][]byte, rerr abi.Errno) {
-			if rerr != abi.OK {
-				done(-1, rerr)
-				return
-			}
-			var hdr [abi.GrantHdrSize]byte
-			abi.PackGrantReply(hdr[:], abi.GrantCopied, nil)
-			t.heapWrite(grantPtr, hdr[:])
-			var total int64
-			for _, s := range segs {
-				t.heapWrite(bufPtr+total, s)
-				total += int64(len(s))
-			}
-			k.ReadCopiedBytes.Add(total)
-			done(total, abi.OK)
-		})
+		// A readg against an empty pipe parks a grant-capable notify
+		// instead of resolving now: ReadRef refuses an empty pipe, and
+		// falling straight to readGather would park a copying splice —
+		// every byte of a lockstep pipeline (the reader usually blocks
+		// first) would then cross by copy. Parking the *resolution* keeps
+		// the grant attempt first once data arrives.
+		if pe, ok := d.file.(*pipeEnd); ok && pe.reader {
+			pe.p.readNotify(resolve)
+			return
+		}
+		resolve()
 	case abi.SYS_unlease:
 		// Lease reclaim: return page leases taken by earlier readg
 		// grants. ret counts the leases actually returned; unknown slots
@@ -212,6 +226,10 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 			if t.leases[slot] == 0 {
 				delete(t.leases, slot)
 			}
+			// A write-staging lease retires on its first return: the fs
+			// side releases staging ownership then too, so later writeg
+			// references to the slot must already be refused.
+			delete(t.wstaged, slot)
 			k.FS.UnleasePage(slot)
 			k.LeaseReturns.Add(1)
 			freed++
@@ -225,9 +243,30 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 		}
 		// heapBytes returns a fresh copy, so ownership can transfer to
 		// the file (zero-copy into pipes).
-		writeMoved(d, t.heapBytes(arg(1), arg(2)), func(n int, err abi.Errno) {
+		data := t.heapBytes(arg(1), arg(2))
+		k.WriteCopiedBytes.Add(int64(len(data)))
+		writeMoved(d, data, func(n int, err abi.Errno) {
 			done(int64(n), err)
 		})
+	case abi.SYS_wgalloc:
+		// Write-grant allocation: lease empty staging slots for the
+		// zero-copy write path. Args: count, grantPtr.
+		k.doWgalloc(t, int(arg(0)), arg(1), done)
+	case abi.SYS_writeg:
+		// Write-by-reference: payload already staged in leased slots;
+		// only the 12-byte references cross the heap. Args: fd, refPtr,
+		// refCnt.
+		cnt := arg(2)
+		if cnt <= 0 || cnt > 1024 {
+			done(-1, abi.EINVAL)
+			return
+		}
+		wrefs := abi.UnpackWriteRefs(t.heapBytes(arg(1), cnt*abi.WriteRefSize), int(cnt))
+		refs := make([]fs.SlotRef, len(wrefs))
+		for i, r := range wrefs {
+			refs[i] = fs.SlotRef{Slot: int(r.Slot), Off: int(r.Off), Len: int(r.Len)}
+		}
+		k.doWriteg(t, int(arg(0)), refs, done)
 	case abi.SYS_readv:
 		d, err := t.lookFd(int(arg(0)))
 		if err != abi.OK {
@@ -282,7 +321,9 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 			done(-1, err)
 			return
 		}
-		d.file.Pwrite(arg(3), t.heapBytes(arg(1), arg(2)), func(n int, err abi.Errno) {
+		pdata := t.heapBytes(arg(1), arg(2))
+		k.WriteCopiedBytes.Add(int64(len(pdata)))
+		d.file.Pwrite(arg(3), pdata, func(n int, err abi.Errno) {
 			done(int64(n), err)
 		})
 	case abi.SYS_llseek:

@@ -158,6 +158,7 @@ func (k *Kernel) doWritev(t *Task, d *Desc, iovs []abi.Iovec, done func(int64, a
 	for _, iov := range iovs {
 		if iov.Len > 0 {
 			bufs = append(bufs, t.heapBytes(iov.Ptr, iov.Len))
+			k.WriteCopiedBytes.Add(iov.Len)
 		}
 	}
 	writevBufs(d, bufs, done)

@@ -39,8 +39,9 @@ const DefaultReadaheadPages = 4
 const MaxReadaheadPages = 64
 
 type filePages struct {
-	pages map[int64]poolPage // page index -> pooled content (short page = EOF page)
-	bytes int64
+	pages   map[int64]poolPage // page index -> pooled content (short page = EOF page)
+	bytes   int64
+	lastUse int64 // pageCache.useClock at the last hit/store (LRU key)
 }
 
 type pageCache struct {
@@ -73,6 +74,18 @@ type pageCache struct {
 	gens  map[string]uint64
 	epoch uint64
 
+	// useClock is a monotonic touch counter driving LRU eviction: every
+	// hit or store stamps the file with a fresh value, so "least
+	// recently used" is a total, deterministic order (no wall clock).
+	// Only this cache's Instance thread touches it.
+	useClock int64
+
+	// wstaged marks slots leased out *empty* for write staging
+	// (AllocWriteSlots): they hold guest payload, live outside the
+	// files map (never evicted, never granted to readers), and are
+	// detached from staging ownership when the guest lease returns.
+	wstaged map[int]bool
+
 	// Counters are atomics: the host (a fleet aggregator, a stats
 	// poller) may snapshot them via CacheStats while the Instance runs
 	// on another thread.
@@ -92,12 +105,19 @@ func newPageCache() *pageCache {
 		gens:      map[string]uint64{},
 		dirty:     map[string]*dirtyFile{},
 		flushErrs: map[string]flushErr{},
+		wstaged:   map[int]bool{},
 		pool:      pool,
 		att:       pool.attach(0),
 	}
 }
 
 func (c *pageCache) gen(p string) uint64 { return c.epoch<<32 | c.gens[p] }
+
+// touch stamps a file as just-used for LRU ordering.
+func (c *pageCache) touch(fp *filePages) {
+	c.useClock++
+	fp.lastUse = c.useClock
+}
 
 func (c *pageCache) file(p string) *filePages {
 	fp := c.files[p]
@@ -128,18 +148,51 @@ func (c *pageCache) evictAll() {
 	c.bytes.Store(0)
 }
 
+// evictOneLRU releases the least-recently-used file's pages (ties broken
+// by path, so the order is deterministic). Pinned slots freeze as
+// everywhere. Returns false when nothing is cached.
+func (c *pageCache) evictOneLRU() bool {
+	var victim string
+	var vfp *filePages
+	for p, fp := range c.files {
+		if vfp == nil || fp.lastUse < vfp.lastUse ||
+			(fp.lastUse == vfp.lastUse && p < victim) {
+			victim, vfp = p, fp
+		}
+	}
+	if vfp == nil {
+		return false
+	}
+	c.releaseFilePages(vfp)
+	c.bytes.Add(-vfp.bytes)
+	delete(c.files, victim)
+	return true
+}
+
+// evictLRU frees budget for need more bytes by evicting whole files in
+// least-recently-used order — hot leases' neighbours stay resident under
+// arena pressure, unlike the old evict-everything policy.
+func (c *pageCache) evictLRU(need int64) {
+	for c.bytes.Load()+need > maxPageCacheBytes {
+		if !c.evictOneLRU() {
+			return
+		}
+	}
+}
+
 // store caches one page of content for (p, pageIdx), copying data into a
 // pool slot. When the pool (or the byte budget) is exhausted it evicts
-// everything unpinned; if every slot is pinned the page simply is not
-// cached (reads still work through the backend).
+// cold files in LRU order until the page fits; if every slot is pinned
+// the page simply is not cached (reads still work through the backend).
 func (c *pageCache) store(p string, pageIdx int64, data []byte) {
 	if len(data) > PageSize {
 		return // defensive: a page never exceeds the granule
 	}
 	if c.bytes.Load()+int64(len(data)) > maxPageCacheBytes {
-		c.evictAll()
+		c.evictLRU(int64(len(data)))
 	}
 	fp := c.file(p)
+	c.touch(fp) // newest file: evicted last under pressure
 	if old, ok := fp.pages[pageIdx]; ok {
 		// Replacing a cached page never rewrites its slot in place: the
 		// old slot may be leased out. Detach it and fill a fresh one.
@@ -149,13 +202,18 @@ func (c *pageCache) store(p string, pageIdx int64, data []byte) {
 		delete(fp.pages, pageIdx)
 	}
 	slot, ok := c.pool.alloc(c.att)
-	if !ok {
-		c.evictAll()
-		fp = c.file(p)
-		if slot, ok = c.pool.alloc(c.att); !ok {
+	for !ok {
+		// Quota/arena exhaustion: evict cold files until a slot frees.
+		// Eviction may drop p itself (when it is the only file); re-fetch
+		// the entry after the loop. Frozen slots free no quota, so the
+		// loop ends when the files map empties if every slot is leased.
+		if !c.evictOneLRU() {
 			return // every quota slot leased out: skip caching this page
 		}
+		slot, ok = c.pool.alloc(c.att)
 	}
+	fp = c.file(p)
+	c.touch(fp)
 	copy(c.pool.arena[slot*PageSize:], data)
 	fp.pages[pageIdx] = poolPage{slot: slot, len: len(data)}
 	fp.bytes += int64(len(data))
@@ -285,6 +343,7 @@ func (h *pagedHandle) cachedRange(off, end int64) ([]byte, bool) {
 	if fp == nil {
 		return nil, false
 	}
+	h.fs.pc.touch(fp)
 	pool := h.fs.pc.pool
 	out := make([]byte, 0, end-off)
 	for pos := off; pos < end; {
@@ -367,6 +426,7 @@ func (h *pagedHandle) PreadRef(off int64, n, max int) ([]PageRef, bool) {
 	for _, r := range refs {
 		pc.pool.pin(r.Slot)
 	}
+	pc.touch(fp)
 	pc.hits.Add(1)
 	pc.grantedPages.Add(int64(len(refs)))
 	sequential := off == h.lastEnd

@@ -315,7 +315,20 @@ func (f *FileSystem) PagePoolBytes() []byte {
 }
 
 // UnleasePage returns one page lease; false if the slot held none.
+// Write-staged slots (AllocWriteSlots) additionally detach from staging
+// ownership when the guest lease returns: the slot frees immediately, or
+// freezes until the last adopter (a dirty extent, a pipe segment) unpins
+// it — the same discipline as a dropped-but-leased cache page.
 func (f *FileSystem) UnleasePage(slot int) bool {
+	if f.pc.wstaged[slot] {
+		delete(f.pc.wstaged, slot)
+		if !f.pc.pool.unpin(slot) {
+			return false
+		}
+		f.pc.returnedPages.Add(1)
+		f.pc.pool.release(slot)
+		return true
+	}
 	if !f.pc.pool.unpin(slot) {
 		return false
 	}
@@ -342,4 +355,11 @@ type RefReader interface {
 	PreadRef(off int64, n, max int) ([]PageRef, bool)
 }
 
-var _ = abi.GrantPageSize // PageSize aliases the ABI granule (pagecache.go)
+// The fs granule and the ABI grant granule must be the same constant:
+// leases and write grants name slot-relative byte ranges across the
+// kernel boundary in these units. Either constant drifting makes one of
+// these two uint conversions a negative-constant compile error.
+const (
+	_ = uint(PageSize - abi.GrantPageSize)
+	_ = uint(abi.GrantPageSize - PageSize)
+)

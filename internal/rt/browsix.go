@@ -55,6 +55,11 @@ type workerRT struct {
 	pool           *browser.SAB
 	heldLeases     map[int][]abi.PageGrant
 	pendingUnlease []uint32
+	// Zero-copy write path (rides the same pool mapping): per-descriptor
+	// staging slots leased from the kernel with wgalloc; wgOK drops to
+	// false for good on the first ENOSYS (writegrant.go).
+	wgOK   bool
+	wstage map[int]*writeStage
 	// ringOutstanding counts pushed frames whose replies have not yet
 	// been popped (bounds batches to the reply ring's capacity);
 	// inflight counts parked sync/ring calls so only the outermost
@@ -88,6 +93,7 @@ func bootWorker(sys *browser.System, w *browser.Worker, prog *posix.Program, kin
 		pending:    map[int64]*sched.G{},
 		handlers:   map[int]func(int){},
 		heldLeases: map[int][]abi.PageGrant{},
+		wstage:     map[int]*writeStage{},
 		sync:       kind == EmSyncKind || kind == WasmKind,
 	}
 	w.Ctx.OnMessage = r.onMessage
@@ -348,9 +354,10 @@ func (r *workerRT) Open(path string, flags int, mode uint32) (int, abi.Errno) {
 
 func (r *workerRT) Close(fd int) abi.Errno {
 	if r.sync {
-		// Close returns the descriptor's page leases; the reclaim frames
-		// share close's doorbell.
+		// Close returns the descriptor's page leases and write-staging
+		// slots; the reclaim frames share close's doorbell.
 		r.dropFdLeases(fd)
+		r.dropFdWriteStage(fd)
 		_, err := r.syncCallLeased(abi.SYS_close, int64(fd))
 		return err
 	}
@@ -396,35 +403,48 @@ func (r *workerRT) Read(fd int, n int) ([]byte, abi.Errno) {
 
 func (r *workerRT) Write(fd int, b []byte) (int, abi.Errno) {
 	if r.sync {
-		// Buffers larger than the scratch region go out in pieces.
-		if max := r.maxScratchPayload(); int64(len(b)) > max {
-			if max <= 0 {
-				return 0, abi.ENOMEM
+		if r.wgOK && len(b) > 0 {
+			// Zero-copy path: stage the payload into leased arena slots
+			// and submit references — no bytes cross through scratch.
+			if n, err, ok := r.writeStaged(fd, b); ok {
+				return n, err
 			}
-			total := 0
-			for len(b) > 0 {
-				n := len(b)
-				if int64(n) > max {
-					n = int(max)
-				}
-				m, err := r.Write(fd, b[:n])
-				total += m
-				if err != abi.OK {
-					return total, err
-				}
-				if m <= 0 {
-					return total, abi.EIO
-				}
-				b = b[m:]
-			}
-			return total, abi.OK
 		}
-		ptr, n := r.putBytes(b)
-		ret, err := r.syncCall(abi.SYS_write, int64(fd), ptr, n)
-		return int(ret), err
+		return r.writePlain(fd, b)
 	}
 	ret := r.asyncCall("write", int64(fd), b)
 	return int(vi(ret, 0)), verr(ret)
+}
+
+// writePlain is the classic sync write: payload staged through the
+// scratch region, one kernel copy out of the heap.
+func (r *workerRT) writePlain(fd int, b []byte) (int, abi.Errno) {
+	// Buffers larger than the scratch region go out in pieces.
+	if max := r.maxScratchPayload(); int64(len(b)) > max {
+		if max <= 0 {
+			return 0, abi.ENOMEM
+		}
+		total := 0
+		for len(b) > 0 {
+			n := len(b)
+			if int64(n) > max {
+				n = int(max)
+			}
+			m, err := r.writePlain(fd, b[:n])
+			total += m
+			if err != abi.OK {
+				return total, err
+			}
+			if m <= 0 {
+				return total, abi.EIO
+			}
+			b = b[m:]
+		}
+		return total, abi.OK
+	}
+	ptr, n := r.putBytes(b)
+	ret, err := r.syncCall(abi.SYS_write, int64(fd), ptr, n)
+	return int(ret), err
 }
 
 // Readv reads up to the sum of lens bytes in a single kernel crossing,
@@ -632,9 +652,11 @@ func (r *workerRT) Fsync(fd int) abi.Errno {
 
 func (r *workerRT) Dup2(oldfd, newfd int) abi.Errno {
 	if r.sync {
-		// newfd is implicitly closed: its held leases go back.
+		// newfd is implicitly closed: its held leases and staging
+		// slots go back.
 		if oldfd != newfd {
 			r.dropFdLeases(newfd)
+			r.dropFdWriteStage(newfd)
 		}
 		_, err := r.syncCallLeased(abi.SYS_dup2, int64(oldfd), int64(newfd))
 		return err

@@ -41,6 +41,9 @@ func (r *workerRT) negotiatePagePool() {
 	}
 	r.pool = sab
 	r.poolOK = true
+	// The write direction rides the same mapping; the first wgalloc
+	// ENOSYS (an old kernel, or DisableZeroCopyWrite) turns it back off.
+	r.wgOK = true
 }
 
 // holdLease retains one granted lease for fd, deduplicating by slot (a
