@@ -238,6 +238,31 @@ func BenchmarkAblation_SpawnLatency(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint/fork subsystem (internal/snapshot): the Nth spawn of a
+// runtime as a copy-on-write clone of its post-boot image versus a full
+// cold boot. CI smoke-runs both and guards the ratio (>= 5x, also pinned
+// deterministically by TestForkSpawnRatioGuard).
+// ---------------------------------------------------------------------------
+
+// forkSpawnElapsed measures the second spawn of a Node-runtime utility:
+// a cold boot when snapshots are off, a clone boot when on (the first
+// spawn captured the image). Cache state is identical either way.
+func forkSpawnElapsed(snaps bool) int64 {
+	in := browsix.Boot(browsix.Config{EnableSnapshots: snaps})
+	browsix.InstallBase(in)
+	in.RunCommand("echo warm")
+	return in.RunCommand("echo measured").Elapsed
+}
+
+func BenchmarkForkSpawn(b *testing.B) {
+	reportVirtual(b, func() int64 { return forkSpawnElapsed(true) })
+}
+
+func BenchmarkColdSpawn(b *testing.B) {
+	reportVirtual(b, func() int64 { return forkSpawnElapsed(false) })
+}
+
+// ---------------------------------------------------------------------------
 // Ring-transport / vectored-pipe benchmarks. BenchmarkPipe* measures the
 // kernel pipe data plane itself (real wall-clock MB/s via b.SetBytes):
 // the scalar path copies every chunk into the pipe; the vectored path

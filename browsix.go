@@ -52,6 +52,7 @@ import (
 	"repro/internal/rt"
 	"repro/internal/sched"
 	"repro/internal/shell"
+	"repro/internal/snapshot"
 )
 
 // Errno re-exports the kernel error type for API users.
@@ -81,7 +82,24 @@ type Config struct {
 	// the value that keeps a shared-arena boot indistinguishable from a
 	// serial one.
 	PagePoolQuota int
+	// EnableSnapshots turns on the checkpoint/fork subsystem
+	// (internal/snapshot) with a private registry: the first boot of
+	// each runtime captures a post-boot image, and every later spawn of
+	// the same executable boots as a copy-on-write clone of it.
+	EnableSnapshots bool
+	// Snapshots attaches an existing registry instead — the fleet path:
+	// instances share one pre-warmed, sealed registry whose image pages
+	// live in the shared arena. Implies EnableSnapshots.
+	Snapshots *snapshot.Registry
+	// SnapshotQuota is the arena slot quota for captured image pages
+	// (<= 0 selects DefaultSnapshotSlots). Used only when this Boot is
+	// the one that attaches the registry's store.
+	SnapshotQuota int
 }
+
+// DefaultSnapshotSlots is the default image-store quota: room for a few
+// sync-runtime heap images (a 1 MiB heap is 256 slots).
+const DefaultSnapshotSlots = 2048
 
 // Instance is one booted browser + Browsix kernel.
 type Instance struct {
@@ -126,6 +144,20 @@ func Boot(cfg Config) *Instance {
 	})
 	fsys.SetFlushAge(DefaultFlushAge)
 	k := core.NewKernel(sys, fsys, rt.Loader(sys))
+	if cfg.Snapshots != nil || cfg.EnableSnapshots {
+		reg := cfg.Snapshots
+		if reg == nil {
+			reg = snapshot.NewRegistry()
+		}
+		quota := cfg.SnapshotQuota
+		if quota <= 0 {
+			quota = DefaultSnapshotSlots
+		}
+		// First store wins inside the registry: a fleet's shared
+		// registry keeps the arena store its pre-warm instance attached.
+		reg.SetStore(fsys.ImageStore(quota))
+		k.Snapshots = reg
+	}
 	return &Instance{
 		Sim:     sim,
 		Browser: sys,
@@ -186,6 +218,28 @@ func (in *Instance) Kill(pid, sig int) Errno {
 // process starts listening on port.
 func (in *Instance) OnListen(port int, cb func(port int)) {
 	in.Main(func() { in.Kernel.OnPortListen(port, cb) })
+}
+
+// Snapshots returns the instance's snapshot registry (nil when the
+// subsystem is off).
+func (in *Instance) Snapshots() *snapshot.Registry { return in.Kernel.Snapshots }
+
+// CheckpointLive checkpoints a running process with bounded pause —
+// iterative pre-copy over the soft-dirty bitmap while the guest keeps
+// running, then a short final stop-copy — and returns the diagnostics
+// dump. It drives the simulation until the checkpoint completes.
+func (in *Instance) CheckpointLive(pid int) (*snapshot.Dump, Errno) {
+	var dump *snapshot.Dump
+	var out Errno = -1
+	if !in.drive(func(done func()) {
+		in.Kernel.CheckpointLive(pid, func(d *snapshot.Dump, err Errno) {
+			dump, out = d, err
+			done()
+		})
+	}) {
+		return nil, abi.ESRCH
+	}
+	return dump, out
 }
 
 // ---------------------------------------------------------------------------
@@ -325,4 +379,20 @@ func InstallBase(in *Instance) {
 		}
 	}
 	_ = shell.Main // ensure the shell package is linked (programs register via init)
+}
+
+// InstallWasmCoreutils restages /usr/bin with synchronous-runtime (wasm)
+// builds of the coreutils, so every utility syscall travels the sync
+// transport — the staging the sync-transport case studies, the snapshot
+// diagnostics, and the fleet COW tests use.
+func InstallWasmCoreutils(in *Instance) {
+	image := map[string][]byte{}
+	for _, name := range coreutils.Names() {
+		rt.InstallExecutable(image, "/usr/bin/"+name, name, rt.WasmKind)
+	}
+	for p, data := range image {
+		if err := in.WriteFile(p, data); err != abi.OK {
+			panic("browsix: restaging " + p + " failed: " + err.Error())
+		}
+	}
 }

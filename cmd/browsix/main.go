@@ -9,6 +9,8 @@
 //	echo 'ls /usr/bin' | go run ./cmd/browsix     # commands from stdin
 //	go run ./cmd/browsix -tex                     # stage + build the LaTeX project
 //	go run ./cmd/browsix -ps -c 'cat /etc/motd'   # dump task info after
+//	go run ./cmd/browsix snapshot -c 'sha1sum /etc/motd' -o proc.snap
+//	                                              # live-checkpoint the command
 package main
 
 import (
@@ -23,6 +25,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "snapshot" {
+		os.Exit(snapshotMain(os.Args[2:]))
+	}
 	cmd := flag.String("c", "", "command line to run")
 	withTex := flag.Bool("tex", false, "stage the LaTeX project (and build it if no -c)")
 	withMeme := flag.Bool("meme", false, "stage the meme generator and start its server")

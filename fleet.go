@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/fs"
+	"repro/internal/snapshot"
 )
 
 // Fleet parallelism: many kernels serving many workloads at hardware
@@ -98,6 +99,16 @@ type FleetStats struct {
 	// slots would stay charged to the shared arena).
 	WriteGrantedBytes int64
 	StagedSlotsLeaked int64
+
+	// Checkpoint/fork subsystem: images captured (the warmup), processes
+	// booted as copy-on-write clones, and first-write COW faults.
+	SnapshotCaptures int64
+	CloneBoots       int64
+	CowFaults        int64
+	// SnapshotLeak is the fleet-wide COW pin balance check: nil when
+	// every image page came back to exactly its base pin after the last
+	// job quiesced; otherwise it names the leaking image and page.
+	SnapshotLeak error
 }
 
 // Fleet runs batches of independent deterministic Instances across host
@@ -118,6 +129,29 @@ type Fleet struct {
 	// hook live stats pollers and the counters-under-fleet tests use.
 	// It may run concurrently with other jobs' hooks.
 	OnBoot func(index int, in *Instance)
+	// SnapshotWarmup, when non-nil, turns on fork-style spawning for the
+	// whole fleet: before any job runs, one scratch instance boots
+	// against the shared arena, runs each warmup command once so every
+	// runtime it touches captures its post-boot image, and the resulting
+	// registry — pages in the shared arena, one copy fleet-wide — is
+	// sealed and attached to every job's Instance. Sealing before the
+	// jobs run keeps the differential contract: each shard's virtual
+	// clock depends only on the sealed content, never on which shard
+	// booted a runtime first.
+	SnapshotWarmup *SnapshotWarmup
+}
+
+// SnapshotWarmup configures Fleet snapshot pre-warming.
+type SnapshotWarmup struct {
+	// Setup stages the scratch instance (typically the same staging the
+	// jobs use, e.g. InstallBase).
+	Setup func(*Instance)
+	// Cmds run once each on the scratch instance; every runtime they
+	// boot captures an image.
+	Cmds []string
+	// Quota is the arena slot quota for captured image pages (<= 0:
+	// DefaultSnapshotSlots).
+	Quota int
 }
 
 // Run executes jobs on the worker pool and returns per-job results
@@ -140,6 +174,10 @@ func (fl *Fleet) Run(jobs []Job) ([]JobResult, FleetStats) {
 		slots = workers * quota
 	}
 	pool := fs.NewPagePool(slots)
+	var reg *snapshot.Registry
+	if fl.SnapshotWarmup != nil {
+		reg = fl.prewarmSnapshots(pool, quota)
+	}
 
 	results := make([]JobResult, len(jobs))
 	var agg fleetAgg
@@ -151,7 +189,7 @@ func (fl *Fleet) Run(jobs []Job) ([]JobResult, FleetStats) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = fl.runJob(i, &jobs[i], pool, quota, &agg)
+				results[i] = fl.runJob(i, &jobs[i], pool, quota, reg, &agg)
 			}
 		}()
 	}
@@ -179,6 +217,13 @@ func (fl *Fleet) Run(jobs []Job) ([]JobResult, FleetStats) {
 
 		WriteGrantedBytes: agg.writeGrantedBytes.Load(),
 		StagedSlotsLeaked: agg.stagedSlotsLeaked.Load(),
+
+		SnapshotCaptures: agg.snapCaptures.Load(),
+		CloneBoots:       agg.cloneBoots.Load(),
+	}
+	if reg != nil {
+		stats.CowFaults = reg.Stats().CowFaults.Load()
+		stats.SnapshotLeak = reg.VerifyBalanced()
 	}
 	if s := wall.Seconds(); s > 0 {
 		stats.SessionsPerSec = float64(len(jobs)) / s
@@ -203,12 +248,37 @@ type fleetAgg struct {
 	leaseReturns      atomic.Int64
 	writeGrantedBytes atomic.Int64
 	stagedSlotsLeaked atomic.Int64
+	snapCaptures      atomic.Int64
+	cloneBoots        atomic.Int64
+}
+
+// prewarmSnapshots runs the fleet's snapshot warmup on the calling
+// goroutine (serially, before any worker starts) and returns the sealed
+// registry every job will share.
+func (fl *Fleet) prewarmSnapshots(pool *fs.PagePool, quota int) *snapshot.Registry {
+	w := fl.SnapshotWarmup
+	reg := snapshot.NewRegistry()
+	sq := w.Quota
+	if sq <= 0 {
+		sq = DefaultSnapshotSlots
+	}
+	reg.SetStore(pool.ImageStore(sq))
+	in := Boot(Config{PagePool: pool, PagePoolQuota: quota, Snapshots: reg})
+	if w.Setup != nil {
+		w.Setup(in)
+	}
+	for _, c := range w.Cmds {
+		in.RunCommand(c)
+	}
+	in.VFS.FlushCaches()
+	reg.Seal()
+	return reg
 }
 
 // runJob boots, stages, and drives one job on the calling worker
 // goroutine. The Instance lives entirely on this goroutine; the shared
 // arena is the only structure it touches concurrently with other shards.
-func (fl *Fleet) runJob(i int, job *Job, pool *fs.PagePool, quota int, agg *fleetAgg) (res JobResult) {
+func (fl *Fleet) runJob(i int, job *Job, pool *fs.PagePool, quota int, reg *snapshot.Registry, agg *fleetAgg) (res JobResult) {
 	res.Index, res.Name = i, job.Name
 	var in *Instance
 	defer func() {
@@ -233,11 +303,16 @@ func (fl *Fleet) runJob(i int, job *Job, pool *fs.PagePool, quota int, agg *flee
 		agg.leaseReturns.Add(in.Kernel.LeaseReturns.Load())
 		agg.writeGrantedBytes.Add(in.Kernel.WriteGrantedBytes.Load())
 		agg.stagedSlotsLeaked.Add(int64(in.VFS.WriteStagedSlots()))
+		agg.snapCaptures.Add(in.Kernel.SnapshotCaptures.Load())
+		agg.cloneBoots.Add(in.Kernel.CloneBoots.Load())
 	}()
 
 	cfg := job.Config
 	cfg.PagePool = pool
 	cfg.PagePoolQuota = quota
+	if cfg.Snapshots == nil {
+		cfg.Snapshots = reg
+	}
 	in = Boot(cfg)
 	if fl.OnBoot != nil {
 		fl.OnBoot(i, in)

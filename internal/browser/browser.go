@@ -206,8 +206,30 @@ func (s *System) BlobData(url string) ([]byte, bool) {
 // SAB is a SharedArrayBuffer: a byte buffer shared (not cloned) across
 // contexts.
 type SAB struct {
-	b  []byte
-	id int
+	b       []byte
+	id      int
+	tracker DirtyTracker
+}
+
+// DirtyTracker observes writes into a SAB at page granularity. The
+// snapshot subsystem installs one on a cloned process heap so
+// copy-on-write faults and soft-dirty bits track which pages diverged
+// from the shared image. Bulk writers (memcpy-style helpers) call
+// MarkDirty explicitly; Store32 marks automatically.
+type DirtyTracker interface {
+	MarkDirty(off, n int)
+}
+
+// SetDirtyTracker installs (or clears, with nil) the write observer.
+func (s *SAB) SetDirtyTracker(t DirtyTracker) { s.tracker = t }
+
+// MarkDirty reports a write of n bytes at off to the installed tracker.
+// Callers that write through Bytes() must call it; it is free when no
+// tracker is installed.
+func (s *SAB) MarkDirty(off, n int) {
+	if s.tracker != nil && n > 0 {
+		s.tracker.MarkDirty(off, n)
+	}
 }
 
 // sabSeq is process-wide: SAB ids key futex waits and only need to be
@@ -238,7 +260,12 @@ func (s *SAB) Bytes() []byte { return s.b }
 func (s *SAB) Load32(off int) uint32 { return binary.LittleEndian.Uint32(s.b[off:]) }
 
 // Store32 performs Atomics.store.
-func (s *SAB) Store32(off int, v uint32) { binary.LittleEndian.PutUint32(s.b[off:], v) }
+func (s *SAB) Store32(off int, v uint32) {
+	binary.LittleEndian.PutUint32(s.b[off:], v)
+	if s.tracker != nil {
+		s.tracker.MarkDirty(off, 4)
+	}
+}
 
 // Add32 performs Atomics.add, returning the old value.
 func (s *SAB) Add32(off int, delta uint32) uint32 {

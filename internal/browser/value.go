@@ -25,6 +25,15 @@ import "fmt"
 // possible.
 type Value = any
 
+// Shared marks a host-side object that crosses contexts by reference with
+// zero clone cost, like a *SAB. It models transferable/shared platform
+// objects the structured-clone algorithm does not copy — the snapshot
+// subsystem passes immutable images and per-process dirty trackers through
+// init messages this way.
+type Shared interface {
+	SharedBrowserValue()
+}
+
 // Clone deep-copies a Value with structured-clone semantics and returns the
 // copy plus the number of bytes copied (used to charge clone cost).
 // It panics on a type outside the structured-clone set, mirroring the
@@ -68,6 +77,8 @@ func Clone(v Value) (Value, int64) {
 		return out, n
 	case *SAB:
 		return x, 0 // shared, not cloned
+	case Shared:
+		return x, 0 // shared platform object, passed by reference
 	default:
 		panic(fmt.Sprintf("browser: DataCloneError: cannot structured-clone %T", v))
 	}

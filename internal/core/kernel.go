@@ -8,6 +8,7 @@ import (
 	"repro/internal/abi"
 	"repro/internal/browser"
 	"repro/internal/fs"
+	"repro/internal/snapshot"
 )
 
 // Loader turns an executable's bytes into a Web Worker entry point. The
@@ -73,6 +74,23 @@ type Kernel struct {
 	// BenchmarkZeroCopyWrite and one axis of the write differentials.
 	DisableZeroCopyWrite bool
 
+	// Snapshots is the checkpoint/fork registry (internal/snapshot).
+	// When set, the first cold boot of each runtime captures a post-boot
+	// image and later spawns of the same executable clone it
+	// copy-on-write. nil (the default) keeps the classic cold-boot path
+	// and every pre-existing virtual clock. A fleet shares one sealed
+	// registry; a single instance owns a private one.
+	Snapshots *snapshot.Registry
+	// DisableSnapshots ignores Snapshots without unwiring it — the
+	// ablation flag the differential tests flip.
+	DisableSnapshots bool
+
+	// stubURLs caches the per-executable bootstrap Blob URL clone boots
+	// start their workers from: a thin loader stub standing in for the
+	// browser's cached compiled artifact, so a clone skips the
+	// multi-hundred-KB script eval a cold boot pays.
+	stubURLs map[string]string
+
 	// poolSAB is the page-cache arena wrapped for sharing with workers,
 	// created on the first "pagepool" registration.
 	poolSAB *browser.SAB
@@ -121,6 +139,10 @@ type Kernel struct {
 	WriteCopiedBytes  atomic.Int64
 	WriteGrantedBytes atomic.Int64
 	BatchedGrantReads atomic.Int64
+	// Snapshot lifecycle statistics: images captured through this
+	// kernel, and processes booted as copy-on-write clones.
+	SnapshotCaptures atomic.Int64
+	CloneBoots       atomic.Int64
 }
 
 // NewKernel boots a kernel over the given browser system and file system.
@@ -136,6 +158,7 @@ func NewKernel(sys *browser.System, fsys *fs.FileSystem, loader Loader) *Kernel 
 		portWatchers:  map[int][]func(int){},
 		nextEphemeral: 40000,
 		SyscallCount:  map[string]int64{},
+		stubURLs:      map[string]string{},
 	}
 }
 
@@ -234,6 +257,14 @@ func (k *Kernel) Spawn(parent *Task, spec SpawnSpec, cb func(int, abi.Errno)) {
 		}
 		k.Sys.Sim.Charge(k.CPU.SpawnNs)
 
+		// Snapshot lifecycle: a known image turns this spawn into a
+		// copy-on-write clone boot; otherwise an unsealed registry asks
+		// the new process to capture one after its first boot completes.
+		var img *snapshot.Image
+		if k.Snapshots != nil && !k.DisableSnapshots && spec.Fork == nil {
+			img = k.Snapshots.Lookup(path)
+		}
+
 		var t *Task
 		if spec.execTask != nil {
 			// exec: same task, new image.
@@ -245,6 +276,7 @@ func (k *Kernel) Spawn(parent *Task, spec SpawnSpec, cb func(int, abi.Errno)) {
 			}
 			t.heap, t.retOff, t.waitOff, t.ring = nil, 0, 0, nil
 			k.releaseTaskLeases(t)
+			k.releaseTaskSnapshot(t)
 			t.pool = false
 			t.sigActions = map[int]sigAction{}
 			old := t.worker
@@ -275,8 +307,16 @@ func (k *Kernel) Spawn(parent *Task, spec SpawnSpec, cb func(int, abi.Errno)) {
 		}
 
 		// Browsix generates a Blob URL for the executable's bytes so
-		// Workers can be built from file-system contents (§3.3).
-		url := k.Sys.CreateObjectURL(script)
+		// Workers can be built from file-system contents (§3.3). Clone
+		// boots start from the cached bootstrap stub instead — the
+		// expensive artifact was already parsed once, and the restored
+		// image replaces re-running it.
+		var url string
+		if img != nil {
+			url = k.stubURL(path)
+		} else {
+			url = k.Sys.CreateObjectURL(script)
+		}
 		w := k.Sys.NewWorker(k.Sys.Main, url, main)
 		t.worker = w
 		w.OnMessage = func(v browser.Value) { k.onWorkerMessage(t, w, v) }
@@ -294,6 +334,29 @@ func (k *Kernel) Spawn(parent *Task, spec SpawnSpec, cb func(int, abi.Errno)) {
 		if spec.Fork != nil {
 			init["forkMem"] = spec.Fork.Mem
 			init["forkLabel"] = spec.Fork.Label
+		}
+		switch {
+		case img != nil:
+			// Clone boot: the image and its COW tracker cross by
+			// reference (browser.Shared). Pins are taken here, on the
+			// main thread, so the balance invariant holds from the
+			// moment of the spawn decision — every death path runs
+			// through releaseTaskSnapshot.
+			img.PinAll()
+			if img.HeapLen > 0 {
+				t.snapTracker = snapshot.NewTracker(img, img.NumPages())
+				t.snapTracker.SetStats(k.Snapshots.Stats())
+				init["snaptracker"] = t.snapTracker
+			}
+			t.snapImage = img
+			init["snapimage"] = img
+			k.CloneBoots.Add(1)
+			k.Snapshots.Stats().CloneBoots.Add(1)
+		case k.Snapshots != nil && !k.DisableSnapshots && !k.Snapshots.Sealed() && spec.Fork == nil:
+			// First boot of this runtime: ask it to call back with
+			// "snapcap" once init and transport negotiation finish.
+			t.script = script
+			init["snapcap"] = int64(1)
 		}
 		w.PostMessage(init)
 		cb(t.Pid, abi.OK)
@@ -409,6 +472,7 @@ func (k *Kernel) finishTask(t *Task, status int) {
 	t.state = taskZombie
 	t.status = status
 	k.releaseTaskLeases(t)
+	k.releaseTaskSnapshot(t)
 	for fd := range t.files {
 		t.closeFd(fd, func(abi.Errno) {})
 	}

@@ -26,6 +26,12 @@ type taskRing struct {
 	req abi.Ring // process -> kernel call frames
 	rep abi.Ring // kernel -> process reply frames
 
+	// Registered heap offsets of the two regions. The checkpoint path
+	// needs them: ring pages are written through retained views that
+	// bypass the heap's dirty-tracking barriers, so a final stop-copy
+	// must always re-copy them.
+	reqOff, reqLen, repOff, repLen int64
+
 	draining bool        // inside drainRing's dispatch loop
 	dirty    bool        // replies pushed since the last wake
 	overflow []ringReply // replies that did not fit the reply ring
@@ -55,8 +61,9 @@ func (k *Kernel) registerRing(t *Task, reqOff, reqLen, repOff, repLen int64) abi
 	}
 	b := t.heap.Bytes()
 	t.ring = &taskRing{
-		req: abi.NewRing(b[reqOff : reqOff+reqLen]),
-		rep: abi.NewRing(b[repOff : repOff+repLen]),
+		req:    abi.NewRing(b[reqOff : reqOff+reqLen]),
+		rep:    abi.NewRing(b[repOff : repOff+repLen]),
+		reqOff: reqOff, reqLen: reqLen, repOff: repOff, repLen: repLen,
 	}
 	return abi.OK
 }

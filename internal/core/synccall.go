@@ -41,6 +41,7 @@ func (t *Task) heapWrite(ptr int64, data []byte) {
 	k := t.k
 	k.Sys.Sim.Charge(int64(float64(len(data)) * k.CPU.SyncByteNs))
 	copy(t.heap.Bytes()[ptr:], data)
+	t.heap.MarkDirty(int(ptr), len(data))
 }
 
 // syncReply completes a synchronous call: results into the heap, then

@@ -256,6 +256,17 @@ func (k *Kernel) dispatchAsync(t *Task, name string, a []browser.Value, reply fu
 		t.pool = true
 		reply(int64(0), errv(abi.OK), k.pagePoolSAB())
 
+	case "snapcap":
+		// Post-boot snapshot capture (internal/snapshot): the process
+		// reports its negotiated transport state and the kernel freezes
+		// its heap and fd/env/cwd template as the runtime's image.
+		k.doSnapcap(t, argInt(0) != 0, argInt(1) != 0, argInt(2), reply)
+
+	case "restore":
+		// Clone-boot restore: one combined registration replacing the
+		// personality + ring + pagepool negotiation round trips.
+		k.doRestore(t, a, argInt, reply)
+
 	case "open":
 		k.doOpen(t, argStr(0), int(argInt(1)), uint32(argInt(2)), func(fd int, err abi.Errno) {
 			reply(int64(fd), errv(err))

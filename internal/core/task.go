@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/abi"
 	"repro/internal/browser"
+	"repro/internal/snapshot"
 )
 
 // taskState tracks a process through its lifecycle. Browsix had to
@@ -71,6 +72,15 @@ type Task struct {
 	onExit []func(status int)
 
 	startTime int64
+
+	// Snapshot lifecycle (internal/snapshot). script holds the
+	// executable's bytes on a first boot that was asked to capture
+	// ("snapcap" pending); snapImage/snapTracker are set on clone boots:
+	// the immutable image this task shares pages with and the per-page
+	// COW/soft-dirty bitmap whose remaining pins exit reclaim returns.
+	script      []byte
+	snapImage   *snapshot.Image
+	snapTracker *snapshot.Tracker
 }
 
 type sigAction int
@@ -102,6 +112,11 @@ func (t *Task) Status() int { return t.status }
 
 // Worker exposes the task's Web Worker (tests and diagnostics).
 func (t *Task) Worker() *browser.Worker { return t.worker }
+
+// HasHeap reports whether the task has registered a synchronous-syscall
+// heap (diagnostics; a live checkpoint of a heap-less task dumps only
+// its fd/env/cwd template).
+func (t *Task) HasHeap() bool { return t.heap != nil }
 
 // allocFd returns the lowest unused descriptor number, as Unix does.
 func (t *Task) allocFd() int {

@@ -14,8 +14,11 @@ import (
 //   - per-component dentries: canonical path -> lstat result, including
 //     negative entries (ENOENT) and memoized symlink targets, so a warm
 //     walk never calls a backend;
-//   - whole-walk entries: (flags, cleaned path) -> final walk result, so
-//     a warm stat/open of a hot path is a single map hit.
+//   - whole-walk entries: a radix-prefix tree keyed one path component
+//     per level, each node holding the final walk result per option
+//     flavour, so a warm stat/open of a hot path is one descent — and a
+//     10^5-name TeX tree shares every directory prefix once instead of
+//     duplicating it in 10^5 flat map keys.
 //
 // Every mutating operation invalidates the affected dentries and clears
 // the whole-walk tier (it is cheap to rebuild from warm dentries). The
@@ -39,9 +42,44 @@ const maxDentries = 16384
 // than dentries (whole entry slices), so the budget is smaller.
 const maxDirListings = 2048
 
+// maxWalkNodes bounds the whole-walk radix tree in *nodes*. Prefix
+// sharing means a tree of N names costs about N nodes regardless of
+// depth, so a 10^5-name TeX Live tree fits with headroom; overflow
+// clears the tier (crude, deterministic, and now rare).
+const maxWalkNodes = 1 << 17
+
+// walkNode is one path component in the whole-walk radix tree. A node
+// caches up to four walk results — one per (follow, requireDir) flavour —
+// because the same name resolves differently per option set. Only
+// err==OK, non-symlink-traversing results are stored; every hit is
+// re-validated against the endpoint dentry before being served.
+type walkNode struct {
+	children map[string]*walkNode
+	ents     [4]walkEnt
+	has      [4]bool
+}
+
+// walkOptIdx maps walk options onto a node's result slot.
+func walkOptIdx(o walkOpts) int {
+	i := 0
+	if o.follow {
+		i = 1
+	}
+	if o.requireDir {
+		i |= 2
+	}
+	return i
+}
+
 type dcache struct {
 	entries map[string]*dentry
-	walks   map[string]walkEnt // only err==OK results
+
+	// Whole-walk radix tier: walkRoot is the node for "/"; walkNodes
+	// counts live nodes against maxWalkNodes (walkNodeCount shadows it
+	// for cross-thread stats snapshots).
+	walkRoot      *walkNode
+	walkNodes     int
+	walkNodeCount atomic.Int64
 
 	// dirents caches complete directory listings keyed by canonical
 	// directory path (merged across backends and mount synthesis,
@@ -67,9 +105,93 @@ type dcache struct {
 func newDcache() *dcache {
 	return &dcache{
 		entries: map[string]*dentry{},
-		walks:   map[string]walkEnt{},
 		dirents: map[string][]abi.Dirent{},
 	}
+}
+
+// walkNodeFor descends the radix tree along raw path p — components
+// scanned in place, empty and "." components skipped, so distinct
+// spellings of one path ("/a//b", "/a/./b", "/a/b") share a node.
+// Returns nil on a miss. ".."-containing paths never reach here (they
+// are uncacheable; namei.go).
+func (c *dcache) walkNodeFor(p string) *walkNode {
+	n := c.walkRoot
+	if n == nil {
+		return nil
+	}
+	i := 0
+	for i < len(p) {
+		for i < len(p) && p[i] == '/' {
+			i++
+		}
+		j := i
+		for j < len(p) && p[j] != '/' {
+			j++
+		}
+		if j > i && p[i:j] != "." {
+			n = n.children[p[i:j]]
+			if n == nil {
+				return nil
+			}
+		}
+		i = j
+	}
+	return n
+}
+
+// getWalk returns the cached whole-walk result for (p, o), unvalidated —
+// walk() checks the endpoint dentry before serving it.
+func (c *dcache) getWalk(p string, o walkOpts) (walkEnt, bool) {
+	n := c.walkNodeFor(p)
+	if n == nil {
+		return walkEnt{}, false
+	}
+	idx := walkOptIdx(o)
+	if !n.has[idx] {
+		return walkEnt{}, false
+	}
+	return n.ents[idx], true
+}
+
+// putWalk caches a whole-walk result, creating radix nodes along the
+// path. The node budget is checked up front: on overflow the whole tier
+// clears (deterministically), then the insert proceeds.
+func (c *dcache) putWalk(p string, o walkOpts, e walkEnt) {
+	if c.walkNodes >= maxWalkNodes {
+		c.walkRoot, c.walkNodes = nil, 0
+	}
+	if c.walkRoot == nil {
+		c.walkRoot = &walkNode{}
+		c.walkNodes = 1
+	}
+	n := c.walkRoot
+	i := 0
+	for i < len(p) {
+		for i < len(p) && p[i] == '/' {
+			i++
+		}
+		j := i
+		for j < len(p) && p[j] != '/' {
+			j++
+		}
+		if j > i && p[i:j] != "." {
+			child := n.children[p[i:j]]
+			if child == nil {
+				if n.children == nil {
+					n.children = map[string]*walkNode{}
+				}
+				child = &walkNode{}
+				n.children[p[i:j]] = child
+				c.walkNodes++
+			}
+			n = child
+		}
+		i = j
+	}
+	idx := walkOptIdx(o)
+	n.ents[idx] = e
+	n.has[idx] = true
+	c.walkNodeCount.Store(int64(c.walkNodes))
 }
 
 // getDir returns a cached listing. The returned slice is shared: callers
@@ -124,14 +246,14 @@ func (c *dcache) put(p string, d *dentry) {
 // of one per name. Each hit is validated against its endpoint dentry
 // exactly like walk()'s single-key fast path, so the batch can never
 // return a result a mutation has staled.
-func (c *dcache) getWalkBatch(keys []string, opts []walkOpts) ([]walkEnt, []bool) {
-	ents := make([]walkEnt, len(keys))
-	ok := make([]bool, len(keys))
-	for i, key := range keys {
-		if key == "" {
+func (c *dcache) getWalkBatch(paths []string, opts []walkOpts) ([]walkEnt, []bool) {
+	ents := make([]walkEnt, len(paths))
+	ok := make([]bool, len(paths))
+	for i, p := range paths {
+		if p == "" {
 			continue // caller marked the lookup uncacheable
 		}
-		e, present := c.walks[key]
+		e, present := c.getWalk(p, opts[i])
 		if !present {
 			continue
 		}
@@ -155,13 +277,6 @@ func validWalkHit(d *dentry, present bool, o walkOpts) bool {
 	return present && d.err == abi.OK &&
 		!(o.follow && d.st.IsSymlink()) &&
 		!(o.requireDir && !d.st.IsDir())
-}
-
-func (c *dcache) putWalk(key string, e walkEnt) {
-	if len(c.walks) >= maxDentries {
-		clear(c.walks)
-	}
-	c.walks[key] = e
 }
 
 // drop forgets one path. Whole-walk entries are not cleared: a walk hit
@@ -207,6 +322,7 @@ func (c *dcache) dropTree(p string) {
 func (c *dcache) flush() {
 	clear(c.entries)
 	c.entryCount.Store(0)
-	clear(c.walks)
+	c.walkRoot, c.walkNodes = nil, 0
+	c.walkNodeCount.Store(0)
 	clear(c.dirents)
 }

@@ -1,0 +1,107 @@
+package fs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/abi"
+)
+
+// The whole-walk tier is a radix-prefix tree: a TeX-Live-scale tree of
+// 10^5 names shares every directory prefix once, so the entire working
+// set coexists inside the node budget — the flat map it replaced cleared
+// wholesale every 16384 entries and could never keep such a tree warm.
+func TestWalkCacheRadixHoldsTexScaleTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10^5-name tree build")
+	}
+	f := newFS()
+	const dirs, filesPer = 100, 1000 // 10^5 leaf names
+	for d := 0; d < dirs; d++ {
+		dir := fmt.Sprintf("/texmf%02d", d)
+		mustMkdirAll(t, f, dir)
+		for i := 0; i < filesPer; i++ {
+			path := fmt.Sprintf("%s/f%05d", dir, i)
+			f.WriteFile(path, nil, 0o644, func(err abi.Errno) {
+				if err != abi.OK {
+					t.Fatalf("write %s: %v", path, err)
+				}
+			})
+		}
+	}
+	stat := func(p string) {
+		var got abi.Errno = -1
+		f.Stat(p, func(_ abi.Stat, e abi.Errno) { got = e })
+		if got != abi.OK {
+			t.Fatalf("stat %s: %v", p, got)
+		}
+	}
+	for d := 0; d < dirs; d++ {
+		for i := 0; i < filesPer; i++ {
+			stat(fmt.Sprintf("/texmf%02d/f%05d", d, i))
+		}
+	}
+	s := f.CacheStats()
+	if s.WalkNodes < dirs*filesPer {
+		t.Fatalf("walk tier holds %d nodes, want the whole %d-name tree resident", s.WalkNodes, dirs*filesPer)
+	}
+	if s.WalkNodes > maxWalkNodes {
+		t.Fatalf("walk tier %d nodes exceeds its budget %d", s.WalkNodes, maxWalkNodes)
+	}
+	// Warm re-stats of recently-walked names must hit the whole-walk
+	// tier without any rebuild: hits go up, the node count does not move.
+	before := f.CacheStats()
+	const reStats = 500
+	for i := filesPer - reStats; i < filesPer; i++ {
+		stat(fmt.Sprintf("/texmf%02d/f%05d", dirs-1, i))
+	}
+	after := f.CacheStats()
+	if got := after.WalkHits - before.WalkHits; got != reStats {
+		t.Errorf("warm re-stats produced %d whole-walk hits, want %d", got, reStats)
+	}
+	if after.WalkNodes != before.WalkNodes {
+		t.Errorf("warm re-stats changed the node count: %d -> %d (tier rebuilt?)", before.WalkNodes, after.WalkNodes)
+	}
+}
+
+// Distinct spellings of one path share a radix node, and each option
+// flavour occupies its own slot on that node.
+func TestWalkCacheSpellingAndFlavours(t *testing.T) {
+	f := newFS()
+	mustMkdirAll(t, f, "/a/b")
+	mustWrite(t, f, "/a/b/f", "x")
+	stat := func(p string) {
+		var got abi.Errno = -1
+		f.Stat(p, func(_ abi.Stat, e abi.Errno) { got = e })
+		if got != abi.OK {
+			t.Fatalf("stat %s: %v", p, got)
+		}
+	}
+	stat("/a/b/f")
+	nodes := f.CacheStats().WalkNodes
+	before := f.CacheStats().WalkHits
+	stat("/a//b/f")
+	stat("/a/./b/f")
+	s := f.CacheStats()
+	if got := s.WalkHits - before; got != 2 {
+		t.Errorf("alternate spellings produced %d walk hits, want 2", got)
+	}
+	if s.WalkNodes != nodes {
+		t.Errorf("alternate spellings grew the tree: %d -> %d nodes", nodes, s.WalkNodes)
+	}
+	// A trailing-slash (requireDir) walk of the directory is a distinct
+	// flavour on the same node: first walk populates it, second hits.
+	var err abi.Errno = -1
+	f.Stat("/a/b/", func(_ abi.Stat, e abi.Errno) { err = e })
+	if err != abi.OK {
+		t.Fatalf("stat /a/b/: %v", err)
+	}
+	before = f.CacheStats().WalkHits
+	f.Stat("/a/b/", func(_ abi.Stat, e abi.Errno) { err = e })
+	if err != abi.OK {
+		t.Fatalf("stat /a/b/ again: %v", err)
+	}
+	if got := f.CacheStats().WalkHits - before; got != 1 {
+		t.Errorf("trailing-slash re-stat produced %d walk hits, want 1", got)
+	}
+}

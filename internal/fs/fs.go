@@ -163,6 +163,7 @@ type CacheStats struct {
 	ReadaheadOps  int64 // completed readahead backend reads
 	PageBytes     int64 // bytes currently cached
 	DentryEntries int   // dentries currently cached
+	WalkNodes     int   // radix nodes in the whole-walk tier
 
 	// Write-back counters (writeback.go).
 	BufferedWrites  int64 // writes absorbed into dirty extents
@@ -199,6 +200,7 @@ func (f *FileSystem) CacheStats() CacheStats {
 		ReadaheadOps:  f.pc.readaheads.Load(),
 		PageBytes:     f.pc.bytes.Load(),
 		DentryEntries: int(f.dc.entryCount.Load()),
+		WalkNodes:     int(f.dc.walkNodeCount.Load()),
 
 		BufferedWrites:  f.pc.bufferedWrites.Load(),
 		Flushes:         f.pc.flushes.Load(),
@@ -430,7 +432,7 @@ func (f *FileSystem) MetaBatch(reqs []MetaReq, cb func([]MetaRes)) {
 	batchSt := make(map[int]abi.Stat)
 	if f.cachesOn && len(reqs) > 1 {
 		f.dc.statBatches.Add(1)
-		keys := make([]string, len(reqs))
+		paths := make([]string, len(reqs))
 		opts := make([]walkOpts, len(reqs))
 		for i, r := range reqs {
 			if r.Kind == MetaReadlink {
@@ -443,11 +445,11 @@ func (f *FileSystem) MetaBatch(reqs []MetaReq, cb func([]MetaRes)) {
 			opts[i] = o
 			if !strings.Contains(r.Path, "..") {
 				// ".."-containing paths are never whole-walk cached
-				// (namei.go); an empty key skips them in the batch pass.
-				keys[i] = walkKey(r.Path, o)
+				// (namei.go); an empty path skips them in the batch pass.
+				paths[i] = r.Path
 			}
 		}
-		ents, ok := f.dc.getWalkBatch(keys, opts)
+		ents, ok := f.dc.getWalkBatch(paths, opts)
 		for i := range reqs {
 			if !ok[i] {
 				continue

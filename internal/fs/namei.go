@@ -111,10 +111,8 @@ func (f *FileSystem) walk(p string, o walkOpts, cb func(walkEnt)) {
 	// removed, even though /b lives on). Contains over-matches names
 	// like "a..b" — that only skips an optimization.
 	cacheable := f.cachesOn && !strings.Contains(p, "..")
-	key := ""
 	if cacheable {
-		key = walkKey(p, o)
-		if e, ok := f.dc.walks[key]; ok {
+		if e, ok := f.dc.getWalk(p, o); ok {
 			d, present := f.dc.entries[e.path]
 			// The endpoint may have been replaced since the walk was
 			// cached: a symlink there invalidates a following walk, a
@@ -129,27 +127,10 @@ func (f *FileSystem) walk(p string, o walkOpts, cb func(walkEnt)) {
 	}
 	f.walk1(splitPath(p), o, 0, func(e walkEnt) {
 		if cacheable && e.err == abi.OK && !e.viaLink {
-			f.dc.putWalk(key, e)
+			f.dc.putWalk(p, o, e)
 		}
 		cb(e)
 	})
-}
-
-// walkKey keys the whole-walk tier by the *raw* path spelling plus the
-// option flags. Distinct spellings of one path ("/a//b", "/a/b") occupy
-// distinct entries — harmless, since every hit is validated against the
-// endpoint dentry — and the hot hit path allocates one string at most.
-func walkKey(p string, o walkOpts) string {
-	if o.follow {
-		if o.requireDir {
-			return p + "\x00fd"
-		}
-		return p + "\x00f"
-	}
-	if o.requireDir {
-		return p + "\x00d"
-	}
-	return p
 }
 
 // walk1 walks the path components. depth counts symlink expansions

@@ -336,6 +336,80 @@ func (f *FileSystem) UnleasePage(slot int) bool {
 	return true
 }
 
+// ---------------------------------------------------------------------------
+// Image store: immutable snapshot pages shared copy-on-write.
+// ---------------------------------------------------------------------------
+
+// ImageStore keeps immutable snapshot-image pages in the pool arena under
+// its own attachment. Each stored page carries one *base* pin held by the
+// store, so a frozen image never recycles; every process cloned from the
+// image takes one additional pin per still-shared page (the COW
+// refcount) and returns it on first write (the page materializes
+// privately in the clone's heap) or at exit. Quota accounting works like
+// any other attachment: image pages are charged to the store, and the
+// clones sharing them are charged nothing — the whole point.
+type ImageStore struct {
+	pp  *pagePool
+	att int
+}
+
+// ImageStore creates a snapshot-page attachment on a shared arena.
+// quotaSlots <= 0 means the whole arena.
+func (p *PagePool) ImageStore(quotaSlots int) *ImageStore {
+	return &ImageStore{pp: p.pp, att: p.pp.attach(quotaSlots)}
+}
+
+// ImageStore creates a snapshot-page attachment on this FileSystem's own
+// pool (private or shared) — how a single Instance with snapshots enabled
+// stores images without constructing a standalone PagePool.
+func (f *FileSystem) ImageStore(quotaSlots int) *ImageStore {
+	return &ImageStore{pp: f.pc.pool, att: f.pc.pool.attach(quotaSlots)}
+}
+
+// Put copies one page of image data (len(data) <= PageSize) into a fresh
+// slot, zero-padding the tail, and pins it once (the store's base pin).
+// ok is false at quota or arena exhaustion.
+func (s *ImageStore) Put(data []byte) (int, bool) {
+	if len(data) > PageSize {
+		panic("fs: ImageStore.Put: page overflow")
+	}
+	slot, ok := s.pp.alloc(s.att)
+	if !ok {
+		return 0, false
+	}
+	base := slot * PageSize
+	n := copy(s.pp.arena[base:base+PageSize], data)
+	for i := base + n; i < base+PageSize; i++ {
+		s.pp.arena[i] = 0
+	}
+	s.pp.pin(slot)
+	return slot, true
+}
+
+// Data returns a stored page's arena bytes (full page; the image tracks
+// content lengths). Callers must treat them as immutable.
+func (s *ImageStore) Data(slot int) []byte {
+	base := slot * PageSize
+	return s.pp.arena[base : base+PageSize]
+}
+
+// Pin takes one clone reference on an image page.
+func (s *ImageStore) Pin(slot int) { s.pp.pin(slot) }
+
+// Unpin returns one clone reference (a COW fault or a clone exiting).
+func (s *ImageStore) Unpin(slot int) bool { return s.pp.unpin(slot) }
+
+// PinCount returns a page's outstanding pin count, including the base
+// pin — the balance check: a quiesced registry shows exactly 1 per page.
+func (s *ImageStore) PinCount(slot int) int { return s.pp.pinCount(slot) }
+
+// Free releases a stored page: the store's base pin returns and the slot
+// detaches, freezing until any remaining clone references come back.
+func (s *ImageStore) Free(slot int) {
+	s.pp.release(slot)
+	s.pp.unpin(slot)
+}
+
 // PageRef references pinned bytes in the page pool: the fs-level
 // currency of the zero-copy read path (abi.PageGrant is its wire form).
 type PageRef struct {

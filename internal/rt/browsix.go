@@ -5,6 +5,7 @@ import (
 	"repro/internal/browser"
 	"repro/internal/posix"
 	"repro/internal/sched"
+	"repro/internal/snapshot"
 )
 
 // workerRT is the process-side Browsix runtime living inside a Web
@@ -111,8 +112,17 @@ func (r *workerRT) onMessage(v browser.Value) {
 		r.env = browser.Strings(browser.GetArray(m, "env"))
 		forkMem := browser.GetBytes(m, "forkMem")
 		forkLabel := browser.GetString(m, "forkLabel")
-		// Runtime start-up: interpreter/stdlib initialization.
-		r.sim.Charge(r.cost.InitNs)
+		img, _ := m["snapimage"].(*snapshot.Image)
+		tracker, _ := m["snaptracker"].(*snapshot.Tracker)
+		snapCap := browser.GetInt(m, "snapcap") != 0
+		if img != nil {
+			// Clone boot: fix up the restored snapshot instead of
+			// re-running interpreter/stdlib initialization.
+			r.sim.Charge(r.cost.RestoreNs)
+		} else {
+			// Runtime start-up: interpreter/stdlib initialization.
+			r.sim.Charge(r.cost.InitNs)
+		}
 		if r.sync {
 			r.heap = browser.NewSAB(r.cost.HeapSize)
 			r.scratchTop = int64(r.heap.Len())
@@ -120,11 +130,20 @@ func (r *workerRT) onMessage(v browser.Value) {
 		g := r.sim.NewG(r.w.Ctx.Sched(), r.prog.Name, func(any) {
 			defer r.recoverExit()
 			if r.sync {
-				// Register the sync-syscall personality: heap +
-				// return/wake offsets (§3.2), via an async call.
-				r.asyncCall("personality", r.heap, int64(syncRetOff), int64(syncWaitOff))
-				r.negotiateRing()
-				r.negotiatePagePool()
+				if img != nil && img.HeapLen == r.heap.Len() {
+					r.restoreFromImage(img, tracker)
+				} else {
+					// Register the sync-syscall personality: heap +
+					// return/wake offsets (§3.2), via an async call.
+					r.asyncCall("personality", r.heap, int64(syncRetOff), int64(syncWaitOff))
+					r.negotiateRing()
+					r.negotiatePagePool()
+					if snapCap {
+						r.captureSnapshot()
+					}
+				}
+			} else if img == nil && snapCap {
+				r.captureSnapshot()
 			}
 			var code int
 			if forkLabel != "" || len(forkMem) > 0 {
@@ -262,6 +281,7 @@ func (r *workerRT) syncCall(trap int, args ...int64) (int64, abi.Errno) {
 func (r *workerRT) putStr(s string) (int64, int64) {
 	ptr := r.alloc(int64(len(s)))
 	copy(r.heap.Bytes()[ptr:], s)
+	r.heap.MarkDirty(int(ptr), len(s))
 	return ptr, int64(len(s))
 }
 
@@ -269,6 +289,7 @@ func (r *workerRT) putStr(s string) (int64, int64) {
 func (r *workerRT) putBytes(b []byte) (int64, int64) {
 	ptr := r.alloc(int64(len(b)))
 	copy(r.heap.Bytes()[ptr:], b)
+	r.heap.MarkDirty(int(ptr), len(b))
 	return ptr, int64(len(b))
 }
 
@@ -512,6 +533,7 @@ func (r *workerRT) Readv(fd int, lens []int) ([][]byte, abi.Errno) {
 	}
 	ivp := r.alloc(int64(len(iovs) * abi.IovecSize))
 	abi.PackIovecs(r.heap.Bytes()[ivp:], iovs)
+	r.heap.MarkDirty(int(ivp), len(iovs)*abi.IovecSize)
 	ret, err := r.syncCall(abi.SYS_readv, int64(fd), ivp, int64(len(iovs)))
 	if err != abi.OK {
 		return nil, err
@@ -583,6 +605,7 @@ func (r *workerRT) Writev(fd int, bufs [][]byte) (int64, abi.Errno) {
 	}
 	ivp := r.alloc(int64(len(iovs) * abi.IovecSize))
 	abi.PackIovecs(r.heap.Bytes()[ivp:], iovs)
+	r.heap.MarkDirty(int(ivp), len(iovs)*abi.IovecSize)
 	ret, err := r.syncCall(abi.SYS_writev, int64(fd), ivp, int64(len(iovs)))
 	if err != abi.OK {
 		return -1, err

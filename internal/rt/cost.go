@@ -67,6 +67,11 @@ type Cost struct {
 	RewindNs        int64
 	DirectSyscallNs int64 // host kinds: a real kernel syscall
 	HeapSize        int   // em-sync: SharedArrayBuffer heap size
+	// RestoreNs replaces InitNs when the process boots as a
+	// copy-on-write clone of a captured post-boot snapshot: fixing up
+	// the restored heap and resuming, instead of re-running interpreter
+	// and stdlib initialization (internal/snapshot).
+	RestoreNs int64
 }
 
 // CostOf returns the calibrated cost model for a runtime kind. The
@@ -78,16 +83,20 @@ func CostOf(k Kind) Cost {
 	case NodeHostKind:
 		return Cost{Mult: 13, Int64Mult: 40, InitNs: 40_000_000, DirectSyscallNs: 2_500}
 	case NodeKind:
-		return Cost{Mult: 13, Int64Mult: 40, InitNs: 42_000_000, SyscallCPUNs: 4_000}
+		return Cost{Mult: 13, Int64Mult: 40, InitNs: 42_000_000, SyscallCPUNs: 4_000,
+			RestoreNs: 1_200_000}
 	case GopherJSKind:
-		return Cost{Mult: 6, Int64Mult: 10, InitNs: 18_000_000, SyscallCPUNs: 5_000}
+		return Cost{Mult: 6, Int64Mult: 10, InitNs: 18_000_000, SyscallCPUNs: 5_000,
+			RestoreNs: 900_000}
 	case EmSyncKind:
-		return Cost{Mult: 8, Int64Mult: 20, InitNs: 6_000_000, SyscallCPUNs: 1_200, HeapSize: 1 << 20}
+		return Cost{Mult: 8, Int64Mult: 20, InitNs: 6_000_000, SyscallCPUNs: 1_200, HeapSize: 1 << 20,
+			RestoreNs: 500_000}
 	case WasmKind:
-		return Cost{Mult: 4, Int64Mult: 4, InitNs: 4_000_000, SyscallCPUNs: 900, HeapSize: 1 << 20}
+		return Cost{Mult: 4, Int64Mult: 4, InitNs: 4_000_000, SyscallCPUNs: 900, HeapSize: 1 << 20,
+			RestoreNs: 400_000}
 	case EmAsyncKind:
 		return Cost{Mult: 40, Int64Mult: 90, InitNs: 9_000_000, SyscallCPUNs: 4_000,
-			UnwindNs: 180_000, RewindNs: 140_000}
+			UnwindNs: 180_000, RewindNs: 140_000, RestoreNs: 800_000}
 	default:
 		panic("rt: unknown runtime kind " + string(k))
 	}
