@@ -95,6 +95,11 @@ type Config struct {
 	// (<= 0 selects DefaultSnapshotSlots). Used only when this Boot is
 	// the one that attaches the registry's store.
 	SnapshotQuota int
+	// DisableDedup turns off the content-addressed page-sharing tier
+	// for this instance (the dedup-off ablation). Dedup changes only
+	// where immutable pages physically live — never their bytes or the
+	// virtual clock — so this exists for differentials and experiments.
+	DisableDedup bool
 }
 
 // DefaultSnapshotSlots is the default image-store quota: room for a few
@@ -135,6 +140,9 @@ func Boot(cfg Config) *Instance {
 			quota = fs.DefaultPoolSlots
 		}
 		fsys.SetPagePool(cfg.PagePool, quota)
+	}
+	if cfg.DisableDedup {
+		fsys.SetDedup(false)
 	}
 	// Age-based background write-back: dirty extents older than the
 	// default age flush on a main-thread virtual timer, so quiet

@@ -109,6 +109,17 @@ type FleetStats struct {
 	// every image page came back to exactly its base pin after the last
 	// job quiesced; otherwise it names the leaking image and page.
 	SnapshotLeak error
+
+	// Content-addressed dedup across the batch: index hits and
+	// dedup-eligible stores summed over every job, the mean resident
+	// page count per job at completion (sampled just before each job's
+	// caches flush), and the derived sharing factor — logical page
+	// fills per physical slot fill, stores/(stores-hits); 1.0 means no
+	// page was ever shared.
+	DedupHits      int64
+	DedupStores    int64
+	PagesPerTenant float64
+	DedupFactor    float64
 }
 
 // Fleet runs batches of independent deterministic Instances across host
@@ -221,6 +232,12 @@ func (fl *Fleet) Run(jobs []Job) ([]JobResult, FleetStats) {
 		SnapshotCaptures: agg.snapCaptures.Load(),
 		CloneBoots:       agg.cloneBoots.Load(),
 	}
+	stats.DedupHits = agg.dedupHits.Load()
+	stats.DedupStores = agg.dedupStores.Load()
+	if len(jobs) > 0 {
+		stats.PagesPerTenant = float64(agg.cachedPages.Load()) / float64(len(jobs))
+	}
+	stats.DedupFactor = dedupFactor(stats.DedupStores, stats.DedupHits)
 	if reg != nil {
 		stats.CowFaults = reg.Stats().CowFaults.Load()
 		stats.SnapshotLeak = reg.VerifyBalanced()
@@ -229,6 +246,16 @@ func (fl *Fleet) Run(jobs []Job) ([]JobResult, FleetStats) {
 		stats.SessionsPerSec = float64(len(jobs)) / s
 	}
 	return results, stats
+}
+
+// dedupFactor derives logical-fills-per-physical-fill from store/hit
+// counters: every store is a logical fill, every non-hit store filled a
+// slot. 1.0 when nothing was ever shared (or nothing stored).
+func dedupFactor(stores, hits int64) float64 {
+	if fills := stores - hits; fills > 0 {
+		return float64(stores) / float64(fills)
+	}
+	return 1
 }
 
 // RunFleet runs jobs with a default Fleet (GOMAXPROCS workers).
@@ -250,6 +277,9 @@ type fleetAgg struct {
 	stagedSlotsLeaked atomic.Int64
 	snapCaptures      atomic.Int64
 	cloneBoots        atomic.Int64
+	cachedPages       atomic.Int64
+	dedupHits         atomic.Int64
+	dedupStores       atomic.Int64
 }
 
 // prewarmSnapshots runs the fleet's snapshot warmup on the calling
@@ -275,6 +305,202 @@ func (fl *Fleet) prewarmSnapshots(pool *fs.PagePool, quota int) *snapshot.Regist
 	return reg
 }
 
+// ---------------------------------------------------------------------------
+// Tenant-scale load harness: N RESIDENT instances on one arena.
+// ---------------------------------------------------------------------------
+
+// TenantLoad describes a tenant-scale run: boot Tenants long-lived
+// Instances against one shared arena (sharded across the fleet's
+// workers), run each tenant's workload, and keep every tenant RESIDENT —
+// unlike Run's jobs, caches are not flushed per job — so the sampled
+// statistics measure what an N-tenant fleet actually holds: aggregate
+// pages per tenant, the dedup factor of the content-addressed tier, and
+// fairness across tenants under arena pressure.
+type TenantLoad struct {
+	// Tenants is the instance count (hundreds to thousands).
+	Tenants int
+	// Config boots each tenant (pool fields overwritten by the fleet).
+	Config Config
+	// Setup stages tenant i (mount the shared tree, install binaries).
+	Setup func(i int, in *Instance)
+	// Workload drives tenant i once; the tenant then idles resident.
+	Workload func(i int, in *Instance)
+	// DisableDedup turns the content-addressed tier off for every
+	// tenant — the before/after ablation of EXPERIMENTS.md.
+	DisableDedup bool
+}
+
+// TenantStats is the resident-fleet report card.
+type TenantStats struct {
+	Tenants    int
+	Workers    int
+	PoolSlots  int
+	QuotaSlots int
+	WallNs     int64
+	VirtualNs  int64 // summed over tenants
+
+	// Sampled while every tenant is resident.
+	LogicalPages  int64 // sum of per-tenant resident cached pages
+	PrivatePages  int64 // resident pages in private slots
+	SharedSlots   int64 // distinct dedup-index slots resident
+	SharedRefs    int64 // outstanding references to those slots
+	DedupHits     int64 // index hits across all tenants
+	ArenaBytes    int64 // physical arena bytes in use (all attachments)
+	PhysicalPages int64 // SharedSlots + PrivatePages
+
+	// PagesPerTenant is PHYSICAL pages divided by tenants — the
+	// headline number: with perfect sharing of one hot tree it
+	// approaches pages(tree)/N. DedupFactor is SharedRefs/SharedSlots
+	// (1 when nothing is shared). Fairness is Jain's index over
+	// per-tenant resident page counts: 1.0 = perfectly even.
+	PagesPerTenant float64
+	DedupFactor    float64
+	Fairness       float64
+	MinTenantPages int64
+	MaxTenantPages int64
+
+	// Teardown checks (after every tenant's caches flush).
+	LeaseGrants  int64
+	LeaseReturns int64
+	PinnedSlots  int   // should be 0: no leaked leases
+	SnapshotLeak error // COW pin ledger when a warmup registry was used
+}
+
+// RunTenants boots load.Tenants resident Instances sharded over the
+// fleet's workers (tenant i runs on worker i%workers; each worker boots
+// and drives its tenants serially, so per-tenant behaviour is
+// deterministic), samples fleet-wide statistics while all tenants are
+// resident, then tears everything down and verifies the lease and pin
+// ledgers. SnapshotWarmup, if set, pre-warms and seals a registry
+// exactly as Run does — snapshot heap pages land in the same
+// content-addressed index as fs pages.
+func (fl *Fleet) RunTenants(load TenantLoad) TenantStats {
+	n := load.Tenants
+	if n <= 0 {
+		n = 1
+	}
+	workers := fl.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	quota := fl.QuotaSlots
+	if quota <= 0 {
+		quota = fs.DefaultPoolSlots
+	}
+	slots := fl.PoolSlots
+	if slots <= 0 {
+		slots = workers * quota
+	}
+	pool := fs.NewPagePool(slots)
+	var reg *snapshot.Registry
+	if fl.SnapshotWarmup != nil {
+		reg = fl.prewarmSnapshots(pool, quota)
+	}
+
+	instances := make([]*Instance, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				cfg := load.Config
+				cfg.PagePool = pool
+				cfg.PagePoolQuota = quota
+				if cfg.Snapshots == nil {
+					cfg.Snapshots = reg
+				}
+				in := Boot(cfg)
+				if load.DisableDedup {
+					in.VFS.SetDedup(false)
+				}
+				if load.Setup != nil {
+					load.Setup(i, in)
+				}
+				if load.Workload != nil {
+					load.Workload(i, in)
+				}
+				instances[i] = in
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Every tenant is resident and quiesced: sample the fleet.
+	st := TenantStats{
+		Tenants:    n,
+		Workers:    workers,
+		PoolSlots:  slots,
+		QuotaSlots: quota,
+		WallNs:     wall.Nanoseconds(),
+	}
+	perTenant := make([]int64, n)
+	for i, in := range instances {
+		cs := in.VFS.CacheStats()
+		perTenant[i] = cs.CachedPages
+		st.LogicalPages += cs.CachedPages
+		st.PrivatePages += cs.CachedPages - cs.DedupPages
+		st.VirtualNs += in.Now()
+		st.LeaseGrants += in.Kernel.LeaseGrants.Load()
+		st.LeaseReturns += in.Kernel.LeaseReturns.Load()
+	}
+	entries, refs, hits := pool.DedupStats()
+	st.SharedSlots, st.SharedRefs, st.DedupHits = entries, refs, hits
+	st.ArenaBytes = int64(pool.Slots()-pool.FreeSlots()) * fs.PageSize
+	st.PhysicalPages = st.SharedSlots + st.PrivatePages
+	st.PagesPerTenant = float64(st.PhysicalPages) / float64(n)
+	if entries > 0 {
+		st.DedupFactor = float64(refs) / float64(entries)
+	} else {
+		st.DedupFactor = 1
+	}
+	st.Fairness, st.MinTenantPages, st.MaxTenantPages = jainIndex(perTenant)
+
+	// Teardown: flush every tenant (the workers are gone; the caller
+	// goroutine is the sole accessor), then audit the ledgers.
+	for _, in := range instances {
+		in.VFS.FlushCaches()
+	}
+	if reg != nil {
+		st.SnapshotLeak = reg.VerifyBalanced()
+	}
+	// With no warmup registry this must be 0 (no leaked leases). A live
+	// registry legitimately holds one base pin per image page — its
+	// balance is what SnapshotLeak audits.
+	st.PinnedSlots = pool.PinnedSlots()
+	return st
+}
+
+// jainIndex computes Jain's fairness index (sum x)^2 / (n * sum x^2)
+// over per-tenant resident page counts, plus the min and max.
+func jainIndex(xs []int64) (float64, int64, int64) {
+	if len(xs) == 0 {
+		return 1, 0, 0
+	}
+	var sum, sumSq float64
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		f := float64(x)
+		sum += f
+		sumSq += f * f
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if sumSq == 0 {
+		return 1, min, max
+	}
+	return sum * sum / (float64(len(xs)) * sumSq), min, max
+}
+
 // runJob boots, stages, and drives one job on the calling worker
 // goroutine. The Instance lives entirely on this goroutine; the shared
 // arena is the only structure it touches concurrently with other shards.
@@ -289,6 +515,12 @@ func (fl *Fleet) runJob(i int, job *Job, pool *fs.PagePool, quota int, reg *snap
 			return
 		}
 		res.VirtualNs = in.Now()
+		// Sample resident-cache stats BEFORE the flush below empties
+		// them: PagesPerTenant measures what the job held at completion.
+		cs := in.VFS.CacheStats()
+		agg.cachedPages.Add(cs.CachedPages)
+		agg.dedupHits.Add(cs.DedupHits)
+		agg.dedupStores.Add(cs.DedupStores)
 		// Drop this shard's cached pages so its arena slots return for
 		// the next tenant. Slots still leased by a live process stay
 		// frozen (bytes intact) until the lease returns — jobs that

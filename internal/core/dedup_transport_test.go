@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fs"
+	"repro/internal/rt"
+)
+
+// Grant-path dedup: two files with identical bytes occupy ONE set of
+// arena slots, and the ring transport serves page grants out of those
+// shared slots to multiple tasks — with lease accounting that still
+// balances exactly at process exit.
+
+func TestDedupSharedSlotsServeGrants(t *testing.T) {
+	w := boot(t)
+	content := zcPattern(9, 256<<10+100)
+	pages := int64((len(content) + fs.PageSize - 1) / fs.PageSize)
+	// rep.bin is four IDENTICAL pages: one slot, granted repeatedly to
+	// the same descriptor — the duplicate-grant lease bookkeeping case.
+	rep := bytes.Repeat(zcPattern(5, fs.PageSize), 4)
+	mountRO(t, w, map[string][]byte{
+		"/one.bin": content,
+		"/two.bin": content,
+		"/rep.bin": rep,
+	})
+	w.install(t, "/usr/bin/t-zcread", "t-zcread", rt.EmSyncKind)
+
+	// The cold fault of the first copy fills the shared tier (read-only
+	// backend); the second copy must then be pure index hits.
+	code, out1, _ := w.run(t, "/usr/bin/t-zcread /ro/one.bin")
+	if code != 0 {
+		t.Fatalf("read one.bin exited %d", code)
+	}
+	cs := w.fs.CacheStats()
+	if cs.DedupStores < pages {
+		t.Fatalf("DedupStores = %d after cold read, want >= %d", cs.DedupStores, pages)
+	}
+	hitsBefore := cs.DedupHits
+
+	code, out2, _ := w.run(t, "/usr/bin/t-zcread /ro/two.bin")
+	if code != 0 {
+		t.Fatalf("read two.bin exited %d", code)
+	}
+	if out1 != out2 {
+		t.Fatalf("identical files hashed differently: %q vs %q", out1, out2)
+	}
+	cs = w.fs.CacheStats()
+	if d := cs.DedupHits - hitsBefore; d != pages {
+		t.Fatalf("second file scored %d dedup hits, want %d (every page shared)", d, pages)
+	}
+	if cs.DedupPages < pages || cs.SharedBytes < int64(len(content)) {
+		t.Fatalf("shared footprint: pages=%d bytes=%d, want >= %d/%d",
+			cs.DedupPages, cs.SharedBytes, pages, len(content))
+	}
+
+	// The repeated-page file collapses to ONE slot with one reference
+	// per page; cold and warm reads must both hold together.
+	if code, _, _ := w.run(t, "/usr/bin/t-zcread /ro/rep.bin"); code != 0 {
+		t.Fatalf("cold read rep.bin exited %d", code)
+	}
+	if g, r := w.k.LeaseGrants.Load(), w.k.LeaseReturns.Load(); g != r {
+		t.Fatalf("repeated-page leases leaked: %d granted, %d returned", g, r)
+	}
+
+	// Warm reads of BOTH names are grant-served from the same slots: no
+	// per-byte copies, and every lease comes back by exit.
+	copied, grants := w.k.ReadCopiedBytes.Load(), w.k.LeaseGrants.Load()
+	for _, path := range []string{"/ro/one.bin", "/ro/two.bin", "/ro/rep.bin"} {
+		code, out, _ := w.run(t, "/usr/bin/t-zcread "+path)
+		if code != 0 {
+			t.Fatalf("warm read %s: code=%d out=%q", path, code, out)
+		}
+		if path != "/ro/rep.bin" && out != out1 {
+			t.Fatalf("warm read %s diverged: %q", path, out)
+		}
+	}
+	if d := w.k.ReadCopiedBytes.Load() - copied; d != 0 {
+		t.Fatalf("warm shared reads copied %d payload bytes, want 0", d)
+	}
+	if w.k.LeaseGrants.Load() == grants {
+		t.Fatal("warm shared reads took no page leases — grant path unused")
+	}
+	if g, r := w.k.LeaseGrants.Load(), w.k.LeaseReturns.Load(); g != r {
+		t.Fatalf("leases leaked on shared slots: %d granted, %d returned", g, r)
+	}
+	if pins := w.fs.CacheStats().PinnedPages; pins != 0 {
+		t.Fatalf("%d pool pages still pinned after exit", pins)
+	}
+}
+
+// TestDedupReleaseOnInvalidate: dropping every cache that references a
+// shared slot while a transport COULD still race a read is covered by
+// the fs stress suite; here we pin the cheap end-to-end variant — a
+// full cache flush between runs returns the arena to empty (no index
+// entry outlives its last referencing cache).
+func TestDedupFlushReturnsSharedSlots(t *testing.T) {
+	w := boot(t)
+	content := zcPattern(4, 64<<10)
+	mountRO(t, w, map[string][]byte{
+		"/a.bin": content,
+		"/b.bin": content,
+	})
+	w.install(t, "/usr/bin/t-zcread", "t-zcread", rt.EmSyncKind)
+	for _, p := range []string{"/ro/a.bin", "/ro/b.bin"} {
+		if code, _, _ := w.run(t, "/usr/bin/t-zcread "+p); code != 0 {
+			t.Fatalf("read %s failed", p)
+		}
+	}
+	if cs := w.fs.CacheStats(); cs.DedupPages == 0 {
+		t.Fatal("no shared pages after identical reads")
+	}
+	w.fs.FlushCaches()
+	cs := w.fs.CacheStats()
+	if cs.CachedPages != 0 || cs.PinnedPages != 0 {
+		t.Fatalf("after flush: cached=%d pinned=%d, want 0/0", cs.CachedPages, cs.PinnedPages)
+	}
+}

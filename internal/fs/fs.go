@@ -140,6 +140,13 @@ func (f *FileSystem) SetCaching(on bool) {
 // readahead; the page cache itself stays on).
 func (f *FileSystem) SetReadahead(pages int) { f.readaheadPages = pages }
 
+// SetDedup enables or disables the content-addressed sharing tier for
+// pages this FileSystem caches (the dedup-off configuration of the
+// differential tests and ablations). Dedup is on by default; it changes
+// where immutable pages physically live, never their bytes or the
+// virtual clock. No flush: already-resident pages keep their class.
+func (f *FileSystem) SetDedup(on bool) { f.pc.dedupOff = !on }
+
 // FlushCaches drops every cached dentry and page (cold-cache runs).
 // Buffered write-back state is flushed to the backends first — dropping
 // it would lose data (flush-on-unmount: Mount routes through here).
@@ -178,6 +185,13 @@ type CacheStats struct {
 	ReturnedPages int64 // leases returned
 	PinnedPages   int   // pool slots currently pinned by leases
 
+	// Content-addressed dedup counters (the cross-tenant sharing tier).
+	CachedPages int64 // resident cached pages (logical, shared + private)
+	DedupPages  int64 // resident pages referencing shared dedup slots
+	SharedBytes int64 // bytes of those shared references
+	DedupHits   int64 // dedup index hits since boot
+	DedupStores int64 // dedup-eligible page stores since boot
+
 	// Batched-lookup counters (dcache batch path).
 	BatchedLookups int64 // lookups resolved through StatBatch batches
 	StatBatches    int64 // multi-element StatBatch calls
@@ -212,6 +226,12 @@ func (f *FileSystem) CacheStats() CacheStats {
 		GrantedPages:  f.pc.grantedPages.Load(),
 		ReturnedPages: f.pc.returnedPages.Load(),
 		PinnedPages:   int(f.pc.pool.pinned.Load()),
+
+		CachedPages: f.pc.cachedPages.Load(),
+		DedupPages:  f.pc.dedupPages.Load(),
+		SharedBytes: f.pc.sharedBytes.Load(),
+		DedupHits:   f.pc.dedupHits.Load(),
+		DedupStores: f.pc.dedupStores.Load(),
 
 		BatchedLookups: f.dc.batchedLookups.Load(),
 		StatBatches:    f.dc.statBatches.Load(),
@@ -603,11 +623,12 @@ func (f *FileSystem) openResolved(e walkEnt, p string, flags int, mode uint32, w
 		if e.st.IsRegular() && !wantsWrite && f.cachesOn && cacheableBackend(e.backend) {
 			b, rel := e.backend, e.rel
 			ph := &pagedHandle{
-				fs:   f,
-				path: e.path,
-				st:   e.st,
-				gen:  f.pc.gen(e.path),
-				open: func(icb func(FileHandle, abi.Errno)) { b.Open(rel, flags, mode, icb) },
+				fs:    f,
+				path:  e.path,
+				st:    e.st,
+				gen:   f.pc.gen(e.path),
+				dedup: dedupableBackend(e.backend),
+				open:  func(icb func(FileHandle, abi.Errno)) { b.Open(rel, flags, mode, icb) },
 			}
 			if b.ReadOnly() {
 				// Nothing can unlink beneath a read-only backend, so

@@ -251,6 +251,23 @@ func (h *httpHandle) Pread(off int64, n int, cb func([]byte, abi.Errno)) {
 	cb(out, abi.OK)
 }
 
+// PreadSlice implements SliceReader: the body is fully resident, so the
+// page cache's fault path reads it through a stable subslice and copies
+// exactly once, into the destination arena slot — no per-read staging
+// buffer. (zipfs handles share this type, so decompressed members get
+// the same path.) Public Pread/Preadv still copy: only the page cache,
+// which copies before the callback returns, gets the aliased view.
+func (h *httpHandle) PreadSlice(off int64, n int) ([]byte, bool) {
+	if off >= int64(len(h.data)) || off < 0 {
+		return nil, true
+	}
+	end := off + int64(n)
+	if end > int64(len(h.data)) {
+		end = int64(len(h.data))
+	}
+	return h.data[off:end:end], true
+}
+
 func (h *httpHandle) Pwrite(int64, []byte, func(int, abi.Errno)) {
 	panic("fs: pwrite on read-only http handle")
 }

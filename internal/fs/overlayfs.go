@@ -51,6 +51,13 @@ func (o *OverlayFS) ReadOnly() bool { return false }
 // VFS invalidation hooks.
 func (o *OverlayFS) PageCacheable() bool { return true }
 
+// PageDedupable opts the overlay into content-addressed page sharing
+// even though it is writable: lower-layer pages are immutable, and every
+// upper-layer mutation (including copy-up) routes through the VFS
+// invalidation hooks, which drop the shared reference before the new
+// bytes become visible.
+func (o *OverlayFS) PageDedupable() bool { return true }
+
 // lock serializes operations: fn runs when the lock is free and must call
 // release exactly once when its (possibly async) work completes.
 func (o *OverlayFS) lock(fn func(release func())) {

@@ -1,6 +1,7 @@
 package fs
 
 import (
+	"crypto/sha256"
 	"strings"
 	"sync/atomic"
 
@@ -42,6 +43,7 @@ type filePages struct {
 	pages   map[int64]poolPage // page index -> pooled content (short page = EOF page)
 	bytes   int64
 	lastUse int64 // pageCache.useClock at the last hit/store (LRU key)
+	priv    int   // resident pages in private (non-deduped) slots
 }
 
 type pageCache struct {
@@ -86,10 +88,21 @@ type pageCache struct {
 	// detached from staging ownership when the guest lease returns.
 	wstaged map[int]bool
 
+	// dedupOff disables the content-addressed sharing tier for pages
+	// this cache stores (ablations and differentials): every page goes
+	// to a private slot, exactly the pre-dedup allocator. Pages already
+	// resident keep their sharing class.
+	dedupOff bool
+
 	// Counters are atomics: the host (a fleet aggregator, a stats
 	// poller) may snapshot them via CacheStats while the Instance runs
 	// on another thread.
 	hits, misses, readaheads atomic.Int64
+	// Dedup observability: resident cached pages (logical), resident
+	// pages referencing shared slots and their bytes, and — since boot —
+	// dedup-eligible stores and index hits among them.
+	cachedPages, dedupPages, sharedBytes atomic.Int64
+	dedupHits, dedupStores               atomic.Int64
 	// Lease counters: pages granted out as leases, leases returned.
 	grantedPages, returnedPages atomic.Int64
 	// Write-back counters: writes absorbed into dirty extents, flush
@@ -128,11 +141,26 @@ func (c *pageCache) file(p string) *filePages {
 	return fp
 }
 
+// releasePage detaches one cached page from this cache: private slots
+// release directly (free, or freeze for leaseholders); shared slots drop
+// this cache's dedup reference, and the index frees the slot exactly
+// once, after the last reference. Maintains the resident counters.
+func (c *pageCache) releasePage(pg poolPage) {
+	c.cachedPages.Add(-1)
+	if pg.shared {
+		c.dedupPages.Add(-1)
+		c.sharedBytes.Add(-int64(pg.len))
+		c.pool.dedupDeref(c.att, pg.slot)
+		return
+	}
+	c.pool.release(pg.slot)
+}
+
 // releaseFilePages detaches every slot a file holds (freeing or
 // freezing each) without touching the files map.
 func (c *pageCache) releaseFilePages(fp *filePages) {
 	for _, pg := range fp.pages {
-		c.pool.release(pg.slot)
+		c.releasePage(pg)
 	}
 }
 
@@ -169,6 +197,34 @@ func (c *pageCache) evictOneLRU() bool {
 	return true
 }
 
+// evictOneLRUPreferPrivate evicts the least-recently-used file holding
+// at least one PRIVATE page, falling back to plain LRU when every
+// resident file is fully shared. Used only under arena exhaustion
+// (allocNoArena): dropping a shared page frees a physical slot only when
+// its last tenant lets go, so private pages go first. Quota-driven
+// eviction stays plain LRU — that keeps a tenant's eviction sequence
+// identical with dedup on and off, which the differential suite pins.
+func (c *pageCache) evictOneLRUPreferPrivate() bool {
+	var victim string
+	var vfp *filePages
+	for p, fp := range c.files {
+		if fp.priv == 0 {
+			continue
+		}
+		if vfp == nil || fp.lastUse < vfp.lastUse ||
+			(fp.lastUse == vfp.lastUse && p < victim) {
+			victim, vfp = p, fp
+		}
+	}
+	if vfp == nil {
+		return c.evictOneLRU()
+	}
+	c.releaseFilePages(vfp)
+	c.bytes.Add(-vfp.bytes)
+	delete(c.files, victim)
+	return true
+}
+
 // evictLRU frees budget for need more bytes by evicting whole files in
 // least-recently-used order — hot leases' neighbours stay resident under
 // arena pressure, unlike the old evict-everything policy.
@@ -180,44 +236,128 @@ func (c *pageCache) evictLRU(need int64) {
 	}
 }
 
-// store caches one page of content for (p, pageIdx), copying data into a
-// pool slot. When the pool (or the byte budget) is exhausted it evicts
-// cold files in LRU order until the page fits; if every slot is pinned
-// the page simply is not cached (reads still work through the backend).
-func (c *pageCache) store(p string, pageIdx int64, data []byte) {
-	if len(data) > PageSize {
+// insertPage records a just-allocated (or just-referenced) page under
+// (p, pageIdx) and maintains the byte and page counters. Fetches the
+// filePages entry fresh: eviction inside store may have dropped p.
+func (c *pageCache) insertPage(p string, pageIdx int64, pg poolPage) {
+	fp := c.file(p)
+	c.touch(fp)
+	fp.pages[pageIdx] = pg
+	fp.bytes += int64(pg.len)
+	c.bytes.Add(int64(pg.len))
+	c.cachedPages.Add(1)
+	if pg.shared {
+		c.dedupPages.Add(1)
+		c.sharedBytes.Add(int64(pg.len))
+	} else {
+		fp.priv++
+	}
+}
+
+// store caches one page of content for (p, pageIdx). Pages from
+// immutable backends (dedup=true) route through the content-addressed
+// index: hash the bytes just read, reference the already-resident slot
+// on a hit, fill-and-publish on a miss — the hash happens AFTER the
+// backend read either way, so a hit and a miss cost identical virtual
+// time and dedup can never perturb a tenant's clock. When the pool (or
+// the byte budget) is exhausted it evicts cold files in LRU order until
+// the page fits; if every slot is pinned the page simply is not cached
+// (reads still work through the backend).
+func (c *pageCache) store(p string, pageIdx int64, data []byte, dedup bool) {
+	if len(data) > PageSize || len(data) == 0 {
 		return // defensive: a page never exceeds the granule
 	}
 	if c.bytes.Load()+int64(len(data)) > maxPageCacheBytes {
 		c.evictLRU(int64(len(data)))
 	}
-	fp := c.file(p)
-	c.touch(fp) // newest file: evicted last under pressure
-	if old, ok := fp.pages[pageIdx]; ok {
-		// Replacing a cached page never rewrites its slot in place: the
-		// old slot may be leased out. Detach it and fill a fresh one.
-		fp.bytes -= int64(old.len)
-		c.bytes.Add(-int64(old.len))
-		c.pool.release(old.slot)
-		delete(fp.pages, pageIdx)
+	c.touch(c.file(p)) // newest file: evicted last under pressure
+	if fp := c.files[p]; fp != nil {
+		if old, ok := fp.pages[pageIdx]; ok {
+			// Replacing a cached page never rewrites its slot in place:
+			// the old slot may be leased out (or shared with other
+			// tenants). Detach it and fill a fresh one.
+			fp.bytes -= int64(old.len)
+			c.bytes.Add(-int64(old.len))
+			if !old.shared {
+				fp.priv--
+			}
+			c.releasePage(old)
+			delete(fp.pages, pageIdx)
+		}
 	}
-	slot, ok := c.pool.alloc(c.att)
-	for !ok {
-		// Quota/arena exhaustion: evict cold files until a slot frees.
-		// Eviction may drop p itself (when it is the only file); re-fetch
-		// the entry after the loop. Frozen slots free no quota, so the
-		// loop ends when the files map empties if every slot is leased.
-		if !c.evictOneLRU() {
+	if dedup && !c.dedupOff {
+		done, private := c.storeDedup(p, pageIdx, data)
+		if done || !private {
+			return
+		}
+		// Shared budget exhausted: fall through to a private slot.
+	}
+	slot, st := c.pool.alloc2(c.att)
+	for st != allocOK {
+		// Exhaustion: evict cold files until a slot frees. Quota pressure
+		// (a per-attachment, deterministic condition) evicts plain LRU;
+		// arena pressure prefers private pages, whose slots actually
+		// free. Eviction may drop p itself (when it is the only file);
+		// insertPage re-fetches the entry. Frozen slots free no quota, so
+		// the loop ends when the files map empties if every slot is
+		// leased.
+		var evicted bool
+		if st == allocNoArena {
+			evicted = c.evictOneLRUPreferPrivate()
+		} else {
+			evicted = c.evictOneLRU()
+		}
+		if !evicted {
 			return // every quota slot leased out: skip caching this page
 		}
-		slot, ok = c.pool.alloc(c.att)
+		slot, st = c.pool.alloc2(c.att)
 	}
-	fp = c.file(p)
-	c.touch(fp)
 	copy(c.pool.arena[slot*PageSize:], data)
-	fp.pages[pageIdx] = poolPage{slot: slot, len: len(data)}
-	fp.bytes += int64(len(data))
-	c.bytes.Add(int64(len(data)))
+	c.insertPage(p, pageIdx, poolPage{slot: slot, len: len(data)})
+}
+
+// storeDedup runs the content-addressed store: lookup, then
+// alloc/fill/publish on a miss. done means the page was handled (cached
+// shared, or skipped because nothing more can be evicted); private means
+// the caller should fall back to a private slot (shared budget
+// exhausted — bytes and clocks identical, only placement differs).
+func (c *pageCache) storeDedup(p string, pageIdx int64, data []byte) (done, private bool) {
+	c.dedupStores.Add(1)
+	h := sha256.Sum256(data)
+	for {
+		slot, st := c.pool.dedupLookup(c.att, h)
+		switch st {
+		case dedupHit:
+			c.dedupHits.Add(1)
+			c.insertPage(p, pageIdx, poolPage{slot: slot, len: len(data), shared: true})
+			return true, false
+		case dedupNoQuota:
+			// The same deterministic condition as a private-alloc quota
+			// miss: plain LRU eviction, identical order dedup on or off.
+			if !c.evictOneLRU() {
+				return true, false
+			}
+			continue
+		}
+		slot, st = c.pool.dedupAlloc(c.att)
+		switch st {
+		case allocOK:
+			copy(c.pool.arena[slot*PageSize:], data)
+			canon := c.pool.dedupPublish(slot, h)
+			c.insertPage(p, pageIdx, poolPage{slot: canon, len: len(data), shared: true})
+			return true, false
+		case allocNoQuota:
+			if !c.evictOneLRU() {
+				return true, false
+			}
+		case allocNoArena:
+			if !c.evictOneLRUPreferPrivate() {
+				return true, false
+			}
+		case allocNoShared:
+			return false, true
+		}
+	}
 }
 
 // dropPages forgets a path's clean pages without bumping its
@@ -284,16 +424,60 @@ func cacheableBackend(b Backend) bool {
 	return b.ReadOnly()
 }
 
+// pageDedupable lets a backend opt in to (or out of) the
+// content-addressed sharing tier. The default is dedup for read-only
+// backends: their pages are immutable, so identical bytes faulted by any
+// tenant are the same page forever. OverlayFS opts in even though it is
+// writable — every mutation routes through the VFS invalidation hooks
+// (copy-up drops the lower page before upper bytes become visible), and
+// the store never rewrites a published slot in place.
+type pageDedupable interface {
+	PageDedupable() bool
+}
+
+func dedupableBackend(b Backend) bool {
+	if pd, ok := b.(pageDedupable); ok {
+		return pd.PageDedupable()
+	}
+	return b.ReadOnly()
+}
+
+// SliceReader is an optional FileHandle fast path for backends whose
+// file bytes are fully resident in host memory (zipfs members, fetched
+// httpfs bodies): PreadSlice returns a stable view of [off, off+n)
+// (clamped to EOF) without staging through a fresh allocation. ok=false
+// means "not resident, use Pread". Callers must copy before the bytes
+// escape — the view aliases the backend's cache.
+type SliceReader interface {
+	PreadSlice(off int64, n int) ([]byte, bool)
+}
+
+// backedRead reads [off, off+n) from a backend handle, preferring the
+// zero-staging SliceReader path so the caller's copy (into an arena slot
+// or a reply buffer) is the ONLY copy of the fault. Both paths are
+// synchronous for resident backends and carry no virtual-time charge, so
+// the fast path never perturbs clocks.
+func backedRead(fh FileHandle, off int64, n int, cb func([]byte, abi.Errno)) {
+	if sr, ok := fh.(SliceReader); ok {
+		if view, ok2 := sr.PreadSlice(off, n); ok2 {
+			cb(view, abi.OK)
+			return
+		}
+	}
+	fh.Pread(off, n, cb)
+}
+
 // pagedHandle is a read-only FileHandle served from the page cache. The
 // backend handle behind it is opened on first miss and memoized; size and
 // stat are snapshots from open time (the handle is read-only, and writers
 // going through the VFS invalidate the pages, not the open snapshot).
 type pagedHandle struct {
-	fs   *FileSystem
-	path string // canonical VFS path (page-cache key)
-	st   abi.Stat
-	gen  uint64                               // page-cache generation at open
-	open func(cb func(FileHandle, abi.Errno)) // lazy backend open
+	fs    *FileSystem
+	path  string // canonical VFS path (page-cache key)
+	st    abi.Stat
+	gen   uint64                               // page-cache generation at open
+	dedup bool                                 // backend is immutable: dedup its pages
+	open  func(cb func(FileHandle, abi.Errno)) // lazy backend open
 
 	inner    FileHandle
 	lastEnd  int64 // end offset of the previous read (sequential detector)
@@ -445,7 +629,7 @@ func (h *pagedHandle) storeRange(start int64, data []byte) {
 		if end > int64(len(data)) {
 			end = int64(len(data))
 		}
-		h.fs.pc.store(h.path, (start+o)/PageSize, data[o:end])
+		h.fs.pc.store(h.path, (start+o)/PageSize, data[o:end], h.dedup)
 	}
 }
 
@@ -504,7 +688,9 @@ func (h *pagedHandle) preadResolved(off int64, n int, cb func([]byte, abi.Errno)
 			cb(nil, err)
 			return
 		}
-		fh.Pread(astart, int(aend-astart), func(data []byte, err abi.Errno) {
+		// backedRead's view is only copied from (into arena slots, into
+		// out) before the callback returns, so the slice never escapes.
+		backedRead(fh, astart, int(aend-astart), func(data []byte, err abi.Errno) {
 			if err != abi.OK {
 				cb(nil, err)
 				return
@@ -562,7 +748,7 @@ func (h *pagedHandle) readahead(end int64) {
 			h.raBusy = false
 			return
 		}
-		fh.Pread(start, int(raEnd-start), func(data []byte, err abi.Errno) {
+		backedRead(fh, start, int(raEnd-start), func(data []byte, err abi.Errno) {
 			h.raBusy = false
 			if err != abi.OK || !h.current() {
 				return

@@ -1,6 +1,7 @@
 package fs
 
 import (
+	"crypto/sha256"
 	"sync"
 	"sync/atomic"
 
@@ -50,6 +51,35 @@ const DefaultPoolSlots = poolSlots
 // preserved, freed on last unpin). The low bits are the pin count.
 const slotFrozen = uint32(1) << 31
 
+// Allocation outcomes. Callers that evict on failure need to know WHY an
+// allocation failed: quota exhaustion is a per-attachment, deterministic
+// condition (evict in plain LRU order — identical with dedup on or off),
+// while arena exhaustion is a cross-tenant pressure condition (prefer
+// evicting private pages: dropping a shared page frees a physical slot
+// only when its last tenant lets go).
+const (
+	allocOK       = iota
+	allocNoQuota  // attachment at its (logical) slot quota
+	allocNoArena  // free stack empty: every slot live or frozen
+	allocNoShared // dedup tier's shared budget exhausted (dedupAlloc only)
+)
+
+// Dedup lookup outcomes.
+const (
+	dedupHit     = iota // content already resident; reference taken
+	dedupMiss           // no entry: caller fills a fresh slot and publishes
+	dedupNoQuota        // entry exists but the attachment is at quota
+)
+
+// dedupEntry is one content-addressed shared page: the index key it is
+// published under and the number of outstanding references (page-cache
+// pages and image-store pages across every attachment). Guarded by the
+// pool mutex.
+type dedupEntry struct {
+	hash [32]byte
+	refs int
+}
+
 // pagePool is the slot allocator over the shared arena.
 type pagePool struct {
 	slots int
@@ -62,26 +92,52 @@ type pagePool struct {
 	// unpin from different shards never take a lock.
 	state []atomic.Uint32
 
-	// mu guards the free stack and the per-attachment accounting. owner
-	// maps an allocated slot to the attachment that drew it; used/quota
-	// are indexed by attachment id. A slot stays charged to its owner
-	// until it physically returns to the free stack (frozen slots keep
-	// their charge), so sum(used) never exceeds the arena and one
-	// shard's quota headroom is always honourable.
-	mu    sync.Mutex
-	free  []int
-	owner []int32
-	used  []int
-	quota []int
+	// mu guards the free stack, the per-attachment accounting, and the
+	// dedup index. owner maps an allocated slot to the attachment that
+	// drew it; used/quota/sharedRefs are indexed by attachment id. A
+	// slot stays charged to its owner until it physically returns to
+	// the free stack (frozen slots keep their charge), so sum(used)
+	// never exceeds the arena and one shard's quota headroom is always
+	// honourable. sharedRefs is the LOGICAL side of dedup accounting:
+	// each content-addressed page an attachment references counts
+	// against that attachment's quota exactly as if it had allocated a
+	// private slot — the property that keeps a tenant's cache behaviour
+	// (and so its virtual clock) independent of who else shares the
+	// bytes — while the physical slot is charged to the dedup tier's
+	// own attachment (the shared budget).
+	mu         sync.Mutex
+	free       []int
+	owner      []int32
+	used       []int
+	quota      []int
+	sharedRefs []int
+
+	// Content-addressed dedup index: hash -> slot for every published
+	// immutable page, with per-slot reference counts. dedupAtt is the
+	// attachment physical shared slots are charged to (-1 until first
+	// use). The release/pin race that makes release() safe elsewhere
+	// holds here too: an entry's refcount reaches zero only when no
+	// attachment still maps the page, so nobody can start a new pin
+	// from a cache reference; outstanding grant leases freeze the slot
+	// as usual.
+	dedupIdx map[[32]byte]int
+	dedupEnt map[int]*dedupEntry
+	dedupAtt int
 
 	pinned atomic.Int64 // slots with pins > 0 (diagnostics)
+
+	// Dedup observability, all atomic so the host can poll while shards
+	// run: resident entries, outstanding references, lookup hits.
+	dedupEntries atomic.Int64
+	dedupRefsN   atomic.Int64
+	dedupHitsN   atomic.Int64
 }
 
 func newPagePool(slots int) *pagePool {
 	if slots <= 0 {
 		slots = poolSlots
 	}
-	return &pagePool{slots: slots}
+	return &pagePool{slots: slots, dedupAtt: -1}
 }
 
 // ensure allocates the arena on first use. The backing array is never
@@ -105,36 +161,63 @@ func (pp *pagePool) ensure() {
 // attach registers one cache as a pool client with a slot quota and
 // returns its attachment id. quota <= 0 means the whole arena.
 func (pp *pagePool) attach(quota int) int {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	return pp.attachLocked(quota)
+}
+
+func (pp *pagePool) attachLocked(quota int) int {
 	if quota <= 0 || quota > pp.slots {
 		quota = pp.slots
 	}
-	pp.mu.Lock()
-	defer pp.mu.Unlock()
 	pp.used = append(pp.used, 0)
 	pp.quota = append(pp.quota, quota)
+	pp.sharedRefs = append(pp.sharedRefs, 0)
 	return len(pp.used) - 1
+}
+
+// quotaFreeLocked reports whether att has headroom for one more page.
+// Quota is LOGICAL: private slots the attachment owns plus shared pages
+// it references, so an attachment's exhaustion point is identical
+// whether dedup shares its bytes or not.
+func (pp *pagePool) quotaFreeLocked(att int) bool {
+	return pp.used[att]+pp.sharedRefs[att] < pp.quota[att]
 }
 
 // alloc takes a free slot for attachment att; ok is false when att is at
 // its quota or every slot is live or frozen (the caller evicts, or skips
-// caching). Quota exhaustion depends only on att's own slots, so a
+// caching). Quota exhaustion depends only on att's own pages, so a
 // shard's cache behaviour is independent of its neighbours.
 func (pp *pagePool) alloc(att int) (int, bool) {
+	slot, st := pp.alloc2(att)
+	return slot, st == allocOK
+}
+
+// alloc2 is alloc with the failure reason: allocNoQuota is deterministic
+// per-attachment pressure, allocNoArena is cross-tenant physical
+// pressure (the caller may prefer evicting private pages for the
+// latter).
+func (pp *pagePool) alloc2(att int) (int, int) {
 	pp.ensure()
 	pp.mu.Lock()
 	defer pp.mu.Unlock()
-	if pp.used[att] >= pp.quota[att] {
-		return 0, false
+	if !pp.quotaFreeLocked(att) {
+		return 0, allocNoQuota
 	}
 	n := len(pp.free)
 	if n == 0 {
-		return 0, false
+		return 0, allocNoArena
 	}
+	return pp.takeFreeLocked(att), allocOK
+}
+
+func (pp *pagePool) takeFreeLocked(att int) int {
+	n := len(pp.free)
 	slot := pp.free[n-1]
 	pp.free = pp.free[:n-1]
 	pp.owner[slot] = int32(att)
 	pp.used[att]++
-	return slot, true
+	return slot
 }
 
 // freeSlot returns a slot to the free stack and uncharges its owner.
@@ -143,12 +226,16 @@ func (pp *pagePool) alloc(att int) (int, bool) {
 // owner's rewrite.
 func (pp *pagePool) freeSlot(slot int) {
 	pp.mu.Lock()
+	pp.freeSlotLocked(slot)
+	pp.mu.Unlock()
+}
+
+func (pp *pagePool) freeSlotLocked(slot int) {
 	if att := pp.owner[slot]; att >= 0 {
 		pp.used[att]--
 		pp.owner[slot] = -1
 	}
 	pp.free = append(pp.free, slot)
-	pp.mu.Unlock()
 }
 
 // release detaches a slot from its cache: free immediately when no
@@ -248,6 +335,149 @@ func (pp *pagePool) usedBy(att int) int {
 	return pp.used[att]
 }
 
+// sharedBy returns the shared-page references charged to an attachment
+// (tests/diagnostics).
+func (pp *pagePool) sharedBy(att int) int {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	return pp.sharedRefs[att]
+}
+
+// ---------------------------------------------------------------------------
+// Content-addressed dedup tier.
+// ---------------------------------------------------------------------------
+//
+// The flow a caller drives (pageCache.storeDedup, ImageStore.Put):
+//
+//	dedupLookup(att, hash)  -> hit: reference taken, done.
+//	dedupAlloc(att)         -> fresh unpublished slot charged to the
+//	                           shared budget; fill it OUTSIDE the mutex
+//	                           (nobody else can see it yet), then
+//	dedupPublish(slot,hash) -> the canonical slot for that content; if a
+//	                           concurrent filler won the race the fresh
+//	                           slot frees and the canonical gains a ref.
+//	dedupDeref(att, slot)   -> drop one reference; the last one unpins
+//	                           the entry from the index and releases the
+//	                           slot (free, or frozen for grant leases).
+//
+// Determinism: dedup happens AFTER the backend read (the caller hashes
+// the bytes it just fetched), so a hit and a miss cost the same virtual
+// time, and quota is charged logically per reference, so a tenant's
+// eviction sequence is identical with dedup on, off, or racing other
+// tenants. The win is memory, never the clock.
+
+func (pp *pagePool) ensureDedupLocked() {
+	if pp.dedupAtt < 0 {
+		pp.dedupAtt = pp.attachLocked(0)
+		pp.dedupIdx = make(map[[32]byte]int)
+		pp.dedupEnt = make(map[int]*dedupEntry)
+	}
+}
+
+// dedupLookup takes a reference on the published page for hash h, if
+// any. dedupHit: slot valid, reference charged to att. dedupNoQuota: the
+// content is resident but att is at quota (evict and retry, or skip).
+// dedupMiss: not resident — alloc/fill/publish.
+func (pp *pagePool) dedupLookup(att int, h [32]byte) (int, int) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if pp.dedupIdx == nil {
+		return 0, dedupMiss
+	}
+	slot, ok := pp.dedupIdx[h]
+	if !ok {
+		return 0, dedupMiss
+	}
+	if !pp.quotaFreeLocked(att) {
+		return 0, dedupNoQuota
+	}
+	pp.dedupEnt[slot].refs++
+	pp.sharedRefs[att]++
+	pp.dedupRefsN.Add(1)
+	pp.dedupHitsN.Add(1)
+	return slot, dedupHit
+}
+
+// dedupAlloc draws a fresh slot for a page about to be published:
+// physically charged to the shared budget, logically charged to att.
+// allocNoShared means the shared budget is exhausted — the caller falls
+// back to a private slot (bytes and clocks identical, only placement
+// differs).
+func (pp *pagePool) dedupAlloc(att int) (int, int) {
+	pp.ensure()
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if !pp.quotaFreeLocked(att) {
+		return 0, allocNoQuota
+	}
+	pp.ensureDedupLocked()
+	if pp.used[pp.dedupAtt] >= pp.quota[pp.dedupAtt] {
+		return 0, allocNoShared
+	}
+	if len(pp.free) == 0 {
+		return 0, allocNoArena
+	}
+	slot := pp.takeFreeLocked(pp.dedupAtt)
+	pp.sharedRefs[att]++
+	return slot, allocOK
+}
+
+// dedupPublish indexes a freshly filled slot under its content hash and
+// returns the canonical slot for that content. If a concurrent filler
+// published the same hash first, the loser's slot frees (unpinned,
+// unpublished, invisible to everyone) and its already-charged reference
+// moves to the winner.
+func (pp *pagePool) dedupPublish(slot int, h [32]byte) int {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if canon, ok := pp.dedupIdx[h]; ok {
+		pp.dedupEnt[canon].refs++
+		pp.dedupRefsN.Add(1)
+		pp.freeSlotLocked(slot)
+		return canon
+	}
+	pp.dedupIdx[h] = slot
+	pp.dedupEnt[slot] = &dedupEntry{hash: h, refs: 1}
+	pp.dedupRefsN.Add(1)
+	pp.dedupEntries.Add(1)
+	return slot
+}
+
+// dedupDeref drops att's reference on a shared slot. The last reference
+// unpublishes the entry — no attachment maps the page any more, so no
+// new pin can start — and releases the slot: straight to the free stack,
+// or frozen while grant leases are still out.
+func (pp *pagePool) dedupDeref(att, slot int) {
+	pp.mu.Lock()
+	e := pp.dedupEnt[slot]
+	if e == nil {
+		pp.mu.Unlock()
+		pp.release(slot)
+		return
+	}
+	e.refs--
+	pp.sharedRefs[att]--
+	pp.dedupRefsN.Add(-1)
+	last := e.refs == 0
+	if last {
+		delete(pp.dedupIdx, e.hash)
+		delete(pp.dedupEnt, slot)
+		pp.dedupEntries.Add(-1)
+	}
+	pp.mu.Unlock()
+	if last {
+		pp.release(slot)
+	}
+}
+
+// isDedup reports whether a slot is published in the dedup index
+// (tests).
+func (pp *pagePool) isDedup(slot int) bool {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	return pp.dedupEnt[slot] != nil
+}
+
 // data returns the live bytes of a slot's page.
 func (pp *pagePool) data(pg poolPage) []byte {
 	base := pg.slot * PageSize
@@ -255,10 +485,13 @@ func (pp *pagePool) data(pg poolPage) []byte {
 }
 
 // poolPage is one cached page: a pool slot holding len content bytes
-// (a short page — len < PageSize — marks EOF, as before).
+// (a short page — len < PageSize — marks EOF, as before). shared marks a
+// content-addressed slot referenced through the dedup index: dropping it
+// derefs the index entry instead of releasing the slot directly.
 type poolPage struct {
-	slot int
-	len  int
+	slot   int
+	len    int
+	shared bool
 }
 
 // ---------------------------------------------------------------------------
@@ -294,6 +527,29 @@ func (p *PagePool) FreeSlots() int {
 		return 0
 	}
 	return p.pp.freeCount()
+}
+
+// DedupStats reports the content-addressed sharing tier: distinct shared
+// slots resident, outstanding references to them, and index hits since
+// boot. All atomic — readable from the host while shards run. The dedup
+// factor of a resident fleet is refs/entries.
+func (p *PagePool) DedupStats() (entries, refs, hits int64) {
+	return p.pp.dedupEntries.Load(), p.pp.dedupRefsN.Load(), p.pp.dedupHitsN.Load()
+}
+
+// SetSharedBudget bounds the physical slots the dedup tier may hold
+// (slots <= 0: the whole arena, the default). Past the budget, new
+// immutable pages are cached privately by the faulting tenant instead —
+// bytes and clocks are unaffected, only physical placement.
+func (p *PagePool) SetSharedBudget(slots int) {
+	pp := p.pp
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	pp.ensureDedupLocked()
+	if slots <= 0 || slots > pp.slots {
+		slots = pp.slots
+	}
+	pp.quota[pp.dedupAtt] = slots
 }
 
 // SetPagePool attaches this FileSystem's page cache to a shared arena
@@ -346,8 +602,17 @@ func (f *FileSystem) UnleasePage(slot int) bool {
 // image takes one additional pin per still-shared page (the COW
 // refcount) and returns it on first write (the page materializes
 // privately in the clone's heap) or at exit. Quota accounting works like
-// any other attachment: image pages are charged to the store, and the
-// clones sharing them are charged nothing — the whole point.
+// any other attachment: image pages are charged (logically) to the
+// store, and the clones sharing them are charged nothing — the whole
+// point.
+//
+// Image pages go through the content-addressed dedup tier: identical
+// pages within an image (a zeroed heap is mostly one page), across
+// images, and even between images and the page cache (a sealed image's
+// page matching a full page of some immutable file) collapse to one
+// arena slot. A deduped slot then carries one base pin PER image page
+// referencing it, so pin-ledger audits must count expected occurrences
+// per slot, not assume one.
 type ImageStore struct {
 	pp  *pagePool
 	att int
@@ -366,24 +631,36 @@ func (f *FileSystem) ImageStore(quotaSlots int) *ImageStore {
 	return &ImageStore{pp: f.pc.pool, att: f.pc.pool.attach(quotaSlots)}
 }
 
-// Put copies one page of image data (len(data) <= PageSize) into a fresh
-// slot, zero-padding the tail, and pins it once (the store's base pin).
-// ok is false at quota or arena exhaustion.
+// Put stores one page of image data (len(data) <= PageSize), zero-padded
+// to a full page, and pins the resulting slot once (the store's base
+// pin). Pages route through the dedup index keyed by the padded page's
+// hash — identical content resolves to the already-resident slot, which
+// simply gains a reference and another base pin. ok is false at quota or
+// arena exhaustion (the caller falls back to private host copies).
 func (s *ImageStore) Put(data []byte) (int, bool) {
 	if len(data) > PageSize {
 		panic("fs: ImageStore.Put: page overflow")
 	}
-	slot, ok := s.pp.alloc(s.att)
-	if !ok {
+	var page [PageSize]byte
+	copy(page[:], data)
+	h := sha256.Sum256(page[:])
+	if slot, st := s.pp.dedupLookup(s.att, h); st == dedupHit {
+		s.pp.pin(slot)
+		return slot, true
+	} else if st == dedupNoQuota {
+		return 0, false
+	}
+	slot, st := s.pp.dedupAlloc(s.att)
+	if st != allocOK {
+		// Shared budget, attachment quota, or arena exhausted: capture
+		// falls back exactly where the pre-dedup allocator failed.
 		return 0, false
 	}
 	base := slot * PageSize
-	n := copy(s.pp.arena[base:base+PageSize], data)
-	for i := base + n; i < base+PageSize; i++ {
-		s.pp.arena[i] = 0
-	}
-	s.pp.pin(slot)
-	return slot, true
+	copy(s.pp.arena[base:base+PageSize], page[:])
+	canon := s.pp.dedupPublish(slot, h)
+	s.pp.pin(canon)
+	return canon, true
 }
 
 // Data returns a stored page's arena bytes (full page; the image tracks
@@ -403,11 +680,13 @@ func (s *ImageStore) Unpin(slot int) bool { return s.pp.unpin(slot) }
 // pin — the balance check: a quiesced registry shows exactly 1 per page.
 func (s *ImageStore) PinCount(slot int) int { return s.pp.pinCount(slot) }
 
-// Free releases a stored page: the store's base pin returns and the slot
-// detaches, freezing until any remaining clone references come back.
+// Free releases a stored page: the store's base pin returns and the
+// image's dedup reference drops. The last reference unpublishes the
+// entry and the slot detaches, freezing until any remaining clone
+// references (or grant leases) come back.
 func (s *ImageStore) Free(slot int) {
-	s.pp.release(slot)
 	s.pp.unpin(slot)
+	s.pp.dedupDeref(s.att, slot)
 }
 
 // PageRef references pinned bytes in the page pool: the fs-level

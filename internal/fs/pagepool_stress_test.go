@@ -1,6 +1,7 @@
 package fs
 
 import (
+	"crypto/sha256"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -196,5 +197,171 @@ func TestPagePoolQuotaIndependence(t *testing.T) {
 	pp.unpin(bSlots[0])
 	if _, ok := pp.alloc(b); !ok {
 		t.Fatal("b alloc failed after the frozen slot was returned")
+	}
+}
+
+// TestPagePoolDedupStress storms the content-addressed tier: K shards
+// share a small set of content patterns, so lookups constantly hit
+// entries other shards published, publishes race on the same hash, and
+// derefs interleave with outstanding grant leases. In-line invariants:
+//
+//   - a lookup hit or publish always lands on a slot carrying exactly
+//     the pattern's bytes (the index never aliases two contents);
+//   - a shard's reference (or any lease it still holds after deref)
+//     keeps the bytes stable — a shared slot is freed exactly once,
+//     only after the LAST reference and the LAST lease are gone;
+//   - at quiesce the index is empty, every shared charge is returned,
+//     and the arena is fully free.
+//
+// The race detector referees: publish/lookup hand slots between shards
+// under the pool mutex, so a filler's stores must happen-before every
+// reader's loads.
+func TestPagePoolDedupStress(t *testing.T) {
+	const (
+		slots    = 96
+		K        = 8
+		iters    = 3000
+		patterns = 24
+	)
+	pp := newPagePool(slots)
+	pp.ensure()
+
+	// Hash per pattern; pattern content = stressStamp bytes of its tag.
+	var hashes [patterns][32]byte
+	for p := 0; p < patterns; p++ {
+		body := make([]byte, stressStamp)
+		for i := range body {
+			body[i] = byte(p + 1)
+		}
+		hashes[p] = sha256.Sum256(body)
+	}
+
+	// Uneven quotas; shared references charge quota logically, so small
+	// shards exercise dedupNoQuota while big ones keep entries alive.
+	atts := make([]int, K)
+	for g := range atts {
+		atts[g] = pp.attach(slots/K + 2*g)
+	}
+
+	type dedupHeld struct {
+		slot, pat, pins int
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < K; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)*104729 + 3))
+			att := atts[g]
+			var held []dedupHeld
+
+			verify := func(slot, pat int, what string) {
+				base := slot * PageSize
+				for i := 0; i < stressStamp; i++ {
+					if pp.arena[base+i] != byte(pat+1) {
+						t.Errorf("shard %d: slot %d byte %d = %d, want pattern %d (%s)",
+							g, slot, i, pp.arena[base+i], pat+1, what)
+						return
+					}
+				}
+			}
+			dropAt := func(i int) {
+				h := held[i]
+				verify(h.slot, h.pat, "held at deref")
+				pp.dedupDeref(att, h.slot)
+				// Outstanding leases outlive our reference: whether the
+				// slot stayed published (other shards) or froze (we were
+				// last), its bytes survive until the final unpin.
+				for ; h.pins > 0; h.pins-- {
+					verify(h.slot, h.pat, "leased past deref")
+					pp.unpin(h.slot)
+				}
+				held[i] = held[len(held)-1]
+				held = held[:len(held)-1]
+			}
+
+			for iter := 0; iter < iters; iter++ {
+				switch op := rng.Intn(100); {
+				case op < 45: // fault a pattern: lookup, else fill+publish
+					pat := rng.Intn(patterns)
+					if slot, st := pp.dedupLookup(att, hashes[pat]); st == dedupHit {
+						verify(slot, pat, "lookup hit")
+						held = append(held, dedupHeld{slot: slot, pat: pat})
+						continue
+					} else if st == dedupNoQuota {
+						if len(held) > 0 {
+							dropAt(rng.Intn(len(held)))
+						}
+						continue
+					}
+					slot, st := pp.dedupAlloc(att)
+					if st != allocOK {
+						if len(held) > 0 {
+							dropAt(rng.Intn(len(held)))
+						}
+						continue
+					}
+					base := slot * PageSize
+					for i := 0; i < stressStamp; i++ {
+						pp.arena[base+i] = byte(pat + 1)
+					}
+					canon := pp.dedupPublish(slot, hashes[pat])
+					verify(canon, pat, "after publish") // loser adopts the winner's copy
+					held = append(held, dedupHeld{slot: canon, pat: pat})
+				case op < 65 && len(held) > 0: // grant a lease on a shared slot
+					h := &held[rng.Intn(len(held))]
+					pp.pin(h.slot)
+					h.pins++
+					verify(h.slot, h.pat, "just pinned")
+				case op < 80 && len(held) > 0: // return a lease
+					h := &held[rng.Intn(len(held))]
+					if h.pins > 0 {
+						verify(h.slot, h.pat, "before unpin")
+						pp.unpin(h.slot)
+						h.pins--
+					}
+				default: // drop our reference
+					if len(held) > 0 {
+						dropAt(rng.Intn(len(held)))
+					}
+				}
+				if iter%256 == 0 {
+					runtime.Gosched()
+				}
+			}
+			for len(held) > 0 {
+				dropAt(len(held) - 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Quiesce: the index is empty, every charge returned, arena free.
+	if e, r, _ := pp.dedupStats(); e != 0 || r != 0 {
+		t.Errorf("dedup index at quiesce: entries=%d refs=%d, want 0/0", e, r)
+	}
+	if n := pp.pinned.Load(); n != 0 {
+		t.Errorf("pinned slots at quiesce: %d, want 0", n)
+	}
+	if n := pp.freeCount(); n != slots {
+		t.Errorf("free stack holds %d slots at quiesce, want %d", n, slots)
+	}
+	for g, att := range atts {
+		if n := pp.usedBy(att); n != 0 {
+			t.Errorf("shard %d still charged %d private slots at quiesce", g, n)
+		}
+		if n := pp.sharedBy(att); n != 0 {
+			t.Errorf("shard %d still charged %d shared refs at quiesce", g, n)
+		}
+	}
+	if pp.dedupAtt >= 0 {
+		if n := pp.usedBy(pp.dedupAtt); n != 0 {
+			t.Errorf("dedup attachment still holds %d slots at quiesce", n)
+		}
+	}
+	for s := 0; s < slots; s++ {
+		if pp.pinCount(s) != 0 || pp.isFrozen(s) {
+			t.Errorf("slot %d at quiesce: pins=%d frozen=%v", s, pp.pinCount(s), pp.isFrozen(s))
+		}
 	}
 }

@@ -184,8 +184,8 @@ func TestAllocWriteSlotsEvictsLRUFirst(t *testing.T) {
 	// A tiny shared-pool quota so pressure is reachable: 4 slots.
 	f.SetPagePool(NewPagePool(poolSlots), 4)
 
-	f.pc.store("/cold", 0, bytes.Repeat([]byte{1}, PageSize))
-	f.pc.store("/hot", 0, bytes.Repeat([]byte{2}, PageSize))
+	f.pc.store("/cold", 0, bytes.Repeat([]byte{1}, PageSize), false)
+	f.pc.store("/hot", 0, bytes.Repeat([]byte{2}, PageSize), false)
 	f.pc.touch(f.pc.files["/hot"]) // /hot is the most recently used
 
 	// Both files cached (2 slots); asking for 3 staging slots forces one

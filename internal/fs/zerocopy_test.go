@@ -156,7 +156,7 @@ func TestLeaseFreezesDroppedPages(t *testing.T) {
 	}
 	// Churn the cache: stores must fill other slots, never this one.
 	for i := 0; i < 32; i++ {
-		f.pc.store(fmt.Sprintf("/churn%d", i), 0, bytes.Repeat([]byte{byte(i)}, PageSize))
+		f.pc.store(fmt.Sprintf("/churn%d", i), 0, bytes.Repeat([]byte{byte(i)}, PageSize), false)
 	}
 	if !bytes.Equal(f.pc.pool.arena[r.Off:r.Off+int64(r.Len)], snapshot) {
 		t.Fatalf("frozen slot bytes changed under an outstanding lease")
@@ -187,7 +187,7 @@ func TestStoreNeverRewritesLeasedSlot(t *testing.T) {
 		t.Fatalf("PreadRef: ok=%v", ok)
 	}
 	old := refs[0]
-	f.pc.store("/mnt/a/b/file.txt", 0, bytes.Repeat([]byte{0xEE}, PageSize))
+	f.pc.store("/mnt/a/b/file.txt", 0, bytes.Repeat([]byte{0xEE}, PageSize), false)
 	pg := f.pc.files["/mnt/a/b/file.txt"].pages[0]
 	if pg.slot == old.Slot {
 		t.Fatalf("store reused leased slot %d in place", old.Slot)

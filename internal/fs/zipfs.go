@@ -91,8 +91,19 @@ func (z *ZipFS) contents(p string) ([]byte, abi.Errno) {
 		return nil, abi.EIO
 	}
 	defer rc.Close()
-	b, err := io.ReadAll(rc)
-	if err != nil {
+	// Decompress straight into an exact-size buffer (the member's
+	// declared uncompressed size) instead of io.ReadAll's grow-and-copy
+	// staging: one allocation, zero intermediate copies. The resident
+	// buffer then serves page faults by stable subslices (PreadSlice),
+	// so a cold fault's only copy is into its destination arena slot.
+	b := make([]byte, f.UncompressedSize64)
+	if _, err := io.ReadFull(rc, b); err != nil {
+		return nil, abi.EIO // truncated or corrupt member
+	}
+	// A well-formed member ends exactly at its declared size. Reading
+	// one byte past it both rejects oversized members and drives the
+	// reader to EOF, where archive/zip verifies the CRC.
+	if n, err := rc.Read(make([]byte, 1)); n != 0 || (err != nil && err != io.EOF) {
 		return nil, abi.EIO
 	}
 	z.cache[p] = b

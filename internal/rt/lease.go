@@ -46,19 +46,16 @@ func (r *workerRT) negotiatePagePool() {
 	r.wgOK = true
 }
 
-// holdLease retains one granted lease for fd, deduplicating by slot (a
-// re-granted slot means the same frozen-while-pinned bytes, so the
-// duplicate pin is returned immediately) and evicting the oldest grant
-// beyond the per-fd budget.
+// holdLease retains one granted lease for fd, evicting the oldest
+// grant beyond the per-fd budget. The same slot may appear in two held
+// entries: under content dedup, two pages with identical bytes share
+// one arena slot, and each grant carries its own kernel pin. Holding
+// (and later returning) every grant individually keeps the lease
+// ledger balanced and — because the unlease traffic then matches a
+// dedup-off run frame for frame — keeps the virtual clock bit-equal
+// with the sharing tier on or off.
 func (r *workerRT) holdLease(fd int, g abi.PageGrant) {
-	held := r.heldLeases[fd]
-	for _, old := range held {
-		if old.Slot == g.Slot {
-			r.pendingUnlease = append(r.pendingUnlease, g.Slot)
-			return
-		}
-	}
-	held = append(held, g)
+	held := append(r.heldLeases[fd], g)
 	if len(held) > maxHeldLeases {
 		r.pendingUnlease = append(r.pendingUnlease, held[0].Slot)
 		held = held[1:]

@@ -288,16 +288,39 @@ func (r *Registry) Paths() []string {
 func (r *Registry) Stats() *Stats { return &r.stats }
 
 // VerifyBalanced checks that every image page is back to exactly its
-// base pin — no clone leaked a COW reference. Call after all processes
+// base pins — no clone leaked a COW reference. Call after all processes
 // spawned from the registry have exited.
+//
+// Image pages are content-addressed, so one arena slot may back many
+// image pages (a zeroed heap is mostly one slot; identical pages across
+// images collapse too) and each occurrence holds one base pin. The
+// ledger therefore counts expected occurrences PER SLOT across every
+// pooled image and compares against the slot's live pin count, instead
+// of assuming each page owns its slot with exactly one pin.
 func (r *Registry) VerifyBalanced() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	type slotKey struct {
+		store *fs.ImageStore
+		slot  int
+	}
+	expected := map[slotKey]int{}
+	where := map[slotKey]string{} // first occurrence, for the error message
 	for path, img := range r.images {
-		for p := 0; p < img.NumPages(); p++ {
-			if n := img.PinCount(p); n != 1 {
-				return fmt.Errorf("snapshot: image %s page %d holds %d pins (want 1 base pin)", path, p, n)
+		if img.store == nil {
+			continue // private host copies hold no pins
+		}
+		for p, s := range img.slots {
+			k := slotKey{img.store, s}
+			expected[k]++
+			if _, ok := where[k]; !ok {
+				where[k] = fmt.Sprintf("%s page %d", path, p)
 			}
+		}
+	}
+	for k, want := range expected {
+		if got := k.store.PinCount(k.slot); got != want {
+			return fmt.Errorf("snapshot: arena slot %d (%s) holds %d pins (want %d base pins)", k.slot, where[k], got, want)
 		}
 	}
 	return nil
