@@ -379,3 +379,22 @@ func BenchmarkMemeCompose(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMemeServerLoad measures the event-loop server's sustained
+// throughput under the 1000-client open-loop keep-alive swarm, reporting
+// virtual requests/sec alongside the wall cost of simulating the run.
+func BenchmarkMemeServerLoad(b *testing.B) {
+	var rps int64
+	for i := 0; i < b.N; i++ {
+		in := bootMemeLoad(b, true, false)
+		in.StartMemeServerArgs()
+		s := healthSwarm(1000, 3, true)
+		s.OpenLoop = true
+		rep := browsix.RunSwarm(in, s, meme.Port)
+		if rep.Requests != 3000 || rep.Errors != 0 {
+			b.Fatalf("swarm dropped requests: %+v", rep)
+		}
+		rps = rep.RPSx1000
+	}
+	b.ReportMetric(float64(rps)/1000, "virtual-req/s")
+}

@@ -117,18 +117,7 @@ func InstallMeme(in *Instance, rttNs int64) {
 
 // StartMemeServer launches the in-Browsix server and waits (via the
 // socket-notification API) until it is listening, returning its pid.
-func (in *Instance) StartMemeServer() int {
-	listening := false
-	in.OnListen(meme.Port, func(int) { listening = true })
-	p, err := in.Start(Spec{Argv: []string{"/usr/bin/meme-server"}})
-	if err != nil {
-		panic("browsix: meme server: " + err.Error())
-	}
-	if !in.Sim.RunUntil(func() bool { return listening }) {
-		panic("browsix: meme server never listened")
-	}
-	return p.Pid
-}
+func (in *Instance) StartMemeServer() int { return in.StartMemeServerArgs() }
 
 // MemeRoute decides where a generation request goes: the paper's policy
 // routes to the in-Browsix server when the network is inaccessible or the

@@ -29,7 +29,13 @@ func (in *Instance) Fetch(method string, port int, path string, body []byte, cb 
 				cb(HTTPResponse{Status: 0})
 				return
 			}
-			raw := httpx.WriteRequest(&httpx.Request{Method: method, Path: path, Body: body})
+			// One-shot client: request an explicit close so the read loop
+			// below (which accumulates until EOF) terminates under the
+			// keep-alive server.
+			raw := httpx.WriteRequest(&httpx.Request{
+				Method: method, Path: path, Body: body,
+				Header: map[string]string{"Connection": "close"},
+			})
 			conn.Write(raw, func(_ int, werr Errno) {
 				if werr != abi.OK {
 					conn.Close()

@@ -338,6 +338,14 @@ const (
 	// list of WriteRef records naming bytes the caller already staged in
 	// its leased pool slots, so no payload crosses the heap boundary.
 	SYS_writeg
+	// SYS_poll is readiness multiplexing over an array of Pollfd records
+	// staged in the caller's heap (poll.go): the kernel fills revents and
+	// returns the ready count, parking the caller until something is
+	// ready when the timeout allows.
+	SYS_poll
+	// SYS_setfl updates a descriptor's status flags (fcntl F_SETFL
+	// subset; only O_NONBLOCK is honored).
+	SYS_setfl
 	SYS_max // sentinel
 )
 
@@ -361,6 +369,7 @@ func SyscallName(n int) string {
 		SYS_readv: "readv", SYS_writev: "writev", SYS_fsync: "fsync",
 		SYS_readg: "readg", SYS_unlease: "unlease",
 		SYS_wgalloc: "wgalloc", SYS_writeg: "writeg",
+		SYS_poll: "poll", SYS_setfl: "setfl",
 	}
 	if n > 0 && n < len(names) && names[n] != "" {
 		return names[n]

@@ -99,6 +99,13 @@ type Kernel struct {
 	portWatchers  map[int][]func(int)
 	nextEphemeral int
 
+	// Parked SYS_poll waiters (poll.go). pollKicking/pollAgain guard
+	// re-entrant kicks: a completion may move pipe state inline, which
+	// kicks again; the inner request coalesces into one more pass.
+	pollParked  []*pollWaiter
+	pollKicking bool
+	pollAgain   bool
+
 	// Statistics for the evaluation harness. The scalar counters are
 	// atomics: a fleet aggregator (or a live stats poller) may read them
 	// from the host while the Instance runs on another thread, and a
@@ -473,6 +480,7 @@ func (k *Kernel) finishTask(t *Task, status int) {
 	t.status = status
 	k.releaseTaskLeases(t)
 	k.releaseTaskSnapshot(t)
+	k.dropPollWaiters(t)
 	for fd := range t.files {
 		t.closeFd(fd, func(abi.Errno) {})
 	}

@@ -36,6 +36,20 @@ type Pipe struct {
 
 	// onReadable lets the kernel observe backpressure in tests.
 	onReadable func()
+
+	// onState, when set (kernel-owned pipes: socket halves, pipe2
+	// pairs), fires after any readiness transition — data buffered,
+	// space freed, either side closed — so parked SYS_poll waiters
+	// re-evaluate level-triggered readiness (poll.go).
+	onState func()
+}
+
+// stateChanged fires the poll hook; safe to call redundantly (the
+// kernel's kick is level-triggered and O(1) when nothing is parked).
+func (p *Pipe) stateChanged() {
+	if p.onState != nil {
+		p.onState()
+	}
 }
 
 // pipeSeg is one buffered segment. Plain segments (slot < 0) own their
@@ -294,7 +308,11 @@ func (p *Pipe) enqueueSegs(segs []pipeSeg, owned bool, cb func(int, abi.Errno)) 
 // reference; scalar writes copy once here.
 func (p *Pipe) pumpWriter() {
 	if len(p.writeWaiters) == 0 {
-		return // nothing queued; don't re-enter pumpReaders
+		// Nothing queued; don't re-enter pumpReaders. The caller may
+		// still have drained bytes (read paths land here), so announce
+		// the possible space-freed transition to parked pollers.
+		p.stateChanged()
+		return
 	}
 	for len(p.writeWaiters) > 0 {
 		w := p.writeWaiters[0]
@@ -348,6 +366,7 @@ func (p *Pipe) pumpWriter() {
 		w.cb(w.done, abi.OK)
 	}
 	p.pumpReaders()
+	p.stateChanged()
 }
 
 // pumpReaders satisfies queued readers (scalar and splice alike, in FIFO
@@ -394,6 +413,7 @@ func (p *Pipe) pumpReaders() {
 func (p *Pipe) closeWrite() {
 	p.writeClosed = true
 	p.pumpReaders()
+	p.stateChanged()
 }
 
 // closeRead marks the reader side closed: pending and future writes fail
@@ -413,6 +433,33 @@ func (p *Pipe) closeRead() {
 		}
 		w.cb(w.done, abi.EPIPE)
 	}
+	p.stateChanged()
+}
+
+// writeNB is the non-blocking write: buffer what fits right now and
+// report it, or EAGAIN when the pipe is full (or earlier blocking
+// writers are still queued — jumping them would reorder the stream).
+// O_NONBLOCK socket writes land here; the bounded buffer is what gives
+// each connection backpressure under load.
+func (p *Pipe) writeNB(data []byte) (int, abi.Errno) {
+	if p.readClosed || p.writeClosed {
+		return 0, abi.EPIPE
+	}
+	space := PipeCap - p.size
+	if space <= 0 || len(p.writeWaiters) > 0 {
+		return 0, abi.EAGAIN
+	}
+	take := len(data)
+	if take > space {
+		take = space
+	}
+	cp := make([]byte, take)
+	copy(cp, data[:take])
+	p.segs = append(p.segs, pipeSeg{data: cp, slot: -1})
+	p.size += take
+	p.pumpReaders()
+	p.stateChanged()
+	return take, abi.OK
 }
 
 // Buffered returns the bytes currently queued (diagnostics).

@@ -43,10 +43,17 @@ type Socket struct {
 
 func (s *Socket) String() string { return fmt.Sprintf("socket:[port=%d state=%d]", s.port, s.state) }
 
-// Read/Write on a connected socket are pipe operations.
+// Read/Write on a connected socket are pipe operations. A descriptor
+// opened (or fcntl'd) with O_NONBLOCK never parks: an empty receive
+// buffer reads EAGAIN, a full send buffer writes what fits or EAGAIN —
+// the readiness edge SYS_poll reports.
 func (s *Socket) Read(d *Desc, n int, cb func([]byte, abi.Errno)) {
 	if s.state != sockConnected {
 		cb(nil, abi.ENOTCONN)
+		return
+	}
+	if d != nil && d.flags&abi.O_NONBLOCK != 0 && s.in.size == 0 && !s.in.writeClosed {
+		cb(nil, abi.EAGAIN)
 		return
 	}
 	s.in.read(n, cb)
@@ -55,6 +62,11 @@ func (s *Socket) Read(d *Desc, n int, cb func([]byte, abi.Errno)) {
 func (s *Socket) Write(d *Desc, data []byte, cb func(int, abi.Errno)) {
 	if s.state != sockConnected {
 		cb(0, abi.ENOTCONN)
+		return
+	}
+	if d != nil && d.flags&abi.O_NONBLOCK != 0 {
+		n, err := s.out.writeNB(data)
+		cb(n, err)
 		return
 	}
 	s.out.write(data, cb)
@@ -98,6 +110,7 @@ func (s *Socket) Close(cb func(abi.Errno)) {
 		}
 	}
 	s.state = sockClosed
+	s.k.pollKick()
 	cb(abi.OK)
 }
 
@@ -152,8 +165,12 @@ func (k *Kernel) ListenSocket(s *Socket, backlog int) abi.Errno {
 }
 
 // AcceptSocket dequeues an established connection, or parks the
-// continuation until one arrives.
-func (k *Kernel) AcceptSocket(s *Socket, cb func(*Socket, abi.Errno)) {
+// continuation until one arrives. With nonblock set (the listener
+// descriptor carries O_NONBLOCK, or the accept itself asked for it) an
+// empty backlog answers EAGAIN instead of parking — the event-loop
+// server drains the backlog to EAGAIN after poll reports the listener
+// readable.
+func (k *Kernel) AcceptSocket(s *Socket, nonblock bool, cb func(*Socket, abi.Errno)) {
 	if s.state != sockListening {
 		cb(nil, abi.EINVAL)
 		return
@@ -162,6 +179,10 @@ func (k *Kernel) AcceptSocket(s *Socket, cb func(*Socket, abi.Errno)) {
 		c := s.backlog[0]
 		s.backlog = s.backlog[1:]
 		cb(c, abi.OK)
+		return
+	}
+	if nonblock {
+		cb(nil, abi.EAGAIN)
 		return
 	}
 	s.acceptWaiters = append(s.acceptWaiters, cb)
@@ -189,6 +210,7 @@ func (k *Kernel) ConnectSocket(s *Socket, port int, cb func(abi.Errno)) {
 		return
 	}
 	a, b := NewPipe(), NewPipe()
+	a.onState, b.onState = k.pollKick, k.pollKick
 	s.in, s.out = a, b
 	s.state = sockConnected
 	peer := &Socket{k: k, state: sockConnected, port: port, in: b, out: a}
@@ -200,6 +222,7 @@ func (k *Kernel) ConnectSocket(s *Socket, port int, cb func(abi.Errno)) {
 		return
 	}
 	l.backlog = append(l.backlog, peer)
+	k.pollKick()
 	cb(abi.OK)
 }
 

@@ -528,17 +528,28 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 		}
 		done(0, k.ListenSocket(s, int(arg(1))))
 	case abi.SYS_accept:
-		s, err := t.sockFd(int(arg(0)))
+		// accept4-shaped: arg(1) carries flags. O_NONBLOCK there (or on
+		// the listener descriptor) makes the accept non-blocking, and the
+		// flag is inherited by the new connection's descriptor — so an
+		// event loop drains a whole backlog without a blocking edge.
+		d, err := t.lookFd(int(arg(0)))
 		if err != abi.OK {
 			done(-1, err)
 			return
 		}
-		k.AcceptSocket(s, func(conn *Socket, err abi.Errno) {
+		s, ok := d.file.(*Socket)
+		if !ok {
+			done(-1, abi.ENOTSOCK)
+			return
+		}
+		connFlags := abi.O_RDWR | int(arg(1))&abi.O_NONBLOCK
+		nonblock := d.flags&abi.O_NONBLOCK != 0 || int(arg(1))&abi.O_NONBLOCK != 0
+		k.AcceptSocket(s, nonblock, func(conn *Socket, err abi.Errno) {
 			if err != abi.OK {
 				done(-1, err)
 				return
 			}
-			done(int64(t.installFd(NewDesc(conn, abi.O_RDWR, "socket:conn"))), abi.OK)
+			done(int64(t.installFd(NewDesc(conn, connFlags, "socket:conn"))), abi.OK)
 		})
 	case abi.SYS_connect:
 		s, err := t.sockFd(int(arg(0)))
@@ -554,6 +565,34 @@ func (k *Kernel) dispatchCall(t *Task, trap int, a []int64, done func(int64, abi
 			return
 		}
 		done(int64(s.port), abi.OK)
+	case abi.SYS_poll:
+		// Args: pollfd array ptr, nfds, timeout ns (-1 block, 0 probe).
+		// The kernel rewrites the staged array's revents in place and
+		// returns the ready count.
+		ptr, nfds, timeout := arg(0), arg(1), arg(2)
+		if nfds < 0 || nfds > 4096 ||
+			ptr < 0 || ptr > int64(t.heap.Len())-nfds*abi.PollfdSize {
+			done(-1, abi.EINVAL)
+			return
+		}
+		fds := abi.UnpackPollfds(t.heapBytes(ptr, nfds*abi.PollfdSize), int(nfds))
+		k.doPoll(t, fds, timeout, func(n int, err abi.Errno) {
+			if err == abi.OK {
+				buf := make([]byte, len(fds)*abi.PollfdSize)
+				abi.PackPollfds(buf, fds)
+				t.heapWrite(ptr, buf)
+			}
+			done(int64(n), err)
+		})
+	case abi.SYS_setfl:
+		// fcntl F_SETFL subset: only O_NONBLOCK is honored.
+		d, err := t.lookFd(int(arg(0)))
+		if err != abi.OK {
+			done(-1, err)
+			return
+		}
+		d.flags = d.flags&^abi.O_NONBLOCK | int(arg(1))&abi.O_NONBLOCK
+		done(0, abi.OK)
 	default:
 		done(-1, abi.ENOSYS)
 	}

@@ -106,6 +106,7 @@ func (k *Kernel) doPipe2(t *Task) (int, int) {
 	r, w := NewPipePair()
 	// SIGPIPE goes to the writing process, as on Unix.
 	w.(*pipeEnd).sigPipe = func() { k.signalTask(t, abi.SIGPIPE) }
+	r.(*pipeEnd).p.onState = k.pollKick
 	rfd := t.installFd(NewDesc(r, abi.O_RDONLY, r.(*pipeEnd).String()))
 	wfd := t.installFd(NewDesc(w, abi.O_WRONLY, w.(*pipeEnd).String()))
 	return rfd, wfd
@@ -506,17 +507,26 @@ func (k *Kernel) dispatchAsync(t *Task, name string, a []browser.Value, reply fu
 		}
 		reply(int64(0), errv(k.ListenSocket(s, int(argInt(1)))))
 	case "accept":
-		s, err := t.sockFd(int(argInt(0)))
+		// Optional second arg carries accept4-style flags: O_NONBLOCK
+		// makes this accept non-blocking and marks the new connection.
+		d, err := t.lookFd(int(argInt(0)))
 		if err != abi.OK {
 			reply(int64(-1), errv(err))
 			return
 		}
-		k.AcceptSocket(s, func(conn *Socket, err abi.Errno) {
+		s, ok := d.file.(*Socket)
+		if !ok {
+			reply(int64(-1), errv(abi.ENOTSOCK))
+			return
+		}
+		connFlags := abi.O_RDWR | int(argInt(1))&abi.O_NONBLOCK
+		nonblock := d.flags&abi.O_NONBLOCK != 0 || int(argInt(1))&abi.O_NONBLOCK != 0
+		k.AcceptSocket(s, nonblock, func(conn *Socket, err abi.Errno) {
 			if err != abi.OK {
 				reply(int64(-1), errv(err))
 				return
 			}
-			fd := t.installFd(NewDesc(conn, abi.O_RDWR, "socket:conn"))
+			fd := t.installFd(NewDesc(conn, connFlags, "socket:conn"))
 			reply(int64(fd), errv(abi.OK))
 		})
 	case "connect":
@@ -535,6 +545,33 @@ func (k *Kernel) dispatchAsync(t *Task, name string, a []browser.Value, reply fu
 			return
 		}
 		reply(int64(s.port), errv(abi.OK))
+	case "poll":
+		// Args: flat [fd0, events0, fd1, events1, ...] array + timeout
+		// ns. Reply extra: flat [revents0, revents1, ...] array.
+		raw := argInts(0)
+		if len(raw)%2 != 0 || len(raw)/2 > 4096 {
+			reply(int64(-1), errv(abi.EINVAL))
+			return
+		}
+		fds := make([]abi.Pollfd, len(raw)/2)
+		for i := range fds {
+			fds[i] = abi.Pollfd{Fd: int32(raw[2*i]), Events: uint32(raw[2*i+1])}
+		}
+		k.doPoll(t, fds, argInt(1), func(n int, err abi.Errno) {
+			rev := make([]browser.Value, len(fds))
+			for i := range fds {
+				rev[i] = int64(fds[i].Revents)
+			}
+			reply(int64(n), errv(err), rev)
+		})
+	case "setfl":
+		d, err := t.lookFd(int(argInt(0)))
+		if err != abi.OK {
+			reply(int64(-1), errv(err))
+			return
+		}
+		d.flags = d.flags&^abi.O_NONBLOCK | int(argInt(1))&abi.O_NONBLOCK
+		reply(int64(0), errv(abi.OK))
 
 	default:
 		reply(int64(-1), errv(abi.ENOSYS))
@@ -548,7 +585,7 @@ func SyscallTable() map[string][]string {
 	return map[string][]string{
 		"Process Management": {"fork", "spawn", "exec", "pipe2", "wait4", "exit", "kill", "signal"},
 		"Process Metadata":   {"chdir", "getcwd", "getpid", "getppid"},
-		"Sockets":            {"socket", "bind", "getsockname", "listen", "accept", "connect"},
+		"Sockets":            {"socket", "bind", "getsockname", "listen", "accept", "connect", "poll", "setfl"},
 		"Directory IO":       {"readdir", "getdents", "rmdir", "mkdir"},
 		"File IO":            {"open", "close", "read", "write", "readv", "writev", "unlink", "llseek", "pread", "pwrite", "dup2", "ftruncate", "fsync", "rename", "symlink"},
 		"File Metadata":      {"access", "fstat", "lstat", "stat", "readlink", "utimes"},

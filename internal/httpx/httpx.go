@@ -8,6 +8,7 @@
 package httpx
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strconv"
@@ -66,7 +67,11 @@ func sortedKeys(m map[string]string) []string {
 	return out
 }
 
-// WriteRequest serializes a request with a Content-Length body.
+// WriteRequest serializes a request with a Content-Length body. No
+// Connection header is emitted unless the caller sets one — HTTP/1.1
+// connections default to keep-alive, which the event-loop server and
+// the load-generator swarm depend on; one-shot clients (Instance.Fetch)
+// set Connection: close explicitly.
 func WriteRequest(r *Request) []byte {
 	var sb strings.Builder
 	path := r.Path
@@ -74,7 +79,7 @@ func WriteRequest(r *Request) []byte {
 		path = "/"
 	}
 	fmt.Fprintf(&sb, "%s %s HTTP/1.1\r\n", r.Method, path)
-	hdr := map[string]string{"Host": "localhost", "Connection": "close"}
+	hdr := map[string]string{"Host": "localhost"}
 	for k, v := range r.Header {
 		hdr[k] = v
 	}
@@ -92,7 +97,10 @@ func WriteRequest(r *Request) []byte {
 // WriteResponse serializes a response. If resp.Header sets
 // Transfer-Encoding: chunked the body is chunk-encoded (the paper notes
 // the XHR layer handles "potentially chunked" responses); otherwise a
-// Content-Length header is emitted.
+// Content-Length header is emitted, so every response is self-framing
+// and keep-alive connections never need close-delimited bodies. As with
+// WriteRequest, no Connection header is forced: callers that close set
+// it themselves.
 func WriteResponse(r *Response) []byte {
 	var sb strings.Builder
 	text := r.StatusText
@@ -100,7 +108,7 @@ func WriteResponse(r *Response) []byte {
 		text = statusText(r.Status)
 	}
 	fmt.Fprintf(&sb, "HTTP/1.1 %d %s\r\n", r.Status, text)
-	hdr := map[string]string{"Connection": "close"}
+	hdr := map[string]string{}
 	for k, v := range r.Header {
 		hdr[k] = v
 	}
@@ -133,10 +141,15 @@ func WriteResponse(r *Response) []byte {
 // ReadFunc supplies stream bytes: it returns up to n bytes, empty at EOF.
 type ReadFunc func(n int) ([]byte, abi.Errno)
 
-// reader buffers a ReadFunc for incremental parsing.
+// reader buffers a ReadFunc for incremental parsing. A nil read with
+// eof set parses from a fixed buffer (the ParseBuffered* entry points).
 type reader struct {
 	read ReadFunc
 	buf  []byte
+	// scan marks how far buf has already been searched for '\n': bytes
+	// before it can never contain one. Without it, a header arriving in
+	// single-byte fills re-scans the whole buffer per fill — O(n²).
+	scan int
 	eof  bool
 }
 
@@ -156,14 +169,22 @@ func (rd *reader) fill() abi.Errno {
 	return abi.OK
 }
 
-// line reads through the next CRLF (or LF).
+// line reads through the next CRLF (or LF) without re-scanning already
+// searched bytes or converting the buffer to a string per attempt.
 func (rd *reader) line() (string, abi.Errno) {
 	for {
-		if i := strings.IndexByte(string(rd.buf), '\n'); i >= 0 {
-			line := strings.TrimRight(string(rd.buf[:i]), "\r")
+		if i := bytes.IndexByte(rd.buf[rd.scan:], '\n'); i >= 0 {
+			i += rd.scan
+			end := i
+			for end > 0 && rd.buf[end-1] == '\r' {
+				end--
+			}
+			line := string(rd.buf[:end])
 			rd.buf = rd.buf[i+1:]
+			rd.scan = 0
 			return line, abi.OK
 		}
+		rd.scan = len(rd.buf)
 		if rd.eof {
 			return "", abi.EIO
 		}
@@ -185,6 +206,7 @@ func (rd *reader) take(n int) ([]byte, abi.Errno) {
 	}
 	out := rd.buf[:n]
 	rd.buf = rd.buf[n:]
+	rd.scan = 0
 	return out, abi.OK
 }
 
@@ -197,6 +219,7 @@ func (rd *reader) rest() ([]byte, abi.Errno) {
 	}
 	out := rd.buf
 	rd.buf = nil
+	rd.scan = 0
 	return out, abi.OK
 }
 
@@ -269,9 +292,8 @@ func (rd *reader) readBody(hdr map[string]string, isResponse bool) ([]byte, abi.
 	return nil, abi.OK
 }
 
-// ReadRequest parses one request from a stream.
-func ReadRequest(read ReadFunc) (*Request, abi.Errno) {
-	rd := &reader{read: read}
+// readRequestHead parses the request line and headers.
+func (rd *reader) readRequestHead() (*Request, abi.Errno) {
 	line, err := rd.line()
 	if err != abi.OK {
 		return nil, err
@@ -284,16 +306,11 @@ func ReadRequest(read ReadFunc) (*Request, abi.Errno) {
 	if err != abi.OK {
 		return nil, err
 	}
-	body, err := rd.readBody(hdr, false)
-	if err != abi.OK {
-		return nil, err
-	}
-	return &Request{Method: parts[0], Path: parts[1], Proto: parts[2], Header: hdr, Body: body}, abi.OK
+	return &Request{Method: parts[0], Path: parts[1], Proto: parts[2], Header: hdr}, abi.OK
 }
 
-// ReadResponse parses one response from a stream.
-func ReadResponse(read ReadFunc) (*Response, abi.Errno) {
-	rd := &reader{read: read}
+// readResponseHead parses the status line and headers.
+func (rd *reader) readResponseHead() (*Response, abi.Errno) {
 	line, err := rd.line()
 	if err != abi.OK {
 		return nil, err
@@ -314,21 +331,321 @@ func ReadResponse(read ReadFunc) (*Response, abi.Errno) {
 	if err != abi.OK {
 		return nil, err
 	}
-	body, err := rd.readBody(hdr, true)
+	return &Response{Status: status, StatusText: text, Header: hdr}, abi.OK
+}
+
+// ReadRequest parses one request from a stream.
+func ReadRequest(read ReadFunc) (*Request, abi.Errno) {
+	rd := &reader{read: read}
+	req, err := rd.readRequestHead()
 	if err != abi.OK {
 		return nil, err
 	}
-	return &Response{Status: status, StatusText: text, Header: hdr, Body: body}, abi.OK
+	body, err := rd.readBody(req.Header, false)
+	if err != abi.OK {
+		return nil, err
+	}
+	req.Body = body
+	return req, abi.OK
+}
+
+// ReadResponse parses one response from a stream.
+func ReadResponse(read ReadFunc) (*Response, abi.Errno) {
+	rd := &reader{read: read}
+	resp, err := rd.readResponseHead()
+	if err != abi.OK {
+		return nil, err
+	}
+	body, err := rd.readBody(resp.Header, true)
+	if err != abi.OK {
+		return nil, err
+	}
+	resp.Body = body
+	return resp, abi.OK
+}
+
+// ---------------------------------------------------------------------------
+// Buffered incremental parsing: the event-loop server and the load-swarm
+// clients accumulate non-blocking reads into a per-connection buffer and
+// repeatedly offer it here. EAGAIN means "incomplete — keep the buffer
+// and read more"; EINVAL means the peer is unsalvageably malformed. The
+// reader's internal data-exhausted signal (EIO) maps to EAGAIN because a
+// fixed buffer running dry is exactly "not enough bytes yet".
+// ---------------------------------------------------------------------------
+
+// ParseBufferedRequest parses one complete request from buf. On success
+// it returns the request and the unconsumed remainder (the start of the
+// next pipelined request). On EAGAIN the buffer held only a partial
+// message; offer a longer one next time.
+func ParseBufferedRequest(buf []byte) (*Request, []byte, abi.Errno) {
+	rd := &reader{buf: buf, eof: true}
+	req, err := rd.readRequestHead()
+	if err == abi.OK {
+		req.Body, err = rd.readBody(req.Header, false)
+	}
+	switch err {
+	case abi.OK:
+		return req, rd.buf, abi.OK
+	case abi.EIO:
+		return nil, buf, abi.EAGAIN
+	default:
+		return nil, buf, err
+	}
+}
+
+// ParseBufferedResponse parses one complete response from buf. eof says
+// whether the connection has delivered EOF — required to finish a
+// close-delimited body (no Content-Length, not chunked), which is only
+// complete when no more bytes can arrive.
+func ParseBufferedResponse(buf []byte, eof bool) (*Response, []byte, abi.Errno) {
+	rd := &reader{buf: buf, eof: true}
+	resp, err := rd.readResponseHead()
+	if err == abi.OK {
+		_, hasCL := resp.Header["Content-Length"]
+		chunked := strings.EqualFold(resp.Header["Transfer-Encoding"], "chunked")
+		if !hasCL && !chunked && !eof {
+			return nil, buf, abi.EAGAIN
+		}
+		resp.Body, err = rd.readBody(resp.Header, true)
+	}
+	switch err {
+	case abi.OK:
+		return resp, rd.buf, abi.OK
+	case abi.EIO:
+		return nil, buf, abi.EAGAIN
+	default:
+		return nil, buf, err
+	}
 }
 
 // Handler services one request.
 type Handler func(req *Request) *Response
 
-// Serve runs an HTTP/1.1 server on a Browsix process: bind, listen,
-// accept, one request per connection (Connection: close). It returns only
-// on listen failure; the process typically runs until killed, exactly like
-// the meme server.
+const (
+	acceptChunk  = 64        // listener drain granularity (one ring doorbell)
+	readChunk    = 16 * 1024 // per-read request-bytes granularity
+	serveBacklog = 128
+)
+
+// srvConn is one connection's event-loop state: unparsed request bytes
+// accumulated from non-blocking reads, unflushed response bytes awaiting
+// socket space, and the teardown flags.
+type srvConn struct {
+	fd      int
+	in      []byte
+	out     []byte
+	closing bool // close once out drains (Connection: close / parse error)
+	eof     bool // peer half-closed its write side; drain then close
+}
+
+// Serve runs the event-driven HTTP/1.1 server: ONE process multiplexes
+// every connection over SYS_poll. The listener is non-blocking and
+// drained in accept batches (one ring doorbell per batch); connections
+// are non-blocking, keep-alive by default, and parse pipelined requests
+// incrementally from a per-connection buffer. Responses queue in an
+// output buffer flushed as far as the socket accepts — when the peer
+// stops reading, the connection parks on POLLOUT and the server stops
+// reading new requests from it (backpressure) without stalling anyone
+// else. Service order is deterministic: the poll set is listener-first
+// then ascending connection fd, every pass.
+//
+// Serve returns when the listener descriptor dies (POLLNVAL — e.g. a
+// signal handler closed it) or on setup failure.
 func Serve(p posix.Proc, port int, handler Handler) abi.Errno {
+	lfd, err := p.Socket()
+	if err != abi.OK {
+		return err
+	}
+	if err := p.Bind(lfd, port); err != abi.OK {
+		return err
+	}
+	if err := p.Listen(lfd, serveBacklog); err != abi.OK {
+		return err
+	}
+	if err := p.Setfl(lfd, abi.O_NONBLOCK); err != abi.OK {
+		return err
+	}
+	conns := map[int]*srvConn{}
+	var fds []abi.Pollfd
+	var order []int
+	drop := func(c *srvConn) {
+		p.Close(c.fd)
+		delete(conns, c.fd)
+	}
+	for {
+		fds = fds[:0]
+		order = order[:0]
+		for fd := range conns {
+			order = append(order, fd)
+		}
+		sort.Ints(order)
+		fds = append(fds, abi.Pollfd{Fd: int32(lfd), Events: abi.POLLIN})
+		for _, fd := range order {
+			ev := uint32(abi.POLLIN)
+			if len(conns[fd].out) > 0 {
+				// Backpressure: a queued response means we wait for
+				// writability and read no further requests.
+				ev = abi.POLLOUT
+			}
+			fds = append(fds, abi.Pollfd{Fd: int32(fd), Events: ev})
+		}
+		if _, err := p.Poll(fds, -1); err != abi.OK {
+			return err
+		}
+		if fds[0].Revents&abi.POLLNVAL != 0 {
+			return abi.OK
+		}
+		if fds[0].Revents&abi.POLLIN != 0 {
+			for {
+				batch, aerr := p.AcceptBatch(lfd, acceptChunk)
+				for _, cfd := range batch {
+					conns[cfd] = &srvConn{fd: cfd}
+				}
+				if aerr != abi.OK || len(batch) < acceptChunk {
+					break
+				}
+			}
+		}
+		for i, fd := range order {
+			c := conns[fd]
+			re := fds[i+1].Revents
+			if re == 0 {
+				continue
+			}
+			if re&abi.POLLNVAL != 0 {
+				delete(conns, fd)
+				continue
+			}
+			if len(c.out) > 0 {
+				if re&(abi.POLLOUT|abi.POLLERR|abi.POLLHUP) == 0 {
+					continue
+				}
+				if !srvFlush(p, c) {
+					drop(c)
+					continue
+				}
+				if len(c.out) == 0 && (c.closing || c.eof) {
+					drop(c)
+				}
+				continue
+			}
+			if re&abi.POLLERR != 0 && re&abi.POLLIN == 0 {
+				drop(c)
+				continue
+			}
+			if re&(abi.POLLIN|abi.POLLHUP) != 0 {
+				if !srvRead(p, c, handler) || !srvFlush(p, c) {
+					drop(c)
+					continue
+				}
+				if len(c.out) == 0 && (c.closing || c.eof) {
+					drop(c)
+				}
+			}
+		}
+	}
+}
+
+// srvRead drains the connection's readable bytes and services every
+// complete pipelined request already buffered, queueing responses in
+// submission order. Returns false when the connection is dead.
+func srvRead(p posix.Proc, c *srvConn, handler Handler) bool {
+	for !c.eof {
+		b, err := p.Read(c.fd, readChunk)
+		if err == abi.EAGAIN {
+			break
+		}
+		if err != abi.OK {
+			return false
+		}
+		if len(b) == 0 {
+			c.eof = true
+			break
+		}
+		c.in = append(c.in, b...)
+		if len(b) < readChunk {
+			// A short read drained the socket: stop without paying an
+			// EAGAIN-confirming syscall. Poll is level-triggered, so any
+			// race-arrived bytes re-report POLLIN on the next pass.
+			break
+		}
+	}
+	for len(c.in) > 0 && !c.closing {
+		req, rest, perr := ParseBufferedRequest(c.in)
+		if perr == abi.EAGAIN {
+			break
+		}
+		if perr != abi.OK {
+			c.out = append(c.out, WriteResponse(&Response{
+				Status: 400,
+				Header: map[string]string{"Connection": "close"},
+			})...)
+			c.closing = true
+			c.in = nil
+			return true
+		}
+		// Compact in place: rest is a suffix of c.in's backing array, so
+		// this is a forward memmove, and the buffer never creeps.
+		n := copy(c.in, rest)
+		c.in = c.in[:n]
+		resp := handler(req)
+		if resp == nil {
+			resp = &Response{Status: 500}
+		}
+		if wantsClose(req) {
+			if resp.Header == nil {
+				resp.Header = map[string]string{}
+			}
+			resp.Header["Connection"] = "close"
+			c.closing = true
+		}
+		c.out = append(c.out, WriteResponse(resp)...)
+	}
+	if c.eof {
+		// Half-close: nothing further can complete a partial request.
+		c.in = nil
+	}
+	return true
+}
+
+// srvFlush writes queued response bytes as far as the socket accepts;
+// leftover bytes park the connection on POLLOUT. Returns false when the
+// connection is dead.
+func srvFlush(p posix.Proc, c *srvConn) bool {
+	for len(c.out) > 0 {
+		n, err := p.Write(c.fd, c.out)
+		if n > 0 {
+			rem := copy(c.out, c.out[n:])
+			c.out = c.out[:rem]
+		}
+		if err == abi.EAGAIN {
+			return true
+		}
+		if err != abi.OK {
+			return false
+		}
+		if n <= 0 {
+			return true
+		}
+	}
+	return true
+}
+
+// wantsClose reports whether the request asks to end the connection
+// after its response (explicit close, or HTTP/1.0 without keep-alive).
+func wantsClose(req *Request) bool {
+	conn := strings.ToLower(req.Header["Connection"])
+	if req.Proto == "HTTP/1.0" {
+		return conn != "keep-alive"
+	}
+	return conn == "close"
+}
+
+// ServeSerial is the pre-event-loop server kept as the ablation
+// baseline: blocking accept, one request per connection, Connection:
+// close. The load experiments in EXPERIMENTS.md measure Serve against
+// this.
+func ServeSerial(p posix.Proc, port int, handler Handler) abi.Errno {
 	fd, err := p.Socket()
 	if err != abi.OK {
 		return err
@@ -348,7 +665,7 @@ func Serve(p posix.Proc, port int, handler Handler) abi.Errno {
 	}
 }
 
-// serveConn handles a single connection.
+// serveConn handles a single serial connection.
 func serveConn(p posix.Proc, conn int, handler Handler) {
 	req, err := ReadRequest(func(n int) ([]byte, abi.Errno) { return p.Read(conn, n) })
 	if err != abi.OK {
@@ -359,6 +676,10 @@ func serveConn(p posix.Proc, conn int, handler Handler) {
 	if resp == nil {
 		resp = &Response{Status: 500}
 	}
+	if resp.Header == nil {
+		resp.Header = map[string]string{}
+	}
+	resp.Header["Connection"] = "close"
 	posix.WriteAll(p, conn, WriteResponse(resp))
 	p.Close(conn)
 }

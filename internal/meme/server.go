@@ -59,7 +59,15 @@ func serverMain(p posix.Proc) int {
 		assets.Templates[strings.TrimSuffix(name, ".ppm")] = img
 	}
 	posix.Fprintf(p, abi.Stderr, "meme-server: listening on :%d with %d templates\n", Port, len(assets.Templates))
-	err := httpx.Serve(p, Port, func(req *httpx.Request) *httpx.Response {
+	// "-serial" selects the pre-event-loop one-request-per-connection
+	// server — the ablation baseline the load experiments compare against.
+	serve := httpx.Serve
+	for _, a := range p.Args() {
+		if a == "-serial" {
+			serve = httpx.ServeSerial
+		}
+	}
+	err := serve(p, Port, func(req *httpx.Request) *httpx.Response {
 		return assets.Handle(req.Method, req.Path, req.Body, cpuVia(p))
 	})
 	if err != abi.OK {

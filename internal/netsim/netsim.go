@@ -10,6 +10,7 @@ package netsim
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/sched"
@@ -165,21 +166,33 @@ func (f *FSFetcher) FetchRange(p string, off, n int64, cb func([]byte, int)) {
 	})
 }
 
-// parseByteRange decodes "bytes=lo-hi" against a body size, returning
-// the clamped inclusive range.
+// parseByteRange decodes "bytes=lo-hi" (or the open-ended "bytes=lo-")
+// against a body size, returning the clamped inclusive range. Both
+// bounds must be clean decimal integers — Sscanf-style prefix matching
+// would accept trailing garbage like "bytes=5-2x".
 func parseByteRange(s string, size int64) (lo, hi int64, ok bool) {
 	if !strings.HasPrefix(s, "bytes=") || size == 0 {
 		return 0, 0, false
 	}
-	var l, h int64
-	if _, err := fmt.Sscanf(s[len("bytes="):], "%d-%d", &l, &h); err != nil {
+	spec := s[len("bytes="):]
+	los, his, found := strings.Cut(spec, "-")
+	if !found {
 		return 0, 0, false
 	}
-	if l < 0 || h < l || l >= size {
+	l, lerr := strconv.ParseInt(los, 10, 64)
+	if lerr != nil || l < 0 || l >= size {
 		return 0, 0, false
 	}
-	if h >= size {
-		h = size - 1
+	h := size - 1
+	if his != "" {
+		var herr error
+		h, herr = strconv.ParseInt(his, 10, 64)
+		if herr != nil || h < l {
+			return 0, 0, false
+		}
+		if h >= size {
+			h = size - 1
+		}
 	}
 	return l, h, true
 }

@@ -154,3 +154,71 @@ func TestServerCPUChargedToHostNotBrowser(t *testing.T) {
 	}
 	_ = h
 }
+
+func TestParseByteRange(t *testing.T) {
+	cases := []struct {
+		spec   string
+		size   int64
+		lo, hi int64
+		ok     bool
+	}{
+		{"bytes=0-9", 100, 0, 9, true},
+		{"bytes=90-199", 100, 90, 99, true}, // hi clamped to size-1
+		{"bytes=5-5", 100, 5, 5, true},
+		{"bytes=42-", 100, 42, 99, true}, // open-ended suffix
+		{"bytes=0-", 1, 0, 0, true},
+		{"bytes=5-2", 100, 0, 0, false},     // inverted
+		{"bytes=5-2x", 100, 0, 0, false},    // trailing garbage (Sscanf used to pass this)
+		{"bytes=x5-9", 100, 0, 0, false},    // leading garbage
+		{"bytes=5x-9", 100, 0, 0, false},    // garbage inside lo
+		{"bytes=-5", 100, 0, 0, false},      // missing lo (suffix-length form unsupported)
+		{"bytes=", 100, 0, 0, false},        // empty spec
+		{"bytes=100-200", 100, 0, 0, false}, // lo past end
+		{"bytes=0-9", 0, 0, 0, false},       // empty body
+		{"bits=0-9", 100, 0, 0, false},      // wrong unit
+		{"0-9", 100, 0, 0, false},           // no unit
+		{"bytes=1e2-300", 100, 0, 0, false}, // non-decimal
+	}
+	for _, c := range cases {
+		lo, hi, ok := parseByteRange(c.spec, c.size)
+		if ok != c.ok || lo != c.lo || hi != c.hi {
+			t.Errorf("parseByteRange(%q, %d) = (%d, %d, %v), want (%d, %d, %v)",
+				c.spec, c.size, lo, hi, ok, c.lo, c.hi, c.ok)
+		}
+	}
+}
+
+func TestFileHostRangeRequests(t *testing.T) {
+	sim, browserCtx, net := newNet()
+	body := make([]byte, 256)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	net.AddHost(FileHost("cdn", 1_000_000, 1, map[string][]byte{"/blob": body}))
+
+	fetch := func(rng string) Response {
+		var got Response
+		done := false
+		sim.Post(browserCtx, 0, func() {
+			net.Fetch("cdn", Request{
+				Method: "GET", Path: "/blob",
+				Header: map[string]string{"Range": rng},
+			}, func(r Response) { got = r; done = true })
+		})
+		sim.Run()
+		if !done {
+			t.Fatalf("fetch %q never completed", rng)
+		}
+		return got
+	}
+
+	if r := fetch("bytes=16-31"); r.Status != 206 || len(r.Body) != 16 || r.Body[0] != 16 {
+		t.Fatalf("closed range: status %d len %d", r.Status, len(r.Body))
+	}
+	if r := fetch("bytes=240-"); r.Status != 206 || len(r.Body) != 16 || r.Body[0] != 240 {
+		t.Fatalf("open-ended range: status %d len %d", r.Status, len(r.Body))
+	}
+	if r := fetch("bytes=16-8x"); r.Status != 416 {
+		t.Fatalf("malformed range served: status %d", r.Status)
+	}
+}

@@ -104,6 +104,20 @@ type Proc interface {
 	Accept(fd int) (int, abi.Errno)
 	Connect(fd, port int) abi.Errno
 	Getsockname(fd int) (int, abi.Errno)
+	// AcceptBatch drains up to max queued connections from a
+	// non-blocking listener, returning the new (non-blocking) connection
+	// fds; an empty slice means the backlog was empty. On the Browsix
+	// ring transport the whole batch travels as ONE doorbell of accept
+	// frames answered in one drained pass with one notify — an accept
+	// storm costs one crossing.
+	AcceptBatch(fd, max int) ([]int, abi.Errno)
+	// Poll blocks until at least one of fds is ready (or the timeout
+	// elapses), filling Revents in place and returning the ready count.
+	// timeoutNs < 0 blocks indefinitely, 0 probes without blocking.
+	Poll(fds []abi.Pollfd, timeoutNs int64) (int, abi.Errno)
+	// Setfl sets a descriptor's status flags (fcntl F_SETFL subset;
+	// only O_NONBLOCK is honored).
+	Setfl(fd, flags int) abi.Errno
 
 	// Cost accounting: ns of *native-equivalent* CPU work. The runtime
 	// scales by its slowdown factor (asm.js, Emterpreter, GopherJS…).

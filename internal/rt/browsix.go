@@ -454,6 +454,11 @@ func (r *workerRT) writePlain(fd int, b []byte) (int, abi.Errno) {
 			m, err := r.writePlain(fd, b[:n])
 			total += m
 			if err != abi.OK {
+				// Short-write semantics: earlier chunks that landed make
+				// this a successful partial write, not an EAGAIN.
+				if err == abi.EAGAIN && total > 0 {
+					return total, abi.OK
+				}
 				return total, err
 			}
 			if m <= 0 {
@@ -1087,6 +1092,103 @@ func (r *workerRT) Getsockname(fd int) (int, abi.Errno) {
 	}
 	ret := r.asyncCall("getsockname", int64(fd))
 	return int(vi(ret, 0)), verr(ret)
+}
+
+// AcceptBatch drains the listener backlog as non-blocking accepts. On
+// the ring transport all max accept frames share ONE doorbell (the same
+// shape as StatBatch): the kernel drains the run in a single batch pass
+// and answers with one notify, so an accept storm costs one crossing.
+// Scalar and async transports degrade to one accept per round trip,
+// stopping at the first EAGAIN.
+func (r *workerRT) AcceptBatch(fd, max int) ([]int, abi.Errno) {
+	if max <= 0 {
+		return nil, abi.OK
+	}
+	if r.sync && r.ringOK {
+		reqs := make([]ringReq, max)
+		for i := range reqs {
+			reqs[i] = ringReq{trap: abi.SYS_accept, args: []int64{int64(fd), int64(abi.O_NONBLOCK)}}
+		}
+		rets, errs := r.ringCalls(reqs)
+		var fds []int
+		for i := range rets {
+			if errs[i] != abi.OK {
+				if errs[i] == abi.EAGAIN || len(fds) > 0 {
+					break
+				}
+				return nil, errs[i]
+			}
+			fds = append(fds, int(rets[i]))
+		}
+		return fds, abi.OK
+	}
+	var fds []int
+	for len(fds) < max {
+		var ret int64
+		var err abi.Errno
+		if r.sync {
+			ret, err = r.syncCall(abi.SYS_accept, int64(fd), int64(abi.O_NONBLOCK))
+		} else {
+			rv := r.asyncCall("accept", int64(fd), int64(abi.O_NONBLOCK))
+			ret, err = vi(rv, 0), verr(rv)
+		}
+		if err != abi.OK {
+			if err == abi.EAGAIN || len(fds) > 0 {
+				break
+			}
+			return nil, err
+		}
+		fds = append(fds, int(ret))
+	}
+	return fds, abi.OK
+}
+
+// Poll stages the pollfd array in scratch (sync) or as a flat
+// [fd, events, ...] argument list (async); revents travel back through
+// the shared heap or the reply array and are written into fds in place.
+func (r *workerRT) Poll(fds []abi.Pollfd, timeoutNs int64) (int, abi.Errno) {
+	if len(fds) == 0 {
+		return 0, abi.EINVAL
+	}
+	if r.sync {
+		buf := make([]byte, len(fds)*abi.PollfdSize)
+		abi.PackPollfds(buf, fds)
+		ptr, blen := r.putBytes(buf)
+		ret, err := r.syncCall(abi.SYS_poll, ptr, int64(len(fds)), timeoutNs)
+		if err != abi.OK {
+			return int(ret), err
+		}
+		got := abi.UnpackPollfds(r.heap.Bytes()[ptr:ptr+blen], len(fds))
+		for i := range fds {
+			fds[i].Revents = got[i].Revents
+		}
+		return int(ret), abi.OK
+	}
+	raw := make([]browser.Value, 0, len(fds)*2)
+	for _, f := range fds {
+		raw = append(raw, int64(f.Fd), int64(f.Events))
+	}
+	ret := r.asyncCall("poll", raw, timeoutNs)
+	if err := verr(ret); err != abi.OK {
+		return int(vi(ret, 0)), err
+	}
+	if len(ret) > 2 {
+		if arr, ok := ret[2].([]browser.Value); ok {
+			for i := range fds {
+				fds[i].Revents = 0
+				if i < len(arr) {
+					if v, ok := arr[i].(int64); ok {
+						fds[i].Revents = uint32(v)
+					}
+				}
+			}
+		}
+	}
+	return int(vi(ret, 0)), abi.OK
+}
+
+func (r *workerRT) Setfl(fd, flags int) abi.Errno {
+	return r.fdPortCall("setfl", abi.SYS_setfl, fd, flags)
 }
 
 func (r *workerRT) CPU(ns int64) {

@@ -523,6 +523,9 @@ func (h *HostProc) Listen(int, int) abi.Errno                 { return abi.ENOSY
 func (h *HostProc) Accept(int) (int, abi.Errno)               { return -1, abi.ENOSYS }
 func (h *HostProc) Connect(int, int) abi.Errno                { return abi.ENOSYS }
 func (h *HostProc) Getsockname(int) (int, abi.Errno)          { return -1, abi.ENOSYS }
+func (h *HostProc) AcceptBatch(int, int) ([]int, abi.Errno)   { return nil, abi.ENOSYS }
+func (h *HostProc) Poll([]abi.Pollfd, int64) (int, abi.Errno) { return -1, abi.ENOSYS }
+func (h *HostProc) Setfl(int, int) abi.Errno                  { return abi.ENOSYS }
 
 func (h *HostProc) CPU(ns int64)   { h.sim.Charge(int64(float64(ns) * h.cost.Mult)) }
 func (h *HostProc) CPU64(ns int64) { h.sim.Charge(int64(float64(ns) * h.cost.Int64Mult)) }

@@ -101,6 +101,11 @@ func (r *workerRT) writeStaged(fd int, b []byte) (int, abi.Errno, bool) {
 			break
 		}
 		if err != abi.OK {
+			// POSIX short-write semantics: bytes already written make the
+			// call a success; EAGAIN only reports a fruitless attempt.
+			if err == abi.EAGAIN && total+n > 0 {
+				return total + n, abi.OK, true
+			}
 			return total + n, err, true
 		}
 		if n <= 0 {

@@ -1,0 +1,63 @@
+package browsix
+
+import (
+	"repro/internal/abi"
+	"repro/internal/core"
+	"repro/internal/meme"
+	"repro/internal/netsim"
+)
+
+// Load-testing harness: wires the deterministic client swarm
+// (internal/netsim) onto an in-Browsix server through kernel-level
+// connections, so thousands of simulated browser-side clients can drive
+// one server process entirely in virtual time.
+
+// DialPort adapts kernel connections to port into a netsim.Dialer; the
+// returned connections satisfy netsim.Conn directly.
+func DialPort(in *Instance, port int) netsim.Dialer {
+	return func(cb func(netsim.Conn, abi.Errno)) {
+		in.Kernel.Connect(port, func(c *core.KernelConn, err abi.Errno) {
+			if err != abi.OK {
+				cb(nil, err)
+				return
+			}
+			cb(c, abi.OK)
+		})
+	}
+}
+
+// RunSwarm drives a client swarm against a port inside the instance and
+// returns its load report. The report is a pure function of the swarm
+// config and the instance's virtual-time behaviour: repeated runs are
+// bit-identical.
+func RunSwarm(in *Instance, s *netsim.Swarm, port int) netsim.LoadReport {
+	var rep netsim.LoadReport
+	done := false
+	in.Main(func() {
+		s.Start(in.Sim, DialPort(in, port), func(r netsim.LoadReport) {
+			rep = r
+			done = true
+		})
+	})
+	if !in.Sim.RunUntil(func() bool { return done }) {
+		panic("browsix: swarm never completed")
+	}
+	return rep
+}
+
+// StartMemeServerArgs launches the in-Browsix meme server with extra
+// argv (e.g. "-serial" for the one-request-per-connection ablation
+// baseline) and waits until it is listening.
+func (in *Instance) StartMemeServerArgs(args ...string) int {
+	listening := false
+	in.OnListen(meme.Port, func(int) { listening = true })
+	argv := append([]string{"/usr/bin/meme-server"}, args...)
+	p, err := in.Start(Spec{Argv: argv})
+	if err != nil {
+		panic("browsix: meme server: " + err.Error())
+	}
+	if !in.Sim.RunUntil(func() bool { return listening }) {
+		panic("browsix: meme server never listened")
+	}
+	return p.Pid
+}
